@@ -1,0 +1,39 @@
+//! # ttg-baselines — comparator runtimes for the paper's evaluation
+//!
+//! The paper compares TTG against OpenMP worksharing loops, OpenMP tasks,
+//! TaskFlow, MPI, and PaRSEC PTG (Sections V-B and V-D). The comparator
+//! *binaries* are proprietary-toolchain or C++ artifacts, so this crate
+//! reimplements each model's **scheduling discipline** from scratch — the
+//! structural property that determines its position in Figures 5/7/8/10/11:
+//!
+//! * [`ompfor::OmpPool`] — fork-join worksharing: persistent threads,
+//!   static chunking, an implicit barrier per parallel region, and *no*
+//!   per-task runtime bookkeeping (why `parallel for` has near-zero
+//!   management overhead until the barrier dominates).
+//! * [`omptask::OmpTaskRuntime`] — OpenMP-style tasks with address-based
+//!   `depend(in/out)` matching ("backward-looking memory-based model":
+//!   dependencies are satisfied from any previously discovered task with
+//!   a matching output dependency) and a **central shared task queue**,
+//!   reproducing the contention that makes OpenMP tasks the weakest
+//!   scaler in the paper.
+//! * [`taskflow::Flow`] — TaskFlow-style pre-built control-flow DAG with
+//!   atomic join counters; control-flow-only edges (the paper notes
+//!   TaskFlow "only supports control-flow between tasks").
+//! * [`mpi::MpiWorld`] — rank-per-thread message passing (blocking
+//!   send/recv over per-pair channels, barrier, allreduce): the
+//!   "no runtime at all" endpoint that wins Figure 7a.
+//!
+//! PaRSEC-PTG is implemented in `ttg-task-bench` (it needs the dependence
+//! patterns) on top of `ttg-runtime`.
+
+#![warn(missing_docs)]
+
+pub mod mpi;
+pub mod ompfor;
+pub mod omptask;
+pub mod taskflow;
+
+pub use mpi::MpiWorld;
+pub use ompfor::OmpPool;
+pub use omptask::OmpTaskRuntime;
+pub use taskflow::Flow;

@@ -1,0 +1,262 @@
+//! OpenMP-style worksharing (`parallel for`) pool.
+//!
+//! Models the `OpenMP Parallel For` series of Figures 7/8/10/11: a team
+//! of persistent threads executes statically chunked iteration ranges
+//! with an implicit barrier at region end. There is no per-iteration
+//! runtime state — the only synchronization is the region hand-off and
+//! the barrier, which is why this model's overhead curve stays flat until
+//! task (chunk) granularity approaches the barrier cost.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[allow(clippy::type_complexity)]
+type Region = Arc<dyn Fn(usize, usize) + Send + Sync>; // (begin, end)
+
+struct Team {
+    /// Monotone region counter; bumping it releases the team.
+    generation: Mutex<u64>,
+    work_ready: Condvar,
+    /// Current region body and per-thread ranges.
+    #[allow(clippy::type_complexity)]
+    region: Mutex<Option<(Region, Vec<(usize, usize)>)>>,
+    /// Threads still working in the current region.
+    outstanding: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// A fork-join worksharing pool ("OpenMP parallel for").
+///
+/// # Examples
+///
+/// ```
+/// use ttg_baselines::OmpPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = OmpPool::new(4);
+/// let sum = AtomicU64::new(0);
+/// pool.parallel_for(0, 1000, |begin, end| {
+///     let local: u64 = (begin..end).map(|i| i as u64).sum();
+///     sum.fetch_add(local, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), (0..1000u64).sum());
+/// ```
+pub struct OmpPool {
+    team: Arc<Team>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl OmpPool {
+    /// Spawns a team of `nthreads` workers (the calling thread is the
+    /// "master" and also executes a share, as OpenMP's does).
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        let team = Arc::new(Team {
+            generation: Mutex::new(0),
+            work_ready: Condvar::new(),
+            region: Mutex::new(None),
+            outstanding: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        // nthreads-1 helpers; the master participates in each region.
+        let threads = (1..nthreads)
+            .map(|tid| {
+                let team = Arc::clone(&team);
+                std::thread::Builder::new()
+                    .name(format!("omp-worker-{tid}"))
+                    .spawn(move || helper_loop(&team, tid))
+                    .expect("spawn omp worker")
+            })
+            .collect();
+        OmpPool {
+            team,
+            threads,
+            nthreads,
+        }
+    }
+
+    /// Number of team threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Executes `body(begin, end)` over `[begin, end)` split into one
+    /// static contiguous chunk per thread, then barriers.
+    pub fn parallel_for(&self, begin: usize, end: usize, body: impl Fn(usize, usize) + Send + Sync) {
+        let n = end.saturating_sub(begin);
+        let t = self.team.as_ref();
+        // Static schedule: ceil-div chunks, master takes chunk 0.
+        let chunk = n.div_ceil(self.nthreads).max(1);
+        let ranges: Vec<(usize, usize)> = (0..self.nthreads)
+            .map(|i| {
+                let lo = begin + (i * chunk).min(n);
+                let hi = begin + ((i + 1) * chunk).min(n);
+                (lo, hi)
+            })
+            .collect();
+        // SAFETY-free type laundering: extend the body's lifetime to
+        // 'static for the helpers via Arc<dyn Fn>; we barrier before
+        // returning, so the borrow never escapes. Achieved by boxing a
+        // pointer-free clone per region through Arc.
+        let body: Region = unsafe {
+            std::mem::transmute::<Arc<dyn Fn(usize, usize) + Send + Sync + '_>, Region>(Arc::new(
+                body,
+            ))
+        };
+        {
+            let mut region = t.region.lock();
+            *region = Some((Arc::clone(&body), ranges.clone()));
+            t.outstanding
+                .store(self.nthreads.saturating_sub(1), Ordering::Release);
+            let mut gen = t.generation.lock();
+            *gen += 1;
+            *t.done.lock() = false;
+            t.work_ready.notify_all();
+        }
+        // Barrier guard: the wait must happen even if the master's share
+        // panics, because helpers hold a lifetime-laundered borrow of
+        // `body` until the region completes.
+        struct BarrierGuard<'a>(&'a Team, bool);
+        impl Drop for BarrierGuard<'_> {
+            fn drop(&mut self) {
+                if self.1 {
+                    let mut done = self.0.done.lock();
+                    while !*done {
+                        self.0.done_cv.wait(&mut done);
+                    }
+                }
+                // Drop the published region so no helper can observe a
+                // stale borrow past this point.
+                *self.0.region.lock() = None;
+            }
+        }
+        let guard = BarrierGuard(t, self.nthreads > 1);
+        // Master executes its own share.
+        let (lo, hi) = ranges[0];
+        if lo < hi {
+            body(lo, hi);
+        }
+        // Implicit barrier (and on unwind, via the guard).
+        drop(guard);
+    }
+
+    /// Convenience: `parallel_for` with an explicit chunk count per
+    /// thread region (for grain-size experiments). `body(i)` runs per
+    /// index.
+    pub fn parallel_for_each(&self, begin: usize, end: usize, body: impl Fn(usize) + Send + Sync) {
+        self.parallel_for(begin, end, |lo, hi| {
+            for i in lo..hi {
+                body(i);
+            }
+        });
+    }
+}
+
+fn helper_loop(team: &Team, tid: usize) {
+    let mut seen_gen = 0u64;
+    loop {
+        let (body, range) = {
+            let mut gen = team.generation.lock();
+            while *gen == seen_gen {
+                if *team.shutdown.lock() {
+                    return;
+                }
+                team.work_ready.wait_for(&mut gen, std::time::Duration::from_millis(50));
+            }
+            seen_gen = *gen;
+            let region = team.region.lock();
+            let (body, ranges) = region.as_ref().expect("region set with generation");
+            (Arc::clone(body), ranges[tid])
+        };
+        if range.0 < range.1 {
+            // A panicking body must still reach the barrier decrement,
+            // otherwise the master deadlocks; the panic is reported and
+            // the helper continues (the master will surface the failure
+            // through its own assertion context).
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(range.0, range.1)
+            }));
+            if r.is_err() {
+                eprintln!("omp helper {tid}: region body panicked");
+            }
+        }
+        // Last helper out signals the master's barrier.
+        if team.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = team.done.lock();
+            *done = true;
+            team.done_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for OmpPool {
+    fn drop(&mut self) {
+        *self.team.shutdown.lock() = true;
+        self.team.work_ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sums_match_serial() {
+        for threads in [1, 2, 4] {
+            let pool = OmpPool::new(threads);
+            let sum = AtomicU64::new(0);
+            pool.parallel_for(0, 10_001, |lo, hi| {
+                let local: u64 = (lo..hi).map(|i| i as u64).sum();
+                sum.fetch_add(local, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..10_001u64).sum());
+        }
+    }
+
+    #[test]
+    fn regions_are_serially_ordered() {
+        // The implicit barrier means region N+1 sees all of region N.
+        let pool = OmpPool::new(4);
+        let data: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        for round in 1..=5u64 {
+            pool.parallel_for_each(0, data.len(), |i| {
+                data[i].fetch_add(round, Ordering::Relaxed);
+            });
+        }
+        let expect: u64 = (1..=5).sum();
+        assert!(data.iter().all(|d| d.load(Ordering::Relaxed) == expect));
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges() {
+        let pool = OmpPool::new(4);
+        pool.parallel_for(5, 5, |_, _| panic!("empty range must not run"));
+        let hits = AtomicU64::new(0);
+        pool.parallel_for_each(0, 2, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn borrows_local_state() {
+        // The region body borrows stack data; the barrier makes it safe.
+        let pool = OmpPool::new(3);
+        let local = vec![1u64; 300];
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0, 300, |lo, hi| {
+            sum.fetch_add(local[lo..hi].iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 300);
+    }
+}

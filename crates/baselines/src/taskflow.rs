@@ -1,0 +1,239 @@
+//! TaskFlow-style static control-flow DAG executor.
+//!
+//! Models the `TaskFlow` series of Figure 5: the task graph is built
+//! **up front** (nodes + `precede` edges), then executed by a worker
+//! pool; edges carry *control flow only* ("The TaskFlow implementation
+//! of the benchmark only supports control-flow between tasks" and
+//! "TaskFlow does not support multiple flows between the two same
+//! tasks"). Execution uses atomic join counters seeded from the static
+//! in-degrees — no hash table, no data copies.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(test)]
+use std::sync::Arc;
+
+type Body = Box<dyn Fn() + Send + Sync>;
+
+/// Handle to a node in a [`Flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+struct Node {
+    body: Body,
+    successors: Vec<usize>,
+    indegree: usize,
+    /// Remaining predecessors in the current run.
+    join: AtomicUsize,
+}
+
+/// A pre-built control-flow task graph ("taskflow").
+///
+/// # Examples
+///
+/// ```
+/// use ttg_baselines::Flow;
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let log = Arc::new(AtomicU64::new(0));
+/// let mut flow = Flow::new();
+/// let l1 = Arc::clone(&log);
+/// let a = flow.task(move || { l1.fetch_add(1, Ordering::Relaxed); });
+/// let l2 = Arc::clone(&log);
+/// let b = flow.task(move || {
+///     assert_eq!(l2.load(Ordering::Relaxed), 1); // a ran first
+///     l2.fetch_add(10, Ordering::Relaxed);
+/// });
+/// flow.precede(a, b);
+/// flow.run(2);
+/// assert_eq!(log.load(Ordering::Relaxed), 11);
+/// ```
+pub struct Flow {
+    nodes: Vec<Node>,
+}
+
+impl Flow {
+    /// Creates an empty flow.
+    pub fn new() -> Self {
+        Flow { nodes: Vec::new() }
+    }
+
+    /// Adds a task node.
+    pub fn task(&mut self, body: impl Fn() + Send + Sync + 'static) -> NodeId {
+        self.nodes.push(Node {
+            body: Box::new(body),
+            successors: Vec::new(),
+            indegree: 0,
+            join: AtomicUsize::new(0),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Declares that `before` must complete before `after` starts.
+    pub fn precede(&mut self, before: NodeId, after: NodeId) {
+        self.nodes[before.0].successors.push(after.0);
+        self.nodes[after.0].indegree += 1;
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the flow has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Executes the whole DAG on `threads` workers, returning when every
+    /// node has run. The flow is reusable (join counters reset per run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a cycle (nodes remain unexecuted).
+    pub fn run(&self, threads: usize) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        for n in &self.nodes {
+            n.join.store(n.indegree, Ordering::Relaxed);
+        }
+        let executed = AtomicU64::new(0);
+        let total = self.nodes.len() as u64;
+        let ready: Mutex<VecDeque<usize>> = Mutex::new(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.indegree == 0)
+                .map(|(i, _)| i)
+                .collect(),
+        );
+        let ready_cv = Condvar::new();
+        let done = AtomicBool::new(false);
+        assert!(
+            !ready.lock().is_empty(),
+            "taskflow graph has no source nodes (cycle)"
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(|| loop {
+                    let idx = {
+                        let mut q = ready.lock();
+                        loop {
+                            if let Some(i) = q.pop_front() {
+                                break i;
+                            }
+                            if done.load(Ordering::Acquire) {
+                                return;
+                            }
+                            ready_cv.wait_for(&mut q, std::time::Duration::from_millis(1));
+                        }
+                    };
+                    let node = &self.nodes[idx];
+                    (node.body)();
+                    for &succ in &node.successors {
+                        if self.nodes[succ].join.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            ready.lock().push_back(succ);
+                            ready_cv.notify_one();
+                        }
+                    }
+                    if executed.fetch_add(1, Ordering::AcqRel) + 1 == total {
+                        done.store(true, Ordering::Release);
+                        ready_cv.notify_all();
+                        return;
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            total,
+            "taskflow graph contains a cycle: {} of {} nodes ran",
+            executed.load(Ordering::Relaxed),
+            total
+        );
+    }
+
+    /// Builds a serial chain of `n` tasks invoking `body(i)` — the
+    /// Figure 5 minimum-latency workload.
+    pub fn chain(n: usize, body: impl Fn(usize) + Send + Sync + Clone + 'static) -> Flow {
+        let mut flow = Flow::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n {
+            let b = body.clone();
+            let id = flow.task(move || b(i));
+            if let Some(p) = prev {
+                flow.precede(p, id);
+            }
+            prev = Some(id);
+        }
+        flow
+    }
+}
+
+impl Default for Flow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_runs_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        let flow = Flow::chain(100, move |i| l.lock().push(i));
+        flow.run(4);
+        assert_eq!(*log.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_runs_middle_concurrently() {
+        let mut flow = Flow::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let src = flow.task(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let mids: Vec<NodeId> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                flow.task(move || {
+                    h.fetch_add(10, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let h2 = Arc::clone(&hits);
+        let sink = flow.task(move || {
+            assert_eq!(h2.load(Ordering::Relaxed), 81, "sink before middles");
+        });
+        for m in mids {
+            flow.precede(src, m);
+            flow.precede(m, sink);
+        }
+        flow.run(4);
+        assert_eq!(hits.load(Ordering::Relaxed), 81);
+    }
+
+    #[test]
+    fn flow_is_reusable() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let flow = Flow::chain(10, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        flow.run(2);
+        flow.run(2);
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn empty_flow_is_noop() {
+        Flow::new().run(3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-bench behind Figure 1: atomic increment latency,
+//! contended vs cache-padded thread-local, seq-cst vs relaxed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use ttg_sync::CachePadded;
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_atomics");
+    g.sample_size(20);
+
+    let shared = AtomicU64::new(0);
+    g.bench_function(BenchmarkId::new("increment", "seqcst"), |b| {
+        b.iter(|| shared.fetch_add(1, Ordering::SeqCst))
+    });
+    g.bench_function(BenchmarkId::new("increment", "relaxed"), |b| {
+        b.iter(|| shared.fetch_add(1, Ordering::Relaxed))
+    });
+
+    // Two threads hammering the same line vs separate padded lines.
+    for (label, padded) in [("contended", false), ("padded", true)] {
+        g.bench_function(BenchmarkId::new("2threads", label), |b| {
+            b.iter_custom(|iters| {
+                let a = CachePadded::new(AtomicU64::new(0));
+                let bcell = CachePadded::new(AtomicU64::new(0));
+                let start = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    let a = &a;
+                    let bc = &bcell;
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            a.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    s.spawn(move || {
+                        let t: &AtomicU64 = if padded { bc } else { a };
+                        for _ in 0..iters {
+                            t.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                });
+                start.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_atomics);
+criterion_main!(benches);

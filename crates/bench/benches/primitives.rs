@@ -1,0 +1,83 @@
+//! Substrate-primitive ablations: the per-operation costs the paper's
+//! design decisions trade against each other — spin-lock cycles, plain
+//! vs BRAVO reader locks (Section IV-D), hash-table transactions
+//! (Section III-C), and memory-pool alloc/free (Section IV-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttg_hashtable::{HashTableOptions, LockKind, ScalableHashTable};
+use ttg_mempool::FreeListPool;
+use ttg_sync::{BravoRwLock, RwSpinLock, SpinLock};
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.sample_size(20);
+    let spin = SpinLock::new(0u64);
+    g.bench_function("spinlock_lock_unlock", |b| {
+        b.iter(|| {
+            *spin.lock() += 1;
+        })
+    });
+    let rw = RwSpinLock::new(0u64);
+    g.bench_function("rwspin_read", |b| {
+        b.iter(|| {
+            let _ = *rw.read(); // two atomic RMWs
+        })
+    });
+    let bravo = BravoRwLock::new(0u64);
+    g.bench_function("bravo_read_fastpath", |b| {
+        b.iter(|| {
+            let _ = *bravo.read(); // zero atomic RMWs (one fence)
+        })
+    });
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashtable");
+    g.sample_size(20);
+    for lock in [LockKind::Plain, LockKind::Bravo] {
+        let t: ScalableHashTable<u64, u64> = ScalableHashTable::with_options(HashTableOptions {
+            lock,
+            ..Default::default()
+        });
+        for k in 0..1_000u64 {
+            t.insert(k, k);
+        }
+        let label = format!("{lock:?}");
+        g.bench_function(BenchmarkId::new("locked_bucket_find", &label), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7) % 1_000;
+                let mut bucket = t.lock_bucket(k);
+                assert!(bucket.find().is_some());
+            })
+        });
+        g.bench_function(BenchmarkId::new("insert_remove", &label), |b| {
+            b.iter(|| {
+                t.insert(5_000, 1);
+                t.remove(&5_000);
+            })
+        });
+    }
+}
+
+fn bench_mempool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mempool");
+    g.sample_size(20);
+    let pool: FreeListPool<[u64; 16]> = FreeListPool::new(1);
+    drop(pool.alloc([0u64; 16])); // seed the free list
+    g.bench_function("alloc_free_reused", |b| {
+        b.iter(|| {
+            let x = pool.alloc([1u64; 16]);
+            drop(x);
+        })
+    });
+    g.bench_function("boxed_alloc_free_baseline", |b| {
+        b.iter(|| {
+            let x: Box<[u64; 16]> = Box::new([1u64; 16]);
+            drop(std::hint::black_box(x));
+        })
+    });
+}
+
+criterion_group!(benches, bench_locks, bench_hashtable, bench_mempool);
+criterion_main!(benches);

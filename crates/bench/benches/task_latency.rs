@@ -1,0 +1,94 @@
+//! Criterion bench behind Figure 5: per-task latency of a TTG chain as
+//! a function of the number of flows, move vs copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use ttg_core::{Edge, Graph};
+use ttg_runtime::RuntimeConfig;
+
+const CHAIN: u64 = 5_000;
+
+struct ChainHarness {
+    graph: Graph,
+    tt: ttg_core::Tt<u64>,
+    nedges: usize,
+}
+
+fn build_chain(flows: usize, copy: bool) -> ChainHarness {
+    let graph = Graph::new(RuntimeConfig::optimized(1));
+    let nedges = flows.max(1);
+    let edges: Vec<Edge<u64, i64>> = (0..nedges)
+        .map(|i| Edge::new(format!("flow{i}")))
+        .collect();
+    let mut b = graph.tt::<u64>("chain");
+    for e in &edges {
+        b = b.input::<i64>(e);
+    }
+    for e in &edges {
+        b = b.output(e);
+    }
+    let tt = b.build(move |k, inputs, out| {
+        if *k >= CHAIN {
+            return;
+        }
+        for i in 0..inputs.len() {
+            if copy {
+                let v = *inputs.get::<i64>(i);
+                out.send(i, *k + 1, v);
+            } else {
+                let c = inputs.take_copy(i);
+                out.forward(i, *k + 1, c);
+            }
+        }
+    });
+    ChainHarness { graph, tt, nedges }
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_task_latency");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CHAIN));
+    for flows in [1usize, 2, 4] {
+        for (mode, copy) in [("move", false), ("copy", true)] {
+            let h = build_chain(flows, copy);
+            // Warm the pools before timing.
+            for i in 0..h.nedges {
+                h.tt.deliver(i, 0u64, i as i64);
+            }
+            h.graph.wait();
+            g.bench_function(BenchmarkId::new(mode, flows), |b| {
+                b.iter(|| {
+                    for i in 0..h.nedges {
+                        h.tt.deliver(i, 0u64, i as i64);
+                    }
+                    h.graph.wait();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_spawn_join(c: &mut Criterion) {
+    // Raw runtime fan-out: overhead per closure task.
+    let mut g = c.benchmark_group("runtime_spawn");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    let rt = Arc::new(ttg_runtime::Runtime::new(RuntimeConfig::optimized(1)));
+    g.bench_function("fanout_10k", |b| {
+        b.iter(|| {
+            let rt2 = Arc::clone(&rt);
+            rt.submit(0, move |ctx| {
+                let _ = &rt2;
+                for i in 0..10_000 {
+                    ctx.spawn(i % 8, |_| {});
+                }
+            });
+            rt.wait();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_spawn_join);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench behind Figures 7/8: Task-Bench stencil_1d per-task
+//! cost per implementation at a fixed medium task granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ttg_task_bench::{Implementation, Kernel, Pattern, TaskGraph};
+
+fn bench_taskbench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_taskbench");
+    g.sample_size(10);
+    const STEPS: usize = 100;
+    const WIDTH: usize = 4;
+    g.throughput(Throughput::Elements((STEPS * WIDTH) as u64));
+    let graph = TaskGraph::new(
+        STEPS,
+        WIDTH,
+        Pattern::Stencil1D,
+        Kernel::Compute { flops: 10_000 },
+    );
+    let expected = TaskGraph::checksum(&graph.expected_final_row());
+    for imp in Implementation::all() {
+        let mut runner = imp.build(1);
+        let name = runner.name();
+        // Validate once, then time.
+        assert_eq!(runner.run(&graph).checksum, expected, "{name}");
+        g.bench_function(BenchmarkId::new("stencil_10kflops", name), |b| {
+            b.iter(|| {
+                let r = runner.run(&graph);
+                assert_eq!(r.checksum, expected);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    // Pattern cost ablation under TTG: how dependence fan-in changes
+    // per-task cost (aggregator size 1 vs 3 vs width).
+    let mut g = c.benchmark_group("ttg_pattern_cost");
+    g.sample_size(10);
+    const STEPS: usize = 100;
+    const WIDTH: usize = 4;
+    g.throughput(Throughput::Elements((STEPS * WIDTH) as u64));
+    let mut runner = Implementation::Ttg { optimized: true }.build(1);
+    for pattern in [
+        Pattern::NoComm,
+        Pattern::Stencil1D,
+        Pattern::AllToAll,
+    ] {
+        let graph = TaskGraph::new(STEPS, WIDTH, pattern, Kernel::Empty);
+        let expected = TaskGraph::checksum(&graph.expected_final_row());
+        g.bench_function(BenchmarkId::new("empty_kernel", pattern.name()), |b| {
+            b.iter(|| {
+                let r = runner.run(&graph);
+                assert_eq!(r.checksum, expected);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_taskbench, bench_patterns);
+criterion_main!(benches);

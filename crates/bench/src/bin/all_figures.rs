@@ -1,0 +1,124 @@
+//! Runs every figure harness at CI scale in one go, writing the text
+//! reports into `--out` (default `results/`). Useful as a smoke test of
+//! the full evaluation pipeline and to regenerate EXPERIMENTS.md data.
+//!
+//! ```text
+//! cargo run --release -p ttg-bench --bin all_figures -- --out results
+//! ```
+
+use std::process::Command;
+use ttg_bench::Args;
+
+const USAGE: &str = "all_figures [--out results] [--scale 1]";
+
+fn run(out_dir: &str, name: &str, bin: &str, args: &[String]) {
+    println!("── {name} ({bin} {})", args.join(" "));
+    let output = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let path = format!("{out_dir}/{name}.txt");
+    std::fs::write(&path, &output.stdout).expect("write report");
+    // Echo the table headers for quick eyeballing.
+    let text = String::from_utf8_lossy(&output.stdout);
+    for line in text.lines().filter(|l| l.starts_with("== ")) {
+        println!("   {line}");
+    }
+    println!("   → {path}");
+}
+
+fn main() {
+    let args = Args::parse(USAGE);
+    let out = args.get_str("out", "results");
+    let scale: u64 = args.get("scale", 1u64);
+    std::fs::create_dir_all(&out).expect("create output dir");
+
+    let s = |base: u64| (base * scale).to_string();
+    run(
+        &out,
+        "fig1",
+        "fig1_atomics",
+        &["--threads".into(), "1,2,4".into(), "--ops".into(), s(100_000)],
+    );
+    run(
+        &out,
+        "fig5",
+        "fig5_task_latency",
+        &["--length".into(), s(100_000), "--max-flows".into(), "4".into()],
+    );
+    run(
+        &out,
+        "fig6",
+        "fig6_scheduler",
+        &[
+            "--height".into(),
+            "13".into(),
+            "--threads".into(),
+            "1,2".into(),
+            "--cycles".into(),
+            "1000,10000,40000".into(),
+        ],
+    );
+    run(
+        &out,
+        "fig7",
+        "fig7_taskbench",
+        &[
+            "--threads".into(),
+            "1".into(),
+            "--steps".into(),
+            s(100),
+            "--flops".into(),
+            "1000000,100000,10000,1000,100".into(),
+        ],
+    );
+    run(
+        &out,
+        "fig8",
+        "fig7_taskbench",
+        &[
+            "--threads".into(),
+            "4".into(),
+            "--steps".into(),
+            s(100),
+            "--flops".into(),
+            "1000000,100000,10000,1000".into(),
+        ],
+    );
+    run(
+        &out,
+        "fig9",
+        "fig9_ablation",
+        &[
+            "--threads".into(),
+            "2".into(),
+            "--steps".into(),
+            s(100),
+            "--flops".into(),
+            "1000000,100000,10000,1000".into(),
+        ],
+    );
+    run(
+        &out,
+        "fig12",
+        "fig12_mra",
+        &[
+            "--threads".into(),
+            "1,2".into(),
+            "--funcs".into(),
+            "4,8".into(),
+            "--k".into(),
+            "6".into(),
+            "--eps".into(),
+            "1e-4".into(),
+            "--exponent".into(),
+            "100".into(),
+        ],
+    );
+    println!("\nall figures regenerated into {out}/");
+}

@@ -1,0 +1,127 @@
+//! **Figures 7, 8, 10, 11** — Task-Bench: average core-time per task and
+//! efficiency under decreasing flops-per-task, for every implementation.
+//!
+//! * Figure 7 (paper): 1 core on Hawk — run with `--threads 1`.
+//! * Figure 8: 64 cores on Hawk — run with `--threads 64` on such a box.
+//! * Figures 10/11: the same binary on the second machine (Summit) —
+//!   machine-gated, see EXPERIMENTS.md.
+//!
+//! Setup mirrors the paper: the `stencil_1d` pattern (2+1 dependencies),
+//! the compute-bound kernel, `--steps` timesteps with one task per core
+//! per timestep ("maximizing the competition of threads for tasks"),
+//! sweeping flops per task downward. Efficiency is relative to the best
+//! flops-throughput observed anywhere in the sweep (the paper's 100%
+//! baseline is the highest single-core performance).
+
+use ttg_bench::{Args, Report, Series};
+use ttg_task_bench::{Implementation, Kernel, Pattern, TaskGraph};
+
+const USAGE: &str = "fig7_taskbench [--threads 1] [--steps 200] \
+                     [--flops 1000000,100000,10000,1000,100] [--width 0] [--json]";
+
+fn main() {
+    let args = Args::parse(USAGE);
+    let threads: usize = args.get("threads", 1usize);
+    let steps: usize = args.get("steps", 200usize);
+    let flops_list = args.get_list(
+        "flops",
+        &[1_000_000u64, 100_000, 10_000, 1_000, 100],
+    );
+    let width: usize = {
+        let w: usize = args.get("width", 0usize);
+        if w == 0 {
+            threads.max(1) // paper: one task per core per timestep
+        } else {
+            w
+        }
+    };
+    let json = args.has("json");
+    println!(
+        "Task-Bench: stencil_1d, compute kernel, {steps} steps x {width} points, {threads} thread(s)"
+    );
+
+    let impls = Implementation::all();
+    let mut runners: Vec<_> = impls
+        .iter()
+        .map(|imp| imp.build(threads))
+        .collect();
+
+    // Validate once with the empty kernel before timing.
+    let vgraph = TaskGraph::new(steps.min(50), width, Pattern::Stencil1D, Kernel::Empty);
+    let expected = TaskGraph::checksum(&vgraph.expected_final_row());
+    for r in runners.iter_mut() {
+        let res = r.run(&vgraph);
+        assert_eq!(res.checksum, expected, "{} failed validation", r.name());
+    }
+
+    let mut core_time = Report::new(
+        "Figure 7a/8a: average core-time per task",
+        "flops per task",
+        "seconds",
+    );
+    let mut efficiency = Report::new(
+        "Figure 7b/8b: efficiency under decreasing task size",
+        "flops per task",
+        "% of best",
+    );
+
+    // (impl, flops) -> core seconds per task.
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); runners.len()];
+    for (ri, runner) in runners.iter_mut().enumerate() {
+        for &flops in &flops_list {
+            let graph = TaskGraph::new(steps, width, Pattern::Stencil1D, Kernel::Compute { flops });
+            let res = runner.run(&graph);
+            assert_eq!(res.checksum, TaskGraph::checksum(&graph.expected_final_row()));
+            results[ri].push(res.core_time_per_task(runner.threads()));
+        }
+    }
+    // Best observed throughput (flops/core-second) anywhere = 100%.
+    let best_throughput = results
+        .iter()
+        
+        .flat_map(|r| {
+            r.iter()
+                .zip(&flops_list)
+                .map(|(&ct, &f)| f as f64 / ct.max(1e-12))
+        })
+        .fold(0.0f64, f64::max);
+
+    for (ri, runner) in runners.iter().enumerate() {
+        let mut ct_series = Series::new(runner.name());
+        let mut eff_series = Series::new(runner.name());
+        for (fi, &flops) in flops_list.iter().enumerate() {
+            let ct = results[ri][fi];
+            ct_series.push(flops as f64, ct);
+            eff_series.push(
+                flops as f64,
+                100.0 * (flops as f64 / ct.max(1e-12)) / best_throughput,
+            );
+        }
+        core_time.add(ct_series);
+        efficiency.add(eff_series);
+    }
+    core_time.emit(json);
+    efficiency.emit(json);
+
+    // METG(50%): smallest task granularity retaining 50% efficiency.
+    println!("\nMETG(50%) per implementation (smallest flops with efficiency >= 50%):");
+    for (ri, runner) in runners.iter().enumerate() {
+        let metg = flops_list
+            .iter()
+            .enumerate()
+            .filter(|(fi, &f)| {
+                100.0 * (f as f64 / results[ri][*fi].max(1e-12)) / best_throughput >= 50.0
+            })
+            .map(|(_, &f)| f)
+            .min();
+        match metg {
+            Some(f) => println!("  {:>24}: {f} flops", runner.name()),
+            None => println!("  {:>24}: > {} flops", runner.name(), flops_list[0]),
+        }
+    }
+    println!(
+        "\nshape check (paper, 1 core): MPI lowest core-time; TTG next; \
+         OpenMP-tasks highest METG. At full node scale TTG/PTG(optimized) \
+         match worksharing while OpenMP tasks degrade."
+    );
+}

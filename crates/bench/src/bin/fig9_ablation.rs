@@ -1,0 +1,79 @@
+//! **Figure 9** — contribution breakdown of the individual optimizations
+//! on the Task-Bench stencil: starting from the LLP scheduler, toggling
+//! (a) thread-local termination detection and (b) the BRAVO biased
+//! reader-writer lock on the TT hash tables.
+//!
+//! Series match the paper: "TTG (ProcCounter Termdet)", "TTG
+//! (Thread-Local Termdet)", "TTG (Thread-Local Termdet & Biased
+//! RWLock)".
+
+use ttg_bench::{Args, Report, Series};
+use ttg_runtime::{LockKind, RuntimeConfig, TermDetKind};
+use ttg_task_bench::impls::ttg::TtgRunner;
+use ttg_task_bench::impls::BenchRunner;
+use ttg_task_bench::{Kernel, Pattern, TaskGraph};
+
+const USAGE: &str = "fig9_ablation [--threads 2] [--steps 200] \
+                     [--flops 1000000,100000,10000,1000,100] [--width 0] [--json]";
+
+fn config_variants(threads: usize) -> Vec<(&'static str, RuntimeConfig)> {
+    let mut proc_counter = RuntimeConfig::optimized(threads);
+    proc_counter.termdet = TermDetKind::ProcessWide;
+    proc_counter.table_lock = LockKind::Plain;
+    let mut thread_local = RuntimeConfig::optimized(threads);
+    thread_local.termdet = TermDetKind::ThreadLocal;
+    thread_local.table_lock = LockKind::Plain;
+    let full = RuntimeConfig::optimized(threads); // ThreadLocal + Bravo
+    vec![
+        ("TTG (ProcCounter Termdet)", proc_counter),
+        ("TTG (Thread-Local Termdet)", thread_local),
+        ("TTG (Thread-Local Termdet & Biased RWLock)", full),
+    ]
+}
+
+fn main() {
+    let args = Args::parse(USAGE);
+    let threads: usize = args.get("threads", 2usize);
+    let steps: usize = args.get("steps", 200usize);
+    let flops_list = args.get_list(
+        "flops",
+        &[1_000_000u64, 100_000, 10_000, 1_000, 100],
+    );
+    let width: usize = {
+        let w: usize = args.get("width", 0usize);
+        if w == 0 {
+            threads
+        } else {
+            w
+        }
+    };
+
+    let mut report = Report::new(
+        "Figure 9: optimization breakdown (TTG, stencil_1d)",
+        "flops per task",
+        "avg core-time per task [s]",
+    );
+    for (label, config) in config_variants(threads) {
+        let mut runner = TtgRunner::with_config(threads, config);
+        let mut series = Series::new(label);
+        for &flops in &flops_list {
+            let graph =
+                TaskGraph::new(steps, width, Pattern::Stencil1D, Kernel::Compute { flops });
+            let res = runner.run(&graph);
+            assert_eq!(
+                res.checksum,
+                TaskGraph::checksum(&graph.expected_final_row()),
+                "{label} failed validation"
+            );
+            series.push(flops as f64, res.core_time_per_task(threads));
+        }
+        report.add(series);
+    }
+    report.emit(args.has("json"));
+    println!(
+        "\nshape check: with many threads the ProcCounter variant floors at the \
+         shared-counter serialization; thread-local termdet removes it; the \
+         biased RW lock shaves the remaining per-input atomics (visible at the \
+         smallest task sizes)."
+    );
+}

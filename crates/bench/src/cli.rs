@@ -1,0 +1,112 @@
+//! Minimal argument parsing shared by the figure binaries.
+//!
+//! Flags have the form `--name value` or `--name=value`; bare `--flag`
+//! sets a boolean. Unknown flags abort with the binary's usage string.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    usage: String,
+}
+
+impl Args {
+    /// Parses `std::env::args`, validating against the allowed flag
+    /// names embedded in `usage` (every `--name` occurring in it).
+    pub fn parse(usage: &str) -> Args {
+        let allowed: Vec<String> = usage
+            .split_whitespace()
+            .map(|w| w.trim_start_matches('['))
+            .filter(|w| w.starts_with("--"))
+            .map(|w| {
+                w.trim_start_matches("--")
+                    .split(['=', ' ', ']'])
+                    .next()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let (name, inline) = match name.split_once('=') {
+                    Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                    None => (name.to_string(), None),
+                };
+                if !allowed.contains(&name) {
+                    eprintln!("unknown flag --{name}\nusage: {usage}");
+                    std::process::exit(2);
+                }
+                if let Some(v) = inline {
+                    values.insert(name, v);
+                } else if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    values.insert(name, argv[i + 1].clone());
+                    i += 1;
+                } else {
+                    flags.push(name);
+                }
+            } else {
+                eprintln!("unexpected argument {a}\nusage: {usage}");
+                std::process::exit(2);
+            }
+            i += 1;
+        }
+        Args {
+            values,
+            flags,
+            usage: usage.to_string(),
+        }
+    }
+
+    /// The usage string (for help output).
+    pub fn usage(&self) -> &str {
+        &self.usage
+    }
+
+    /// A numeric value with default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.values.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{name}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    /// A comma-separated list of numbers, with default.
+    pub fn get_list<T: std::str::FromStr + Clone>(&self, name: &str, default: &[T]) -> Vec<T> {
+        match self.values.get(name) {
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("invalid list element in --{name}: {s}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string value.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}

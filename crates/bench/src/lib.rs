@@ -1,0 +1,26 @@
+//! # ttg-bench — figure-regeneration harness
+//!
+//! One binary per measured figure of the paper (see EXPERIMENTS.md for
+//! the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_atomics` | Fig. 1 — atomic-increment latency, contended vs thread-local |
+//! | `fig5_task_latency` | Fig. 5 — minimum task latency vs number of flows |
+//! | `fig6_scheduler` | Fig. 6 — LFQ vs LLP overhead and thread scaling |
+//! | `fig7_taskbench` | Figs. 7/8/10/11 — Task-Bench core-time and efficiency |
+//! | `fig9_ablation` | Fig. 9 — termdet + BRAVO contribution breakdown |
+//! | `fig12_mra` | Fig. 12 — MRA time-to-solution |
+//!
+//! Every binary prints a human-readable table plus machine-readable
+//! JSON (`--json`), and accepts `--threads`, sweep lists, and scale
+//! knobs so the full paper-sized runs are reproducible on a big box
+//! while CI-sized runs finish in seconds.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod report;
+
+pub use cli::Args;
+pub use report::{Report, Series};

@@ -1,0 +1,133 @@
+//! Result tables: the series a figure plots, printed as aligned text
+//! and optionally as JSON for downstream plotting.
+
+use serde::Serialize;
+
+/// One plotted series: a label plus (x, y) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (matches the paper's figure legends).
+    pub label: String,
+    /// (x, y) data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure's worth of series plus axis metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Which paper artifact this regenerates (e.g. "Figure 6a").
+    pub figure: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        figure: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Report {
+            figure: figure.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Prints the aligned text table (x down the rows, series across).
+    pub fn print_table(&self) {
+        println!("\n== {} ==", self.figure);
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        print!("{:>14}", self.x_label);
+        for s in &self.series {
+            print!("  {:>24}", truncate(&s.label, 24));
+        }
+        println!("   [{}]", self.y_label);
+        for x in xs {
+            print!("{x:>14.6}");
+            for s in &self.series {
+                match s
+                    .points
+                    .iter()
+                    .find(|p| (p.0 - x).abs() < 1e-9 * x.abs().max(1.0))
+                {
+                    Some(&(_, y)) => print!("  {y:>24.6}"),
+                    None => print!("  {:>24}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization")
+    }
+
+    /// Prints table, and JSON too when `json` is set.
+    pub fn emit(&self, json: bool) {
+        self.print_table();
+        if json {
+            println!("{}", self.to_json());
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_to_json() {
+        let mut r = Report::new("Figure X", "threads", "ns");
+        let mut s = Series::new("contended");
+        s.push(1.0, 5.0);
+        s.push(2.0, 50.0);
+        r.add(s);
+        let json = r.to_json();
+        assert!(json.contains("\"figure\": \"Figure X\""));
+        assert!(json.contains("contended"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["series"][0]["points"][1][1], 50.0);
+    }
+}

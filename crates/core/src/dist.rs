@@ -1,0 +1,148 @@
+//! Distributed template task graphs.
+//!
+//! "While TTG seamlessly scales from shared memory to hundreds of nodes,
+//! we will focus on management of tasks in shared memory in this work"
+//! (paper Section I) — this module supplies the other half. TTG programs
+//! run SPMD-style: every process builds the *same* template graph; a
+//! **keymap** assigns each task ID to an owning process; a send whose
+//! destination key lives elsewhere becomes an active message carrying
+//! the serialized `(key, datum)` to the owner, where the peer TT's input
+//! terminal delivers it locally. Global termination is the 4-counter
+//! wave of the underlying [`ttg_runtime::ProcessGroup`].
+//!
+//! # Usage
+//!
+//! Build the identical TT on a graph per rank (one graph per
+//! [`ttg_runtime::ProcessGroup`] member), declaring *remote-capable*
+//! inputs with [`crate::TtBuilder::input_remote`] (payloads must be
+//! `Serialize + DeserializeOwned`); then wire the per-rank instances
+//! together:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use ttg_core::{dist, Edge, Graph};
+//! use ttg_runtime::{ProcessGroup, RuntimeConfig};
+//!
+//! let group = Arc::new(ProcessGroup::new(2, |_| RuntimeConfig::optimized(1)));
+//! let sum = Arc::new(AtomicU64::new(0));
+//! let mut graphs = Vec::new(); // keep the per-rank graphs alive
+//! let tts: Vec<_> = (0..2)
+//!     .map(|rank| {
+//!         let graph = Graph::with_runtime(group.runtime_arc(rank));
+//!         let edge: Edge<u64, u64> = Edge::new("chain");
+//!         let sum = Arc::clone(&sum);
+//!         let tt = graph
+//!             .tt::<u64>("hop")
+//!             .input_remote::<u64>(&edge)
+//!             .output(&edge)
+//!             .build(move |k, i, o| {
+//!                 let v = i.take::<u64>(0);
+//!                 if *k < 10 {
+//!                     o.send(0, *k + 1, v + 1); // may cross ranks
+//!                 } else {
+//!                     sum.store(v, Ordering::Relaxed);
+//!                 }
+//!             });
+//!         graphs.push(graph);
+//!         tt
+//!     })
+//!     .collect();
+//! // Task k lives on rank k % 2: every hop crosses the "network".
+//! dist::link_distributed(&tts, |k: &u64| (*k % 2) as usize);
+//! tts[0].deliver(0, 0u64, 0u64);
+//! group.wait();
+//! assert_eq!(sum.load(Ordering::Relaxed), 10);
+//! ```
+
+use crate::tt::{Tt, TtInner};
+use crate::Key;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::sync::{Arc, Weak};
+use ttg_runtime::DataCopy;
+use ttg_sync::OrderingPolicy;
+
+/// Serialization hooks for one remote-capable input terminal (stored
+/// type-erased on the input declaration).
+pub(crate) struct SerdeHooks {
+    /// Serializes the (typed) payload of a tracked copy.
+    #[allow(clippy::type_complexity)]
+    pub(crate) to_bytes: Arc<dyn Fn(&DataCopy) -> Vec<u8> + Send + Sync>,
+    /// Reconstructs a tracked copy from bytes.
+    #[allow(clippy::type_complexity)]
+    pub(crate) from_bytes: Arc<dyn Fn(&[u8], OrderingPolicy) -> DataCopy + Send + Sync>,
+}
+
+pub(crate) fn make_hooks<V: Serialize + DeserializeOwned + Send + Sync + 'static>() -> SerdeHooks {
+    SerdeHooks {
+        to_bytes: Arc::new(|copy: &DataCopy| {
+            serde_json::to_vec(copy.get::<V>()).expect("serialize remote datum")
+        }),
+        from_bytes: Arc::new(|bytes: &[u8], policy: OrderingPolicy| {
+            let v: V = serde_json::from_slice(bytes).expect("deserialize remote datum");
+            DataCopy::new(v, policy)
+        }),
+    }
+}
+
+/// Per-TT distribution state, installed by [`link_distributed`].
+pub(crate) struct Route<K: Key> {
+    /// Which rank owns each key.
+    pub(crate) keymap: Arc<dyn Fn(&K) -> usize + Send + Sync>,
+    /// This instance's rank.
+    pub(crate) my_rank: usize,
+    /// The peer TT instances, indexed by rank (weak: the remote graphs
+    /// own them).
+    pub(crate) peers: Vec<Weak<TtInner<K>>>,
+    /// Key serialization.
+    #[allow(clippy::type_complexity)]
+    pub(crate) key_to_bytes: Arc<dyn Fn(&K) -> Vec<u8> + Send + Sync>,
+    #[allow(clippy::type_complexity)]
+    pub(crate) key_from_bytes: Arc<dyn Fn(&[u8]) -> K + Send + Sync>,
+}
+
+/// Wires the per-rank instances of one template task into a distributed
+/// TT: task `key` executes on rank `keymap(key)`; sends addressed to
+/// non-local keys travel as serialized active messages.
+///
+/// Requirements:
+/// * `tts[r]` must be built on the runtime of rank `r` of one
+///   [`ttg_runtime::ProcessGroup`] (same structure on every rank);
+/// * every input terminal that can receive cross-rank data must have
+///   been declared with [`crate::TtBuilder::input_remote`] /
+///   [`crate::TtBuilder::input_aggregator_remote`].
+///
+/// # Panics
+///
+/// Panics if the instances' ranks don't form 0..n, or if a TT was
+/// already linked.
+pub fn link_distributed<K>(tts: &[Tt<K>], keymap: impl Fn(&K) -> usize + Send + Sync + 'static)
+where
+    K: Key + Serialize + DeserializeOwned,
+{
+    let keymap: Arc<dyn Fn(&K) -> usize + Send + Sync> = Arc::new(keymap);
+    let peers: Vec<Weak<TtInner<K>>> = tts.iter().map(|t| Arc::downgrade(&t.inner)).collect();
+    for (rank, tt) in tts.iter().enumerate() {
+        assert_eq!(
+            tt.inner.runtime.rank(),
+            rank,
+            "link_distributed: instance {rank} is bound to runtime rank {}",
+            tt.inner.runtime.rank()
+        );
+        let route = Route {
+            keymap: Arc::clone(&keymap),
+            my_rank: rank,
+            peers: peers.clone(),
+            key_to_bytes: Arc::new(|k: &K| serde_json::to_vec(k).expect("serialize key")),
+            key_from_bytes: Arc::new(|b: &[u8]| {
+                serde_json::from_slice(b).expect("deserialize key")
+            }),
+        };
+        tt.inner
+            .route
+            .set(route)
+            .ok()
+            .expect("template task linked twice");
+    }
+}

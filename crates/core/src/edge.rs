@@ -1,0 +1,112 @@
+//! Typed edges connecting output terminals to input terminals.
+
+use crate::io::Dispatch;
+use crate::{Data, Key};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use ttg_runtime::DataCopy;
+
+/// A consumer registered on an edge (an input terminal of some TT).
+pub(crate) trait Consumer<K, V>: Send + Sync {
+    /// Delivers one datum for task `key` into the consumer's terminal.
+    fn deliver(&self, d: &mut Dispatch<'_, '_>, key: &K, copy: DataCopy);
+}
+
+pub(crate) struct EdgeInner<K, V> {
+    name: String,
+    /// Input terminals fed by this edge. Written during graph
+    /// construction, read-only afterwards (hence the read-mostly lock —
+    /// sends take the read side only).
+    consumers: RwLock<Vec<Arc<dyn Consumer<K, V>>>>,
+}
+
+impl<K: Key, V: Data> EdgeInner<K, V> {
+    /// Sends `copy` for `key` to every registered consumer. The copy is
+    /// retained once per *additional* consumer: a single consumer (the
+    /// common case) receives the sender's reference without touching the
+    /// refcount.
+    pub(crate) fn send(&self, d: &mut Dispatch<'_, '_>, key: &K, copy: DataCopy) {
+        let consumers = self.consumers.read();
+        match consumers.as_slice() {
+            [] => {
+                // No consumer: the datum is dropped (like sending into an
+                // unconnected terminal). Releasing the copy here keeps
+                // refcounts balanced.
+                drop(copy);
+            }
+            [only] => only.deliver(d, key, copy),
+            many => {
+                for c in &many[..many.len() - 1] {
+                    c.deliver(d, key, copy.clone());
+                }
+                many[many.len() - 1].deliver(d, key, copy);
+            }
+        }
+    }
+
+    pub(crate) fn register(&self, consumer: Arc<dyn Consumer<K, V>>) {
+        self.consumers.write().push(consumer);
+    }
+
+    /// Drops all consumer registrations (breaks Arc cycles at graph
+    /// teardown).
+    pub(crate) fn clear_consumers(&self) {
+        self.consumers.write().clear();
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn consumer_count(&self) -> usize {
+        self.consumers.read().len()
+    }
+}
+
+/// A typed edge of the template task graph.
+///
+/// `K` is the key type of the *consuming* TTs; `V` is the payload type.
+/// One edge may feed several input terminals (fan-out); data sent into it
+/// is delivered to all of them, sharing one tracked copy.
+pub struct Edge<K, V> {
+    pub(crate) inner: Arc<EdgeInner<K, V>>,
+}
+
+impl<K: Key, V: Data> Edge<K, V> {
+    /// Creates a new, unconnected edge.
+    pub fn new(name: impl Into<String>) -> Self {
+        Edge {
+            inner: Arc::new(EdgeInner {
+                name: name.into(),
+                consumers: RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The edge's diagnostic name.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Number of input terminals currently fed by this edge.
+    pub fn fan_out(&self) -> usize {
+        self.inner.consumer_count()
+    }
+}
+
+impl<K, V> Clone for Edge<K, V> {
+    fn clone(&self) -> Self {
+        Edge {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: Key, V: Data> std::fmt::Debug for Edge<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Edge")
+            .field("name", &self.name())
+            .field("fan_out", &self.fan_out())
+            .finish()
+    }
+}

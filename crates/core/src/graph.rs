@@ -1,0 +1,135 @@
+//! The graph object: owns the runtime binding and the built TTs.
+
+use crate::builder::TtBuilder;
+use crate::Key;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ttg_runtime::{Runtime, RuntimeConfig};
+
+/// Object-safe teardown hooks every TT provides.
+pub(crate) trait AnyTt: Send + Sync {
+    /// Disposes shells still waiting for inputs; returns the count.
+    fn drain_stale(&self) -> usize;
+    /// Number of shells currently waiting for inputs.
+    fn waiting(&self) -> usize;
+    /// Breaks edge→consumer→TT reference cycles.
+    fn clear_consumers(&self);
+    /// The TT's name (diagnostics).
+    fn tt_name(&self) -> &str;
+}
+
+impl<K: Key> AnyTt for crate::tt::TtInner<K> {
+    fn drain_stale(&self) -> usize {
+        self.drain_stale_shells()
+    }
+
+    fn waiting(&self) -> usize {
+        self.table.len()
+    }
+
+    fn clear_consumers(&self) {
+        self.clear_output_consumers();
+    }
+
+    fn tt_name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A template task graph bound to a runtime ("taskpool").
+///
+/// Dropping the graph waits for outstanding work, disposes any task
+/// shells whose inputs never arrived (incomplete graphs), and unwires the
+/// TTs from their edges.
+pub struct Graph {
+    runtime: Arc<Runtime>,
+    tts: Mutex<Vec<Arc<dyn AnyTt>>>,
+}
+
+impl Graph {
+    /// Creates a graph with its own runtime.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_runtime(Arc::new(Runtime::new(config)))
+    }
+
+    /// Creates a graph on an existing (possibly shared) runtime.
+    pub fn with_runtime(runtime: Arc<Runtime>) -> Self {
+        Graph {
+            runtime,
+            tts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Starts building a template task whose task IDs have type `K`.
+    pub fn tt<K: Key>(&self, name: impl Into<String>) -> TtBuilder<'_, K> {
+        TtBuilder::new(self, name.into())
+    }
+
+    /// Blocks until no runnable work remains anywhere in the runtime
+    /// (TTG's fence). Task shells still waiting for inputs do **not**
+    /// block completion — a graph whose data flow never satisfies them
+    /// is considered terminated once everything runnable has run.
+    pub fn wait(&self) {
+        self.runtime.wait();
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    pub(crate) fn runtime_arc(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    pub(crate) fn register(&self, tt: Arc<dyn AnyTt>) {
+        self.tts.lock().push(tt);
+    }
+
+    /// Number of template tasks built on this graph.
+    pub fn num_tts(&self) -> usize {
+        self.tts.lock().len()
+    }
+
+    /// Names of task templates that still hold unsatisfied shells
+    /// (diagnostics for incomplete graphs).
+    pub fn incomplete_tts(&self) -> Vec<String> {
+        self.tts
+            .lock()
+            .iter()
+            .filter(|tt| tt.waiting() > 0)
+            .map(|tt| tt.tt_name().to_string())
+            .collect()
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        // Quiesce: all runnable tasks execute; waiting shells stay put.
+        self.runtime.wait();
+        let tts = self.tts.lock();
+        for tt in tts.iter() {
+            let stale = tt.drain_stale();
+            if stale > 0 {
+                // Diagnostic, not an error: mirrors a data-flow graph
+                // whose unfolding stopped early.
+                eprintln!(
+                    "ttg: graph teardown dropped {stale} unsatisfied task(s) of '{}'",
+                    tt.tt_name()
+                );
+            }
+        }
+        for tt in tts.iter() {
+            tt.clear_consumers();
+        }
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("tts", &self.num_tts())
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}

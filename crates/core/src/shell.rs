@@ -1,0 +1,100 @@
+//! Task shells: the pooled objects representing discovered task
+//! instances.
+//!
+//! A shell is created when the first datum for a task ID arrives (or at
+//! `invoke`), accumulates inputs — in the TT's hash table if more than
+//! one delivery is needed — and becomes a runnable task once its
+//! satisfaction goal is reached. Shells embed the runtime's
+//! [`TaskHeader`] at offset 0 and are allocated from the TT's per-thread
+//! free-list pool (the N_OB = 2 of the cost model).
+
+use crate::tt::TtInner;
+use crate::{Key, MAX_INPUTS};
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+use ttg_runtime::{DataCopy, RawTask, TaskHeader, TaskVTable};
+use ttg_sync::CAtomicUsize;
+
+/// Storage for one input terminal of one task instance.
+#[derive(Debug, Default)]
+pub(crate) enum InputSlot {
+    /// Nothing delivered yet.
+    #[default]
+    Empty,
+    /// A single-datum terminal's value.
+    One(DataCopy),
+    /// An aggregator terminal's accumulated values (arrival order).
+    Many(Vec<DataCopy>),
+}
+
+impl InputSlot {
+    /// Number of data items this slot currently holds.
+    pub(crate) fn count(&self) -> usize {
+        match self {
+            InputSlot::Empty => 0,
+            InputSlot::One(_) => 1,
+            InputSlot::Many(v) => v.len(),
+        }
+    }
+}
+
+/// A discovered task instance. `#[repr(C)]`: the header must be first so
+/// shells can travel through the intrusive scheduler queues.
+#[repr(C)]
+pub(crate) struct Shell<K: Key> {
+    pub(crate) header: TaskHeader,
+    /// The owning template task. Shells never outlive their TT: the
+    /// graph's teardown waits for execution and drains stale shells.
+    pub(crate) tt: NonNull<TtInner<K>>,
+    pub(crate) key: K,
+    pub(crate) slots: [InputSlot; MAX_INPUTS],
+    /// Total number of data deliveries required before the task is
+    /// eligible (fixed inputs count 1 each; aggregators their per-key
+    /// count).
+    pub(crate) goal: usize,
+    /// Deliveries so far — the paper's "counter of available input data"
+    /// (one atomic increment per input, N_ID = 1).
+    pub(crate) satisfied: CAtomicUsize,
+}
+
+// SAFETY: shells move between threads through the scheduler; all fields
+// are Send. Sync is required by FreeListPool's storage, but shells are
+// only ever accessed by their current owner.
+unsafe impl<K: Key> Send for Shell<K> {}
+unsafe impl<K: Key> Sync for Shell<K> {}
+
+impl<K: Key> Shell<K> {
+    pub(crate) const VTABLE: TaskVTable = TaskVTable {
+        execute: Self::execute,
+        dispose: Self::dispose,
+        name: "tt-shell",
+    };
+
+    /// The erased task pointer for this shell.
+    pub(crate) fn raw_task(shell: NonNull<Shell<K>>) -> RawTask {
+        RawTask(shell.cast())
+    }
+
+    /// Records one delivery; true when the goal is now reached.
+    /// The caller must hold whatever lock serializes slot writes for this
+    /// shell (the table bucket lock, or exclusive ownership on the bypass
+    /// path).
+    pub(crate) fn add_satisfaction(&self, n: usize) -> bool {
+        self.satisfied.fetch_add(n, Ordering::AcqRel) + n == self.goal
+    }
+
+    unsafe fn execute(task: NonNull<TaskHeader>, ctx: &mut ttg_runtime::WorkerCtx<'_>) {
+        let shell_ptr = task.cast::<Shell<K>>();
+        // SAFETY: shells are created from live TTs; the graph keeps the
+        // TT alive until all tasks have run.
+        let tt: &TtInner<K> = unsafe { shell_ptr.as_ref().tt.as_ref() };
+        tt.execute_shell(shell_ptr, &mut crate::io::Dispatch::Worker(ctx));
+    }
+
+    unsafe fn dispose(task: NonNull<TaskHeader>) {
+        let shell_ptr = task.cast::<Shell<K>>();
+        // SAFETY: as above; dispose_shell reclaims without executing.
+        let tt: &TtInner<K> = unsafe { shell_ptr.as_ref().tt.as_ref() };
+        tt.dispose_shell(shell_ptr);
+    }
+}

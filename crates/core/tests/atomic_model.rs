@@ -1,0 +1,118 @@
+//! Validation of the paper's atomic-operation cost model (Equation 1):
+//!
+//! ```text
+//! N_A = (N_ID + N_RC + N_HB) × N_i + N_OB + N_S = 4·N_i + 4
+//! ```
+//!
+//! Run with `cargo test -p ttg-core --features count-atomics`.
+//!
+//! The workload is the paper's Section V-B chain: task k sends data on
+//! its N output terminals to the N input terminals of task k+1. With the
+//! *reuse* pattern (the body retains each input's tracked copy and
+//! forwards it, leaving the slot to release at task end) every one of the
+//! model's terms is exercised:
+//!
+//! * N_OB = 2 — pool alloc + free (one CAS each, after warm-up),
+//! * N_S  = 2 — scheduler push + pop (one CAS each under LLP),
+//! * per input: N_HB = 1 (bucket lock), N_ID = 1 (satisfaction
+//!   increment), N_RC = 2 (retain + release).
+//!
+//! With the *move* pattern (`take_copy` + `forward`) the final-owner
+//! optimization the paper mentions removes both refcount operations,
+//! so the count drops to 2·N_i + 4 — asserted as well.
+
+#![cfg(feature = "count-atomics")]
+
+use std::sync::Arc;
+use ttg_core::{Edge, Graph};
+use ttg_runtime::RuntimeConfig;
+use ttg_sync::{atomic_rmw_ops, reset_atomic_rmw_ops};
+
+const CHAIN: u64 = 20_000;
+
+/// Builds an N-flow chain TT; `reuse` selects retain/forward (reuse) vs
+/// take/forward (move).
+fn run_chain(n_flows: usize, reuse: bool) -> f64 {
+    let graph = Graph::new(RuntimeConfig::optimized(1));
+    let edges: Vec<Edge<u64, u64>> =
+        (0..n_flows).map(|i| Edge::new(format!("f{i}"))).collect();
+    let mut builder = graph.tt::<u64>("chain");
+    for e in &edges {
+        builder = builder.input::<u64>(e);
+    }
+    for e in &edges {
+        builder = builder.output(e);
+    }
+    let tt = Arc::new(builder.build(move |k, inputs, out| {
+        if *k >= CHAIN {
+            return;
+        }
+        for i in 0..inputs.len() {
+            if reuse {
+                let copy = inputs.clone_copy(i);
+                out.forward(0usize.max(i), *k + 1, copy);
+            } else {
+                let copy = inputs.take_copy(i);
+                out.forward(i, *k + 1, copy);
+            }
+        }
+    }));
+
+    let seed = |tt: &ttg_core::Tt<u64>| {
+        for i in 0..n_flows {
+            tt.deliver(i, 0u64, i as u64);
+        }
+    };
+
+    // Warm-up session: populate the memory pools so steady-state allocs
+    // hit the free lists (the configuration the model describes).
+    seed(&tt);
+    graph.wait();
+
+    reset_atomic_rmw_ops();
+    seed(&tt);
+    graph.wait();
+    let measured = atomic_rmw_ops();
+    measured as f64 / CHAIN as f64
+}
+
+#[test]
+fn equation_1_reuse_pattern_matches_4n_plus_4() {
+    for n in [2usize, 3, 4] {
+        let per_task = run_chain(n, true);
+        let model = (4 * n + 4) as f64;
+        let err = (per_task - model).abs() / model;
+        assert!(
+            err < 0.03,
+            "N_i={n}: measured {per_task:.3} atomics/task vs model {model} (err {:.1}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn move_optimization_eliminates_refcount_term() {
+    for n in [2usize, 3] {
+        let per_task = run_chain(n, false);
+        let model = (2 * n + 4) as f64;
+        let err = (per_task - model).abs() / model;
+        assert!(
+            err < 0.03,
+            "N_i={n} (move): measured {per_task:.3} atomics/task vs 2N+4={model} (err {:.1}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn single_flow_bypass_is_cheaper_than_model() {
+    // One flow: the hash table is bypassed (no N_HB, no N_ID), so the
+    // per-task count must come in strictly below 4·1+4.
+    let per_task = run_chain(1, true);
+    assert!(
+        per_task < 8.0,
+        "bypass path should beat the general model: {per_task:.3} >= 8"
+    );
+    // And it should still pay pool + scheduler + refcounts ≈ 6.
+    assert!(per_task > 5.0, "implausibly low count: {per_task:.3}");
+}

@@ -1,0 +1,96 @@
+//! Normalized Legendre scaling functions on [0, 1].
+//!
+//! φ_j(x) = √(2j+1) · P_j(2x − 1) for j = 0..k−1 form an orthonormal
+//! basis of the degree-(k−1) polynomials on the unit interval — the
+//! scaling-function half of Alpert's multiwavelet construction the
+//! MRA mini-app builds on.
+
+/// Evaluates φ_0..φ_{k−1} at `x` into `out` (length ≥ k).
+pub fn eval_scaling(k: usize, x: f64, out: &mut [f64]) {
+    debug_assert!(out.len() >= k);
+    let t = 2.0 * x - 1.0;
+    let mut p_prev = 1.0;
+    let mut p = t;
+    for j in 0..k {
+        let pj = match j {
+            0 => 1.0,
+            1 => t,
+            _ => {
+                let j_f = j as f64;
+                let p_next = ((2.0 * j_f - 1.0) * t * p - (j_f - 1.0) * p_prev) / j_f;
+                p_prev = p;
+                p = p_next;
+                p_next
+            }
+        };
+        out[j] = ((2 * j + 1) as f64).sqrt() * pj;
+    }
+}
+
+/// Convenience: φ values as a fresh vector.
+pub fn scaling_at(k: usize, x: f64) -> Vec<f64> {
+    let mut v = vec![0.0; k];
+    eval_scaling(k, x, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::GaussLegendre;
+
+    #[test]
+    fn orthonormal_under_gauss_legendre() {
+        const K: usize = 10;
+        let q = GaussLegendre::new(K + 2);
+        let mut gram = [[0.0f64; K]; K];
+        for (&x, &w) in q.points.iter().zip(&q.weights) {
+            let phi = scaling_at(K, x);
+            for i in 0..K {
+                for j in 0..K {
+                    gram[i][j] += w * phi[i] * phi[j];
+                }
+            }
+        }
+        for i in 0..K {
+            for j in 0..K {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram[i][j] - want).abs() < 1e-11,
+                    "gram[{i}][{j}] = {}",
+                    gram[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_orders_match_closed_forms() {
+        // φ0 = 1, φ1 = √3 (2x−1), φ2 = √5 (6x² − 6x + 1).
+        for &x in &[0.1, 0.5, 0.9] {
+            let phi = scaling_at(3, x);
+            assert!((phi[0] - 1.0).abs() < 1e-14);
+            assert!((phi[1] - 3f64.sqrt() * (2.0 * x - 1.0)).abs() < 1e-13);
+            assert!((phi[2] - 5f64.sqrt() * (6.0 * x * x - 6.0 * x + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spans_polynomials_exactly() {
+        // x² expanded in the basis and re-evaluated must round-trip.
+        const K: usize = 4;
+        let q = GaussLegendre::new(K + 1);
+        let mut coeffs = [0.0f64; K];
+        for (&x, &w) in q.points.iter().zip(&q.weights) {
+            let phi = scaling_at(K, x);
+            for j in 0..K {
+                coeffs[j] += w * x * x * phi[j];
+            }
+        }
+        for &x in &[0.0, 0.3, 0.77, 1.0] {
+            let phi = scaling_at(K, x);
+            let recon: f64 = (0..K).map(|j| coeffs[j] * phi[j]).sum();
+            assert!((recon - x * x).abs() < 1e-12, "at {x}: {recon}");
+        }
+    }
+}

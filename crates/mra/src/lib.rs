@@ -1,0 +1,64 @@
+//! # ttg-mra — multiresolution analysis of 3D Gaussians over TTG
+//!
+//! Reimplements the paper's MRA mini-app (Section V-E): "computes the
+//! order-10 multi-wavelet representation of 3D Gaussian functions …
+//! The computation comprises three steps: *projection* results in a 3D
+//! spatial data structure; *compression* flows data up the tree; and
+//! *reconstruction* flows data down the tree. Of those three steps, the
+//! projection step is the most costly part, each computing a GEMM on 20^3
+//! double precision matrices."
+//!
+//! ## Mathematical machinery (all built from scratch)
+//!
+//! * [`quadrature`] — Gauss–Legendre nodes/weights on [0, 1].
+//! * [`basis`] — normalized Legendre scaling functions
+//!   φ_j(x) = √(2j+1)·P_j(2x−1), j < k.
+//! * [`twoscale`] — the two-scale filter matrices H⁰, H¹ with
+//!   φ_j(x) = √2 Σ_i H^c_{ji} φ_i(2x−c); computed exactly by quadrature
+//!   and orthonormal by construction (verified in tests).
+//! * [`tensor`] — k³ coefficient tensors and the mode-wise matrix
+//!   transform (three GEMMs of shape k×k · k×k² — with k = 10 and the
+//!   2k = 20 gathered child tensors this is the paper's "GEMM on 20^…
+//!   matrices" kernel).
+//! * [`tree`] — the adaptive octree: projection with refinement control,
+//!   compression (filter children → parent + per-child residuals), and
+//!   reconstruction (unfilter + residual).
+//!
+//! **Substitution note (see DESIGN.md):** MADNESS stores wavelet
+//! (difference) coefficients in Alpert's multiwavelet basis. Here the
+//! difference information is stored as per-child *residual tensors*
+//! r_c = s_child − unfilter_c(s_parent), which span exactly the same
+//! complement space (the two-scale relation is orthonormal, so
+//! Σ‖s_child‖² = ‖s_parent‖² + Σ‖r_c‖², verified in tests) — the task
+//! graph shape and GEMM kernels are unchanged, only the basis of the
+//! stored residuals differs.
+//!
+//! ## The TTG pipeline
+//!
+//! [`ttg_pipeline::MraTtg`] runs Project → Compress → Reconstruct as
+//! three template tasks over keys `(function, box)`, with Compress
+//! aggregating exactly 8 child contributions per box (aggregator
+//! terminals) and Reconstruct broadcasting down the tree. A serial
+//! implementation ([`serial`]) provides the correctness oracle: the TTG
+//! pipeline must reproduce its leaf coefficients bit-for-bit-close.
+
+#![warn(missing_docs)]
+// Explicit index loops mirror the mathematical notation in tensor code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod basis;
+pub mod function;
+pub mod quadrature;
+pub mod serial;
+pub mod tensor;
+pub mod tree;
+pub mod ttg_pipeline;
+pub mod twoscale;
+
+pub use function::Gaussian3;
+pub use tensor::{Matrix, Tensor3};
+pub use tree::{BoxKey, MraParams};
+pub use ttg_pipeline::MraTtg;
+
+/// Default multiwavelet order (the paper's "order-10").
+pub const DEFAULT_K: usize = 10;

@@ -1,0 +1,131 @@
+//! Gauss–Legendre quadrature on [0, 1].
+//!
+//! Nodes are the roots of the Legendre polynomial P_n, found by Newton
+//! iteration from the Chebyshev initial guess; weights follow from the
+//! derivative. An n-point rule integrates polynomials of degree ≤ 2n−1
+//! exactly — the property the two-scale filter computation relies on.
+
+/// Evaluates (P_n(x), P_n'(x)) on [−1, 1] by the three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let mut p_prev = 1.0; // P_0
+    let mut p = x; // P_1
+    for m in 2..=n {
+        let m_f = m as f64;
+        let p_next = ((2.0 * m_f - 1.0) * x * p - (m_f - 1.0) * p_prev) / m_f;
+        p_prev = p;
+        p = p_next;
+    }
+    // P_n'(x) = n (x P_n − P_{n−1}) / (x² − 1)
+    let dp = if (x * x - 1.0).abs() < 1e-300 {
+        // At the endpoints: P_n'(±1) = ±n(n+1)/2 · (±1)^n … never needed
+        // for interior roots; guard anyway.
+        0.5 * (n * (n + 1)) as f64
+    } else {
+        (n as f64) * (x * p - p_prev) / (x * x - 1.0)
+    };
+    (p, dp)
+}
+
+/// An n-point Gauss–Legendre rule mapped to [0, 1].
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    /// Quadrature points in (0, 1).
+    pub points: Vec<f64>,
+    /// Matching weights (sum to 1).
+    pub weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Constructs the n-point rule.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "quadrature order must be positive");
+        let mut points = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        for i in 0..n {
+            // Chebyshev guess for the i-th root of P_n (descending in x).
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            for _ in 0..100 {
+                let (p, dp) = legendre_and_derivative(n, x);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let (_, dp) = legendre_and_derivative(n, x);
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            // Map [−1, 1] → [0, 1].
+            points[i] = 0.5 * (1.0 - x); // keep ascending order in [0,1]
+            weights[i] = 0.5 * w;
+        }
+        // Roots were generated in descending x ⇒ ascending after the map;
+        // sort defensively anyway.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| points[a].total_cmp(&points[b]));
+        let points = idx.iter().map(|&i| points[i]).collect();
+        let weights = idx.iter().map(|&i| weights[i]).collect();
+        GaussLegendre { points, weights }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True for the (unused) zero-point rule.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrates `f` over [0, 1].
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for n in [1, 2, 5, 10, 20] {
+            let q = GaussLegendre::new(n);
+            let s: f64 = q.weights.iter().sum();
+            assert!((s - 1.0).abs() < 1e-13, "n={n}: Σw = {s}");
+            assert!(q.points.iter().all(|&x| x > 0.0 && x < 1.0));
+            // Ascending, distinct.
+            assert!(q.points.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_degree_2n_minus_1() {
+        for n in [2usize, 4, 7, 12] {
+            let q = GaussLegendre::new(n);
+            for d in 0..2 * n {
+                let got = q.integrate(|x| x.powi(d as i32));
+                let want = 1.0 / (d as f64 + 1.0);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "n={n}, degree {d}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converges_on_smooth_non_polynomial() {
+        let q = GaussLegendre::new(20);
+        let got = q.integrate(|x| (4.0 * x).exp());
+        let want = ((4.0f64).exp() - 1.0) / 4.0;
+        assert!((got - want).abs() < 1e-12);
+    }
+}

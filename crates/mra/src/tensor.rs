@@ -1,0 +1,357 @@
+//! Small dense matrices and k³ coefficient tensors.
+//!
+//! The MRA kernels are mode-wise tensor transforms: applying a k×k
+//! matrix along each of the three dimensions of a k³ tensor — three
+//! GEMMs of shape (k×k)·(k×k²). With k = 10 and the 20-wide gathered
+//! child data this is the paper's "GEMM on 20^… double precision
+//! matrices" workload.
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Dense GEMM: `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for kk in 0..self.cols {
+                let a = self.get(r, kk);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(kk, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius distance to another matrix (diagnostics/tests).
+    pub fn distance(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A dense k×k×k tensor of f64 (index order `[i][j][m]`, i slowest).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor3 {
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Zero tensor of dimension k.
+    pub fn zeros(k: usize) -> Self {
+        Tensor3 {
+            k,
+            data: vec![0.0; k * k * k],
+        }
+    }
+
+    /// Dimension per mode.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Flat data view.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data view.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, m: usize) -> f64 {
+        self.data[(i * self.k + j) * self.k + m]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, m: usize, v: f64) {
+        self.data[(i * self.k + j) * self.k + m] = v;
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor3) {
+        assert_eq!(self.k, other.k);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Tensor3) {
+        assert_eq!(self.k, other.k);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= *b;
+        }
+    }
+
+    /// Scales all entries.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Applies `m` (r×k) along every mode: `out[a,b,c] = Σ m[a,i]
+    /// m[b,j] m[c,l] · self[i,j,l]`. Implemented as three GEMMs
+    /// with mode rotation, so each pass is a dense (r×k)·(k×k²) product —
+    /// the MRA hot kernel.
+    pub fn transform(&self, m: &Matrix) -> Tensor3 {
+        assert_eq!(m.cols(), self.k);
+        assert_eq!(m.rows(), self.k, "mode transform must preserve dimension");
+        let k = self.k;
+        let mut src = self.data.clone();
+        let mut dst = vec![0.0; k * k * k];
+        // Three passes; each contracts the *first* mode and rotates it to
+        // the back: out[j, m, a] = Σ_i M[a, i] src[i, j, m].
+        for _pass in 0..3 {
+            dst.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..k {
+                for a in 0..k {
+                    let w = m.get(a, i);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let src_plane = &src[i * k * k..(i + 1) * k * k];
+                    // dst index: ((j*k + m)*k + a) = (jm)*k + a
+                    for jm in 0..k * k {
+                        dst[jm * k + a] += w * src_plane[jm];
+                    }
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        Tensor3 { k, data: src }
+    }
+
+    /// Like [`Tensor3::transform`] but with a distinct matrix per mode:
+    /// `out[a,b,c] = Σ m0[a,i]·m1[b,j]·m2[c,l]·self[i,j,l]`. This is the
+    /// filter/unfilter kernel: the child-octant index selects H⁰ or H¹
+    /// per dimension.
+    pub fn transform3(&self, m0: &Matrix, m1: &Matrix, m2: &Matrix) -> Tensor3 {
+        let k = self.k;
+        for m in [m0, m1, m2] {
+            assert_eq!((m.rows(), m.cols()), (k, k));
+        }
+        let mut src = self.data.clone();
+        let mut dst = vec![0.0; k * k * k];
+        for m in [m0, m1, m2] {
+            dst.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..k {
+                for a in 0..k {
+                    let w = m.get(a, i);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let src_plane = &src[i * k * k..(i + 1) * k * k];
+                    for jm in 0..k * k {
+                        dst[jm * k + a] += w * src_plane[jm];
+                    }
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        Tensor3 { k, data: src }
+    }
+
+    /// Rank-3 separable expansion: `out[i,j,m] = a[i]·b[j]·c[m]`, used
+    /// to build test tensors.
+    pub fn outer(a: &[f64], b: &[f64], c: &[f64]) -> Tensor3 {
+        let k = a.len();
+        assert!(b.len() == k && c.len() == k);
+        let mut t = Tensor3::zeros(k);
+        for i in 0..k {
+            for j in 0..k {
+                for m in 0..k {
+                    t.set(i, j, m, a[i] * b[j] * c[m]);
+                }
+            }
+        }
+        t
+    }
+
+    /// Maximum absolute difference to another tensor.
+    pub fn max_abs_diff(&self, other: &Tensor3) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_transform(t: &Tensor3, m: &Matrix) -> Tensor3 {
+        let k = t.k();
+        let mut out = Tensor3::zeros(k);
+        for a in 0..k {
+            for b in 0..k {
+                for c in 0..k {
+                    let mut acc = 0.0;
+                    for i in 0..k {
+                        for j in 0..k {
+                            for l in 0..k {
+                                acc += m.get(a, i) * m.get(b, j) * m.get(c, l) * t.get(i, j, l);
+                            }
+                        }
+                    }
+                    out.set(a, b, c, acc);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64 + 1.0);
+        let c = a.matmul(&b);
+        // a = [[0,1,2],[3,4,5]], b = [[1,2],[3,4],[5,6]]
+        assert_eq!(c.get(0, 0), 13.0);
+        assert_eq!(c.get(0, 1), 16.0);
+        assert_eq!(c.get(1, 0), 40.0);
+        assert_eq!(c.get(1, 1), 52.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transform_matches_naive_contraction() {
+        let k = 4;
+        let m = Matrix::from_fn(k, k, |r, c| ((r + 1) as f64).sin() * ((c + 2) as f64).cos());
+        let mut t = Tensor3::zeros(k);
+        for (idx, v) in t.data_mut().iter_mut().enumerate() {
+            *v = (idx as f64 * 0.37).sin();
+        }
+        let fast = t.transform(&m);
+        let slow = naive_transform(&t, &m);
+        assert!(
+            fast.max_abs_diff(&slow) < 1e-12,
+            "transform deviates: {}",
+            fast.max_abs_diff(&slow)
+        );
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let k = 5;
+        let id = Matrix::from_fn(k, k, |r, c| if r == c { 1.0 } else { 0.0 });
+        let mut t = Tensor3::zeros(k);
+        for (idx, v) in t.data_mut().iter_mut().enumerate() {
+            *v = idx as f64;
+        }
+        assert!(t.transform(&id).max_abs_diff(&t) < 1e-14);
+    }
+
+    #[test]
+    fn orthogonal_transform_preserves_norm() {
+        // A rotation in the (0,1) plane extended to k dims.
+        let k = 6;
+        let (s, c) = (0.6f64, 0.8f64);
+        let m = Matrix::from_fn(k, k, |r, col| match (r, col) {
+            (0, 0) => c,
+            (0, 1) => -s,
+            (1, 0) => s,
+            (1, 1) => c,
+            (r, col) if r == col => 1.0,
+            _ => 0.0,
+        });
+        let mut t = Tensor3::zeros(k);
+        for (idx, v) in t.data_mut().iter_mut().enumerate() {
+            *v = ((idx * 13 % 97) as f64) / 97.0;
+        }
+        let out = t.transform(&m);
+        assert!((out.norm() - t.norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn outer_builds_separable_tensor() {
+        let t = Tensor3::outer(&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]);
+        assert_eq!(t.get(1, 0, 1), 2.0 * 3.0 * 6.0);
+        assert_eq!(t.get(0, 1, 0), 1.0 * 4.0 * 5.0);
+    }
+}

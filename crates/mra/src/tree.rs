@@ -1,0 +1,359 @@
+//! The adaptive octree and the level-local MRA operations.
+//!
+//! [`MraContext`] packages the order-k machinery (quadrature, basis
+//! evaluation matrix, two-scale filters) and provides the three
+//! primitive operations every driver (serial or TTG) composes:
+//!
+//! * [`MraContext::project_box`] — scaling coefficients of `f` on one box
+//!   by Gauss–Legendre quadrature (k³ function evaluations + a mode
+//!   transform: the "most costly part" per the paper);
+//! * [`MraContext::filter`] — eight children → parent coefficients
+//!   (two-scale GEMMs over the gathered 2k-per-dimension child data);
+//! * [`MraContext::unfilter_child`] — parent → one child's coefficients
+//!   (the reconstruction kernel).
+
+use crate::function::Gaussian3;
+use crate::quadrature::GaussLegendre;
+use crate::tensor::{Matrix, Tensor3};
+use crate::twoscale::TwoScale;
+
+/// A dyadic box of the octree: level `n` and translation `l ∈ [0, 2ⁿ)³`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct BoxKey {
+    /// Refinement level (0 = the whole domain).
+    pub n: u8,
+    /// Translations per dimension.
+    pub l: [u32; 3],
+}
+
+impl BoxKey {
+    /// The root box.
+    pub const ROOT: BoxKey = BoxKey { n: 0, l: [0, 0, 0] };
+
+    /// The 8 children, indexed by octant bits (z<<2 | y<<1 | x).
+    pub fn children(&self) -> [BoxKey; 8] {
+        std::array::from_fn(|c| {
+            let cx = (c & 1) as u32;
+            let cy = ((c >> 1) & 1) as u32;
+            let cz = ((c >> 2) & 1) as u32;
+            BoxKey {
+                n: self.n + 1,
+                l: [
+                    self.l[0] * 2 + cx,
+                    self.l[1] * 2 + cy,
+                    self.l[2] * 2 + cz,
+                ],
+            }
+        })
+    }
+
+    /// Parent box; `None` at the root.
+    pub fn parent(&self) -> Option<BoxKey> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(BoxKey {
+            n: self.n - 1,
+            l: [self.l[0] / 2, self.l[1] / 2, self.l[2] / 2],
+        })
+    }
+
+    /// Which octant of its parent this box occupies.
+    pub fn child_index(&self) -> usize {
+        ((self.l[2] & 1) << 2 | (self.l[1] & 1) << 1 | (self.l[0] & 1)) as usize
+    }
+
+    /// Lower corner and width of the box in unit-cube coordinates.
+    pub fn bounds(&self) -> ([f64; 3], f64) {
+        let w = 1.0 / (1u64 << self.n) as f64;
+        (
+            [
+                self.l[0] as f64 * w,
+                self.l[1] as f64 * w,
+                self.l[2] as f64 * w,
+            ],
+            w,
+        )
+    }
+}
+
+/// Parameters of one MRA computation.
+#[derive(Debug, Clone, Copy)]
+pub struct MraParams {
+    /// Multiwavelet order (the paper: 10).
+    pub k: usize,
+    /// Truncation threshold on the inter-level detail norm (the paper:
+    /// 10⁻⁸).
+    pub eps: f64,
+    /// Hard refinement limit.
+    pub max_level: u8,
+    /// Unconditional initial refinement: boxes shallower than this are
+    /// always split, so narrow features cannot hide between the coarse
+    /// quadrature points (MADNESS's `initial_level`, default 2).
+    pub initial_level: u8,
+    /// World-coordinate domain `[lo, hi]³` (the paper: [−6, 6]³).
+    pub domain: (f64, f64),
+}
+
+impl Default for MraParams {
+    fn default() -> Self {
+        MraParams {
+            k: crate::DEFAULT_K,
+            eps: 1e-8,
+            max_level: 20,
+            initial_level: 2,
+            domain: (-6.0, 6.0),
+        }
+    }
+}
+
+/// Precomputed order-k machinery shared by all boxes/functions.
+#[derive(Debug, Clone)]
+pub struct MraContext {
+    /// Parameters.
+    pub params: MraParams,
+    quad: GaussLegendre,
+    /// Φ[i][a] = w_a φ_i(x_a): quadrature-to-coefficients matrix.
+    quad_phi_w: Matrix,
+    twoscale: TwoScale,
+}
+
+impl MraContext {
+    /// Builds the machinery for `params`.
+    pub fn new(params: MraParams) -> Self {
+        let k = params.k;
+        let quad = GaussLegendre::new(k);
+        let mut quad_phi_w = Matrix::zeros(k, k);
+        for (a, (&x, &w)) in quad.points.iter().zip(&quad.weights).enumerate() {
+            let phi = crate::basis::scaling_at(k, x);
+            for (i, &p) in phi.iter().enumerate() {
+                quad_phi_w.set(i, a, w * p);
+            }
+        }
+        MraContext {
+            params,
+            quad,
+            quad_phi_w,
+            twoscale: TwoScale::new(k),
+        }
+    }
+
+    /// The two-scale filters.
+    pub fn twoscale(&self) -> &TwoScale {
+        &self.twoscale
+    }
+
+    /// Maps a unit-cube coordinate to world coordinates.
+    #[inline]
+    pub fn to_world(&self, u: f64) -> f64 {
+        let (lo, hi) = self.params.domain;
+        lo + (hi - lo) * u
+    }
+
+    /// Projects `f` onto the scaling basis of `key`: `s[i,j,m] =
+    /// 2^(−3n/2) Σ w³ f(x) φ_i φ_j φ_m`. Exactly k³ function
+    /// evaluations plus one mode transform (three k×k · k×k² GEMMs).
+    pub fn project_box(&self, f: &Gaussian3, key: &BoxKey) -> Tensor3 {
+        let k = self.params.k;
+        let (lo, w) = key.bounds();
+        let mut values = Tensor3::zeros(k);
+        // World coordinates of the quadrature grid on this box.
+        let coords: Vec<f64> = self.quad.points.iter().map(|&p| p * w).collect();
+        for a in 0..k {
+            let x = self.to_world(lo[0] + coords[a]);
+            for b in 0..k {
+                let y = self.to_world(lo[1] + coords[b]);
+                for c in 0..k {
+                    let z = self.to_world(lo[2] + coords[c]);
+                    values.set(a, b, c, f.eval(x, y, z));
+                }
+            }
+        }
+        let mut s = values.transform(&self.quad_phi_w);
+        s.scale(2f64.powi(-3 * key.n as i32) .sqrt());
+        s
+    }
+
+    /// Gathers 8 children into the parent's scaling coefficients:
+    /// `s_parent = Σ_c (H^cx ⊗ H^cy ⊗ H^cz) s_child[c]`.
+    pub fn filter(&self, children: &[Tensor3; 8]) -> Tensor3 {
+        let mut s = Tensor3::zeros(self.params.k);
+        for (c, child) in children.iter().enumerate() {
+            let hx = self.twoscale.h(c & 1);
+            let hy = self.twoscale.h((c >> 1) & 1);
+            let hz = self.twoscale.h((c >> 2) & 1);
+            s.add_assign(&child.transform3(hx, hy, hz));
+        }
+        s
+    }
+
+    /// Child `c`'s share of a parent's coefficients:
+    /// s_child = (H^{cx} ⊗ H^{cy} ⊗ H^{cz})ᵀ s_parent.
+    pub fn unfilter_child(&self, parent: &Tensor3, c: usize) -> Tensor3 {
+        let hx = self.twoscale.h(c & 1).transpose();
+        let hy = self.twoscale.h((c >> 1) & 1).transpose();
+        let hz = self.twoscale.h((c >> 2) & 1).transpose();
+        parent.transform3(&hx, &hy, &hz)
+    }
+
+    /// Inter-level detail norm: ‖d‖ = √(Σ‖s_child‖² − ‖s_parent‖²) —
+    /// exact because the two-scale relation is orthonormal. The
+    /// refinement criterion of projection.
+    pub fn detail_norm(&self, children: &[Tensor3; 8], parent: &Tensor3) -> f64 {
+        let child_sq: f64 = children.iter().map(Tensor3::norm_sq).sum();
+        (child_sq - parent.norm_sq()).max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(k: usize) -> MraContext {
+        MraContext::new(MraParams {
+            k,
+            eps: 1e-6,
+            max_level: 10,
+            initial_level: 0,
+            domain: (0.0, 1.0),
+        })
+    }
+
+    #[test]
+    fn box_key_geometry() {
+        let root = BoxKey::ROOT;
+        let kids = root.children();
+        assert_eq!(kids[0].l, [0, 0, 0]);
+        assert_eq!(kids[1].l, [1, 0, 0]);
+        assert_eq!(kids[6].l, [0, 1, 1]);
+        for (c, kid) in kids.iter().enumerate() {
+            assert_eq!(kid.parent(), Some(root));
+            assert_eq!(kid.child_index(), c);
+        }
+        let (lo, w) = kids[7].bounds();
+        assert_eq!(lo, [0.5, 0.5, 0.5]);
+        assert_eq!(w, 0.5);
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn filter_of_children_projections_matches_parent_projection() {
+        // For a function exactly representable at the parent level (a
+        // Gaussian is not, but smooth enough at coarse eps), filter of
+        // the children's projections ≈ the parent's direct projection.
+        let ctx = ctx(8);
+        let g = Gaussian3::new([0.45, 0.55, 0.5], 6.0);
+        let parent_direct = ctx.project_box(&g, &BoxKey::ROOT);
+        let children: [Tensor3; 8] =
+            std::array::from_fn(|c| ctx.project_box(&g, &BoxKey::ROOT.children()[c]));
+        let parent_filtered = ctx.filter(&children);
+        let diff = parent_direct.max_abs_diff(&parent_filtered);
+        assert!(diff < 1e-4, "filter/projection mismatch: {diff}");
+    }
+
+    #[test]
+    fn unfilter_inverts_filter_for_consistent_children() {
+        // Take any parent tensor; unfilter to children; filtering those
+        // children must reproduce the parent exactly (orthonormality).
+        let ctx = ctx(6);
+        let mut parent = Tensor3::zeros(6);
+        for (i, v) in parent.data_mut().iter_mut().enumerate() {
+            *v = ((i * 31 % 17) as f64) / 17.0 - 0.5;
+        }
+        let children: [Tensor3; 8] = std::array::from_fn(|c| ctx.unfilter_child(&parent, c));
+        let roundtrip = ctx.filter(&children);
+        assert!(
+            roundtrip.max_abs_diff(&parent) < 1e-12,
+            "filter∘unfilter ≠ id: {}",
+            roundtrip.max_abs_diff(&parent)
+        );
+        // And the detail norm of a pure-coarse configuration is ~0.
+        assert!(ctx.detail_norm(&children, &roundtrip) < 1e-6);
+    }
+
+    #[test]
+    fn projection_of_polynomial_is_exact_and_detail_free() {
+        // f(x,y,z) = x·y·z is degree (1,1,1): exactly representable at
+        // any level with k ≥ 2 — so the detail norm must vanish. Use a
+        // Gaussian in the flat limit? No: construct via closure is not
+        // possible with Gaussian3; instead use a very flat Gaussian and
+        // loose bound.
+        let ctx = ctx(10);
+        let g = Gaussian3::new([0.5; 3], 0.01); // nearly constant on [0,1]³
+        let children: [Tensor3; 8] =
+            std::array::from_fn(|c| ctx.project_box(&g, &BoxKey::ROOT.children()[c]));
+        let parent = ctx.filter(&children);
+        let d = ctx.detail_norm(&children, &parent);
+        assert!(d < 1e-7, "flat function has detail {d}");
+    }
+
+    #[test]
+    fn norm_telescopes_across_levels() {
+        // Σ‖child‖² = ‖parent‖² + ‖d‖² with the residual definition.
+        let ctx = ctx(6);
+        let g = Gaussian3::new([0.3, 0.6, 0.5], 25.0);
+        let children: [Tensor3; 8] =
+            std::array::from_fn(|c| ctx.project_box(&g, &BoxKey::ROOT.children()[c]));
+        let parent = ctx.filter(&children);
+        let mut resid_sq = 0.0;
+        for (c, child) in children.iter().enumerate() {
+            let mut r = child.clone();
+            r.sub_assign(&ctx.unfilter_child(&parent, c));
+            resid_sq += r.norm_sq();
+        }
+        let lhs: f64 = children.iter().map(Tensor3::norm_sq).sum();
+        let rhs = parent.norm_sq() + resid_sq;
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * lhs.max(1.0),
+            "telescoping failed: {lhs} vs {rhs}"
+        );
+        // detail_norm agrees with the residual norm.
+        let d = ctx.detail_norm(&children, &parent);
+        assert!((d * d - resid_sq).abs() < 1e-10 * resid_sq.max(1e-30));
+    }
+
+    #[test]
+    fn projection_converges_with_depth() {
+        // The L2 norm captured by one refinement level increases toward
+        // ‖f‖ (=1 for normalized Gaussians over an enclosing domain).
+        let ctx = MraContext::new(MraParams {
+            k: 10,
+            eps: 1e-6,
+            max_level: 10,
+            initial_level: 0,
+            domain: (-3.0, 3.0),
+        });
+        let g = Gaussian3::new([0.1, -0.2, 0.3], 8.0);
+        // Level-n norm²: sum over all boxes at level n. Volume scaling:
+        // coefficients are w.r.t. the unit cube, so ‖f‖² in coefficient
+        // space is ‖f‖²_world / V with V = 6³.
+        let vol = 6f64.powi(3);
+        let mut norms = Vec::new();
+        for n in [1u8, 2, 3] {
+            let mut total = 0.0;
+            let side = 1u32 << n;
+            for x in 0..side {
+                for y in 0..side {
+                    for z in 0..side {
+                        let key = BoxKey { n, l: [x, y, z] };
+                        total += ctx.project_box(&g, &key).norm_sq();
+                    }
+                }
+            }
+            norms.push(total * vol);
+        }
+        // Monotone capture (up to quadrature error at coarse levels,
+        // which can overshoot slightly).
+        assert!(
+            norms[0] <= norms[1] + 1e-4 && norms[1] <= norms[2] + 1e-4,
+            "norms not increasing: {norms:?}"
+        );
+        assert!(
+            (norms[2] - 1.0).abs() < 0.05,
+            "level-3 norm² = {} (want ≈ 1)",
+            norms[2]
+        );
+    }
+}

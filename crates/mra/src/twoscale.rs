@@ -1,0 +1,140 @@
+//! Two-scale relations for the Legendre scaling functions.
+//!
+//! A scaling function at level n is an exact linear combination of the
+//! scaling functions of its two half-interval children:
+//!
+//! ```text
+//! φ_j(x) = √2 · Σ_i H⁰_{ji} φ_i(2x)     for x ∈ [0, ½)
+//! φ_j(x) = √2 · Σ_i H¹_{ji} φ_i(2x−1)   for x ∈ [½, 1)
+//! ```
+//!
+//! with `H^c_{ji} = (1/√2) ∫₀¹ φ_j((u+c)/2) φ_i(u) du`, computed exactly
+//! by Gauss–Legendre quadrature (all integrands are polynomials of
+//! degree ≤ 2k−2). The stacked matrix [H⁰ | H¹] has orthonormal rows —
+//! `H⁰H⁰ᵀ + H¹H¹ᵀ = I` — which is what makes compression norms
+//! telescoping (Σ‖child‖² = ‖parent‖² + ‖residual‖²).
+
+use crate::basis::scaling_at;
+use crate::quadrature::GaussLegendre;
+use crate::tensor::Matrix;
+
+/// The pair (H⁰, H¹) of k×k filter matrices.
+#[derive(Debug, Clone)]
+pub struct TwoScale {
+    k: usize,
+    h: [Matrix; 2],
+}
+
+impl TwoScale {
+    /// Computes the filters for order `k`.
+    pub fn new(k: usize) -> Self {
+        let q = GaussLegendre::new(k + 1);
+        let mut h = [Matrix::zeros(k, k), Matrix::zeros(k, k)];
+        for c in 0..2 {
+            for (&u, &w) in q.points.iter().zip(&q.weights) {
+                let child = scaling_at(k, u);
+                let parent = scaling_at(k, (u + c as f64) / 2.0);
+                for j in 0..k {
+                    for i in 0..k {
+                        let v = h[c].get(j, i)
+                            + w * parent[j] * child[i] / std::f64::consts::SQRT_2;
+                        h[c].set(j, i, v);
+                    }
+                }
+            }
+        }
+        TwoScale { k, h }
+    }
+
+    /// Order.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The filter for child `c` (0 = left/low half, 1 = right/high half).
+    pub fn h(&self, c: usize) -> &Matrix {
+        &self.h[c]
+    }
+
+    /// Checks ‖H⁰H⁰ᵀ + H¹H¹ᵀ − I‖_F (should be ~1e-13).
+    pub fn orthonormality_defect(&self) -> f64 {
+        let mut sum = self.h[0].matmul(&self.h[0].transpose());
+        let second = self.h[1].matmul(&self.h[1].transpose());
+        for r in 0..self.k {
+            for c in 0..self.k {
+                let eye = if r == c { 1.0 } else { 0.0 };
+                sum.set(r, c, sum.get(r, c) + second.get(r, c) - eye);
+            }
+        }
+        sum.distance(&Matrix::zeros(self.k, self.k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstructs_parent_values_on_left_child() {
+        const K: usize = 8;
+        let ts = TwoScale::new(K);
+        // At x in [0, ½): φ_j(x) = √2 Σ_i H⁰[j][i] φ_i(2x).
+        for &x in &[0.05, 0.2, 0.45] {
+            let parent = scaling_at(K, x);
+            let child = scaling_at(K, 2.0 * x);
+            for j in 0..K {
+                let recon: f64 = (0..K)
+                    .map(|i| ts.h(0).get(j, i) * child[i])
+                    .sum::<f64>()
+                    * std::f64::consts::SQRT_2;
+                assert!(
+                    (recon - parent[j]).abs() < 1e-10,
+                    "j={j}, x={x}: {recon} vs {}",
+                    parent[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_parent_values_on_right_child() {
+        const K: usize = 8;
+        let ts = TwoScale::new(K);
+        for &x in &[0.55, 0.7, 0.95] {
+            let parent = scaling_at(K, x);
+            let child = scaling_at(K, 2.0 * x - 1.0);
+            for j in 0..K {
+                let recon: f64 = (0..K)
+                    .map(|i| ts.h(1).get(j, i) * child[i])
+                    .sum::<f64>()
+                    * std::f64::consts::SQRT_2;
+                assert!((recon - parent[j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_orthonormal_across_the_pair() {
+        for k in [4usize, 10] {
+            let ts = TwoScale::new(k);
+            // Σ_c H^c (H^c)ᵀ = I.
+            let mut sum = ts.h(0).matmul(&ts.h(0).transpose());
+            let snd = ts.h(1).matmul(&ts.h(1).transpose());
+            for r in 0..k {
+                for c in 0..k {
+                    sum.set(r, c, sum.get(r, c) + snd.get(r, c));
+                }
+            }
+            for r in 0..k {
+                for c in 0..k {
+                    let want = if r == c { 1.0 } else { 0.0 };
+                    assert!(
+                        (sum.get(r, c) - want).abs() < 1e-12,
+                        "k={k}: ΣHHᵀ[{r}][{c}] = {}",
+                        sum.get(r, c)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulated multi-process execution.
+//!
+//! The paper's evaluation is shared-memory, but TTG's defining property
+//! is that the same program "seamlessly scales from a single node to
+//! distributed execution" via PaRSEC's communication infrastructure
+//! (active messages) and the 4-counter wave termination detection.
+//!
+//! [`ProcessGroup`] reproduces that structure in one address space: P
+//! runtimes ("processes"), each with its own scheduler, termination
+//! counters, and worker pool, exchanging **active messages** over
+//! channels. A message is counted at the sender (`message_sent`), sits
+//! in flight in the destination's inbox, and is counted at the receiver
+//! (`message_received`) when an idle worker drains it — so the wave
+//! algorithm runs against genuine in-flight traffic.
+
+use crate::runtime::{Inner, Runtime, RuntimeConfig};
+use crate::worker::WorkerCtx;
+use std::sync::{Arc, Weak};
+use ttg_sched::Priority;
+use ttg_termdet::WaveBoard;
+
+/// An active message: a job executed as a task on the destination.
+pub(crate) struct RemoteMsg {
+    pub(crate) priority: Priority,
+    pub(crate) job: Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>,
+}
+
+/// Routes an active message from `src` to rank `dst`.
+pub(crate) fn send_remote_from(
+    src: &Inner,
+    dst: usize,
+    priority: Priority,
+    job: Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>,
+) {
+    let peers = src
+        .peers
+        .get()
+        .expect("send_remote requires ProcessGroup membership");
+    if dst == src.rank {
+        // Local "message": execute as an ordinary injected task; the wave
+        // only counts *inter*-process messages.
+        src.term.task_discovered(None);
+        src.inject(crate::task::ClosureTask::allocate(priority, job));
+        return;
+    }
+    let peer = peers[dst]
+        .upgrade()
+        .expect("destination process already shut down");
+    // A latched (terminated) wave means this send opens a new session.
+    src.maybe_new_session();
+    // Count the send *before* the message becomes receivable.
+    src.term.message_sent();
+    peer.inbox_tx
+        .send(RemoteMsg { priority, job })
+        .expect("peer inbox closed");
+    peer.wake_sleepers();
+}
+
+/// A set of in-process "processes" sharing one termination wave.
+///
+/// # Examples
+///
+/// ```
+/// use ttg_runtime::{ProcessGroup, RuntimeConfig};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let group = ProcessGroup::new(3, |_rank| RuntimeConfig::optimized(1));
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let h = Arc::clone(&hits);
+/// // Rank 0 sends an active message to rank 2.
+/// group.runtime(0).send_remote(2, 0, move |ctx| {
+///     assert_eq!(ctx.rank(), 2);
+///     h.fetch_add(1, Ordering::Relaxed);
+/// });
+/// group.wait();
+/// assert_eq!(hits.load(Ordering::Relaxed), 1);
+/// ```
+pub struct ProcessGroup {
+    procs: Vec<Arc<Runtime>>,
+    wave: Arc<WaveBoard>,
+}
+
+impl ProcessGroup {
+    /// Spawns `nprocs` runtimes configured by `config_for(rank)`.
+    pub fn new(nprocs: usize, config_for: impl Fn(usize) -> RuntimeConfig) -> Self {
+        let nprocs = nprocs.max(1);
+        let wave = Arc::new(WaveBoard::new(nprocs));
+        let procs: Vec<Arc<Runtime>> = (0..nprocs)
+            .map(|rank| {
+                Arc::new(Runtime::with_wave(
+                    config_for(rank),
+                    Arc::clone(&wave),
+                    rank,
+                    false,
+                ))
+            })
+            .collect();
+        let weak: Vec<Weak<Inner>> = procs.iter().map(|r| Arc::downgrade(r.inner())).collect();
+        for r in &procs {
+            r.inner()
+                .peers
+                .set(weak.clone()).expect("peers set twice");
+        }
+        ProcessGroup { procs, wave }
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Access to the runtime of `rank`.
+    pub fn runtime(&self, rank: usize) -> &Runtime {
+        &self.procs[rank]
+    }
+
+    /// Shared handle to the runtime of `rank` (e.g. for binding TTG
+    /// graphs to group members).
+    pub fn runtime_arc(&self, rank: usize) -> Arc<Runtime> {
+        Arc::clone(&self.procs[rank])
+    }
+
+    /// Blocks until *global* termination: all tasks on all processes
+    /// executed and no message in flight. Resets the wave for reuse.
+    pub fn wait(&self) {
+        for r in &self.procs {
+            r.wait();
+        }
+        self.wave.reset();
+    }
+}
+
+impl std::fmt::Debug for ProcessGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessGroup")
+            .field("nprocs", &self.procs.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,247 @@
+//! Reference-counted, type-erased data copies.
+//!
+//! PaRSEC tracks the lifetime of every datum flowing through the graph
+//! with a reference-counted *copy* object; the TTG backend's "data copy
+//! tracking and zero-copy data transfers" (Section II) and the cost
+//! model's N_RC = 2 (retain + release per reused input, Section IV-E)
+//! both live here.
+//!
+//! [`DataCopy`] is essentially a hand-rolled `Arc<dyn Any>`, written out
+//! explicitly so that (a) the refcount operations go through the counted
+//! atomics validating Equation (1), (b) the *move optimization* is
+//! expressible: "certain optimizations are applied if the current task is
+//! the final owner and the copy is either released or ownership is moved
+//! to a single successor" — [`DataCopy::try_take`] moves the value out
+//! without any new allocation when the count is 1, and (c) the ordering
+//! policy of Section IV-A applies to the retain side.
+
+use std::any::Any;
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+use ttg_sync::{CAtomicUsize, OrderingPolicy};
+
+struct CopyInner {
+    refs: CAtomicUsize,
+    value: Option<Box<dyn Any + Send + Sync>>,
+}
+
+/// A shared handle to one tracked datum.
+///
+/// Cloning retains (one counted atomic RMW); dropping releases (one
+/// counted atomic RMW, with an acquire/release pairing on the final
+/// decrement so the destructor observes all writes).
+pub struct DataCopy {
+    inner: NonNull<CopyInner>,
+    policy: OrderingPolicy,
+}
+
+// SAFETY: the payload is `Send + Sync`; the refcount mediates ownership.
+unsafe impl Send for DataCopy {}
+unsafe impl Sync for DataCopy {}
+
+impl DataCopy {
+    /// Creates a copy holding `value` with refcount 1. This is the "new
+    /// copy" path of the cost model — it performs a heap allocation.
+    pub fn new<T: Send + Sync + 'static>(value: T, policy: OrderingPolicy) -> Self {
+        let inner = Box::new(CopyInner {
+            refs: CAtomicUsize::new(1),
+            value: Some(Box::new(value)),
+        });
+        DataCopy {
+            // SAFETY: Box::into_raw is non-null.
+            inner: unsafe { NonNull::new_unchecked(Box::into_raw(inner)) },
+            policy,
+        }
+    }
+
+    /// Current reference count (racy unless the caller holds the only
+    /// handle).
+    pub fn ref_count(&self) -> usize {
+        // SAFETY: inner is live while any handle exists.
+        unsafe { self.inner.as_ref() }.refs.load(Ordering::Relaxed)
+    }
+
+    /// True if this is the only handle (the precondition for mutation and
+    /// for the move optimization).
+    pub fn is_unique(&self) -> bool {
+        self.ref_count() == 1
+    }
+
+    /// Borrows the value, panicking on a type mismatch (a mismatch is a
+    /// graph-construction bug, akin to connecting terminals of different
+    /// types in C++ TTG).
+    pub fn get<T: 'static>(&self) -> &T {
+        // SAFETY: inner live; value present except transiently in
+        // try_take, which consumes the handle.
+        unsafe { self.inner.as_ref() }
+            .value
+            .as_ref()
+            .expect("copy value taken")
+            .downcast_ref::<T>()
+            .expect("data copy type mismatch")
+    }
+
+    /// Mutably borrows the value when this is the only handle.
+    pub fn get_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        if !self.is_unique() {
+            return None;
+        }
+        // SAFETY: unique handle ⇒ exclusive access.
+        unsafe { self.inner.as_mut() }
+            .value
+            .as_mut()
+            .expect("copy value taken")
+            .downcast_mut::<T>()
+    }
+
+    /// The move optimization: if this handle is unique, moves the value
+    /// out (no clone, no allocation) and frees the copy object.
+    /// Otherwise returns the handle unchanged.
+    pub fn try_take<T: Send + Sync + 'static>(self) -> Result<T, DataCopy> {
+        if !self.is_unique() {
+            return Err(self);
+        }
+        // SAFETY: unique ⇒ we free the inner box; suppress the normal
+        // Drop (which would decrement again).
+        let inner = unsafe { Box::from_raw(self.inner.as_ptr()) };
+        std::mem::forget(self);
+        let boxed = inner.value.expect("copy value taken");
+        Ok(*boxed.downcast::<T>().expect("data copy type mismatch"))
+    }
+
+    /// Clones the *value* into a fresh copy object (the "new copy is
+    /// created" path, used when two tasks may mutate the same datum).
+    pub fn deep_clone<T: Clone + Send + Sync + 'static>(&self) -> DataCopy {
+        DataCopy::new(self.get::<T>().clone(), self.policy)
+    }
+}
+
+impl Clone for DataCopy {
+    /// Retain: one counted atomic RMW (N_RC's first half).
+    fn clone(&self) -> Self {
+        // SAFETY: inner live.
+        unsafe { self.inner.as_ref() }.refs.fetch_add(1, self.policy.rmw());
+        DataCopy {
+            inner: self.inner,
+            policy: self.policy,
+        }
+    }
+}
+
+impl Drop for DataCopy {
+    /// Release: one counted atomic RMW; the final release frees.
+    fn drop(&mut self) {
+        // SAFETY: inner live until the final release.
+        let prev = unsafe { self.inner.as_ref() }
+            .refs
+            .fetch_sub(1, self.policy.rmw_acqrel());
+        if prev == 1 {
+            // SAFETY: last handle; reclaim.
+            drop(unsafe { Box::from_raw(self.inner.as_ptr()) });
+        }
+    }
+}
+
+impl std::fmt::Debug for DataCopy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataCopy")
+            .field("refs", &self.ref_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn retain_release_lifecycle() {
+        let c = DataCopy::new(41u64, OrderingPolicy::Relaxed);
+        assert!(c.is_unique());
+        let c2 = c.clone();
+        assert_eq!(c.ref_count(), 2);
+        assert_eq!(*c.get::<u64>(), 41);
+        assert_eq!(*c2.get::<u64>(), 41);
+        drop(c);
+        assert!(c2.is_unique());
+    }
+
+    #[test]
+    fn drop_runs_destructor_exactly_once() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = DataCopy::new(Probe(Arc::clone(&drops)), OrderingPolicy::Relaxed);
+        let c2 = c.clone();
+        drop(c);
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+        drop(c2);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn move_optimization_takes_without_clone() {
+        let c = DataCopy::new(String::from("move me"), OrderingPolicy::Relaxed);
+        let s = c.try_take::<String>().expect("unique");
+        assert_eq!(s, "move me");
+    }
+
+    #[test]
+    fn try_take_fails_when_shared() {
+        let c = DataCopy::new(7u32, OrderingPolicy::Relaxed);
+        let c2 = c.clone();
+        let c = c.try_take::<u32>().expect_err("shared copy must not move");
+        assert_eq!(c.ref_count(), 2);
+        drop(c);
+        assert_eq!(*c2.get::<u32>(), 7);
+    }
+
+    #[test]
+    fn get_mut_requires_uniqueness() {
+        let mut c = DataCopy::new(1i64, OrderingPolicy::Relaxed);
+        *c.get_mut::<i64>().unwrap() = 2;
+        let c2 = c.clone();
+        assert!(c.get_mut::<i64>().is_none());
+        drop(c2);
+        assert_eq!(*c.get_mut::<i64>().unwrap(), 2);
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let mut a = DataCopy::new(vec![1, 2], OrderingPolicy::Relaxed);
+        let b = a.deep_clone::<Vec<i32>>();
+        a.get_mut::<Vec<i32>>().unwrap().push(3);
+        assert_eq!(a.get::<Vec<i32>>(), &[1, 2, 3]);
+        assert_eq!(b.get::<Vec<i32>>(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let c = DataCopy::new(1u8, OrderingPolicy::Relaxed);
+        let _ = c.get::<u16>();
+    }
+
+    #[test]
+    fn concurrent_clone_drop_stress() {
+        let c = DataCopy::new(0usize, OrderingPolicy::Relaxed);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let local = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let x = local.clone();
+                        assert_eq!(*x.get::<usize>(), 0);
+                    }
+                });
+            }
+        });
+        assert!(c.is_unique());
+    }
+}

@@ -1,0 +1,382 @@
+//! The [`Runtime`] handle and its configuration.
+
+use crate::comm::RemoteMsg;
+use crate::stats::{self, WorkerStatsCell};
+use crate::task::{ClosureTask, RawTask};
+use crate::worker::{self, WorkerCtx};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use ttg_hashtable::LockKind;
+use ttg_sched::{Priority, SchedKind, TaskQueue};
+use ttg_sync::{CachePadded, OrderingPolicy};
+use ttg_termdet::{LocalTermination, TermDetKind, WaveBoard};
+
+/// Configuration of one runtime instance ("process").
+///
+/// [`RuntimeConfig::original`] reproduces the pre-paper PaRSEC behaviour
+/// (LFQ scheduler, process-wide atomic termination counters, plain RW
+/// lock on hash tables, sequentially consistent counters);
+/// [`RuntimeConfig::optimized`] is the paper's contribution (LLP,
+/// thread-local termination detection, BRAVO, relaxed orderings). The
+/// Figure 9 ablation toggles the fields individually.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Scheduler implementation.
+    pub scheduler: SchedKind,
+    /// Task-accounting scheme for termination detection.
+    pub termdet: TermDetKind,
+    /// Reader-writer lock used by TTG hash tables built on this runtime.
+    pub table_lock: LockKind,
+    /// Memory-ordering policy for runtime counters.
+    pub ordering: OrderingPolicy,
+    /// Task inlining (the paper's future-work extension, §V-E): when
+    /// `Some(depth)`, a task readied by a running task is executed
+    /// immediately on the same worker — up to `depth` nested levels —
+    /// instead of passing through the scheduler. Eliminates the
+    /// pool/queue round-trip for very short tasks at the cost of
+    /// priority fidelity and stealing opportunities. `None` (the
+    /// paper's evaluated system) by default.
+    pub inline_tasks: Option<usize>,
+    /// Record one trace event per executed task, retrievable via
+    /// [`Runtime::take_trace`] / renderable with
+    /// [`crate::trace::to_chrome_trace`]. Off by default.
+    pub trace: bool,
+}
+
+impl RuntimeConfig {
+    /// The paper's optimized configuration with `threads` workers.
+    pub fn optimized(threads: usize) -> Self {
+        RuntimeConfig {
+            threads,
+            scheduler: SchedKind::Llp,
+            termdet: TermDetKind::ThreadLocal,
+            table_lock: LockKind::Bravo,
+            ordering: OrderingPolicy::Relaxed,
+            inline_tasks: None,
+            trace: false,
+        }
+    }
+
+    /// The pre-paper ("original TTG over PaRSEC") configuration.
+    pub fn original(threads: usize) -> Self {
+        RuntimeConfig {
+            threads,
+            scheduler: SchedKind::Lfq { buffer: 8 },
+            termdet: TermDetKind::ProcessWide,
+            table_lock: LockKind::Plain,
+            ordering: OrderingPolicy::SeqCst,
+            inline_tasks: None,
+            trace: false,
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::optimized(threads)
+    }
+}
+
+/// Shared state of one runtime instance.
+pub(crate) struct Inner {
+    pub(crate) config: RuntimeConfig,
+    pub(crate) sched: Box<dyn TaskQueue>,
+    pub(crate) term: LocalTermination,
+    pub(crate) wave: Arc<WaveBoard>,
+    /// This process's rank within its wave board / process group.
+    pub(crate) rank: usize,
+    /// Whether `wait()` may reset the wave board (false inside a
+    /// ProcessGroup, which resets centrally).
+    pub(crate) owns_wave: bool,
+    /// Externally submitted tasks, drained by idle workers.
+    pub(crate) injection: Mutex<VecDeque<RawTask>>,
+    pub(crate) injection_len: AtomicUsize,
+    /// Inbox of active messages from peer processes.
+    pub(crate) inbox_rx: Receiver<RemoteMsg>,
+    pub(crate) inbox_tx: Sender<RemoteMsg>,
+    /// Peer processes (set once by ProcessGroup).
+    pub(crate) peers: OnceLock<Vec<Weak<Inner>>>,
+    /// Workers currently in the idle phase (SeqCst: quiescence fence).
+    pub(crate) idle_count: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
+    /// Session-completion flag + condvar for `wait()`.
+    pub(crate) session_done: Mutex<bool>,
+    pub(crate) session_cv: Condvar,
+    /// Sleep coordination for starved workers.
+    pub(crate) sleep_lock: Mutex<()>,
+    pub(crate) sleep_cv: Condvar,
+    pub(crate) sleeper_count: AtomicUsize,
+    pub(crate) worker_stats: Box<[CachePadded<WorkerStatsCell>]>,
+    /// Present iff `config.trace`.
+    pub(crate) tracer: Option<crate::trace::Tracer>,
+}
+
+impl Inner {
+    /// Wakes parked workers if any are sleeping. Cheap when none are.
+    #[inline]
+    pub(crate) fn wake_sleepers(&self) {
+        if self.sleeper_count.load(Ordering::Relaxed) > 0 {
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Opens a new session if the previous one already terminated: a
+    /// latched wave board must be reset *before* new work becomes
+    /// visible, otherwise a later `wait()` could accept the stale
+    /// termination while cross-process messages are still in flight.
+    pub(crate) fn maybe_new_session(&self) {
+        if self.wave.is_terminated() {
+            self.wave.reset();
+        }
+    }
+
+    /// Pushes an externally produced task into the injection queue.
+    pub(crate) fn inject(&self, task: RawTask) {
+        self.maybe_new_session();
+        self.injection.lock().push_back(task);
+        self.injection_len.fetch_add(1, Ordering::Release);
+        self.wake_sleepers();
+    }
+
+    /// Marks the current session complete and wakes waiters.
+    pub(crate) fn announce_termination(&self) {
+        let mut done = self.session_done.lock();
+        if !*done {
+            *done = true;
+            self.session_cv.notify_all();
+        }
+    }
+
+    /// True when no submitted or in-flight work remains (used by `wait`
+    /// to reject stale announcements).
+    pub(crate) fn truly_quiet(&self) -> bool {
+        self.term.pending() == 0
+            && self.injection_len.load(Ordering::Acquire) == 0
+            && self.inbox_rx.is_empty()
+    }
+}
+
+/// A running instance of the task runtime (one simulated "process").
+///
+/// # Examples
+///
+/// ```
+/// use ttg_runtime::{Runtime, RuntimeConfig};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let rt = Runtime::new(RuntimeConfig::optimized(2));
+/// let hits = Arc::new(AtomicU64::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     rt.submit(0, move |_ctx| {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// rt.wait();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct Runtime {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Spawns a standalone runtime (its own single-process wave board).
+    pub fn new(config: RuntimeConfig) -> Self {
+        let wave = Arc::new(WaveBoard::new(1));
+        Self::with_wave(config, wave, 0, true)
+    }
+
+    /// Spawns a runtime participating in a shared wave board (used by
+    /// [`crate::ProcessGroup`]).
+    pub(crate) fn with_wave(
+        config: RuntimeConfig,
+        wave: Arc<WaveBoard>,
+        rank: usize,
+        owns_wave: bool,
+    ) -> Self {
+        let threads = config.threads.max(1);
+        let (inbox_tx, inbox_rx) = unbounded();
+        let inner = Arc::new(Inner {
+            sched: config.scheduler.build(threads),
+            term: LocalTermination::new(config.termdet, config.ordering, threads),
+            wave,
+            rank,
+            owns_wave,
+            injection: Mutex::new(VecDeque::new()),
+            injection_len: AtomicUsize::new(0),
+            inbox_rx,
+            inbox_tx,
+            peers: OnceLock::new(),
+            idle_count: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            session_done: Mutex::new(false),
+            session_cv: Condvar::new(),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleeper_count: AtomicUsize::new(0),
+            worker_stats: stats::new_cells(threads),
+            tracer: config.trace.then(|| crate::trace::Tracer::new(threads)),
+            config,
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ttg-worker-{rank}.{id}"))
+                    .spawn(move || worker::worker_main(&inner, id))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.inner.config
+    }
+
+    /// This process's rank (0 for standalone runtimes).
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.config.threads.max(1)
+    }
+
+    /// Submits a closure task from outside the worker pool.
+    pub fn submit(&self, priority: Priority, job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static) {
+        // Count the discovery *before* the task becomes reachable so no
+        // quiescence check can miss it.
+        self.inner.term.task_discovered(None);
+        self.inner.inject(ClosureTask::allocate(priority, job));
+    }
+
+    /// Records the discovery of a task from outside the worker pool (the
+    /// always-atomic accounting path). The TTG frontend pairs this with
+    /// [`Runtime::inject_raw`] when seeding graphs externally.
+    pub fn account_external_discovery(&self) {
+        self.inner.term.task_discovered(None);
+    }
+
+    /// The runtime's memory-ordering policy (used by data copies).
+    pub fn ordering(&self) -> OrderingPolicy {
+        self.inner.config.ordering
+    }
+
+    /// Injects a pre-counted raw task (used by the TTG frontend for graph
+    /// seeding). The caller must already have recorded the discovery.
+    ///
+    /// # Safety
+    ///
+    /// `task` must be a live, exclusively owned task object whose header
+    /// honours the layout contract of [`crate::TaskHeader`].
+    pub unsafe fn inject_raw(&self, task: RawTask) {
+        self.inner.inject(task);
+    }
+
+    /// Blocks until all submitted work (and, in a process group, all
+    /// work everywhere plus in-flight messages) has completed. This is
+    /// TTG's fence; the runtime is reusable afterwards.
+    pub fn wait(&self) {
+        let mut done = self.inner.session_done.lock();
+        loop {
+            if *done {
+                *done = false;
+                if self.inner.truly_quiet() {
+                    if self.inner.owns_wave {
+                        self.inner.wave.reset();
+                    }
+                    return;
+                }
+                // Stale announcement from an earlier empty session: new
+                // work arrived since. Reset and keep waiting.
+                if self.inner.owns_wave {
+                    self.inner.wave.reset();
+                }
+                continue;
+            }
+            self.inner.session_cv.wait(&mut done);
+        }
+    }
+
+    /// Drains the recorded task trace (empty unless `config.trace`).
+    pub fn take_trace(&self) -> Vec<crate::trace::TaskEvent> {
+        self.inner
+            .tracer
+            .as_ref()
+            .map(|t| t.drain())
+            .unwrap_or_default()
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> crate::RuntimeStats {
+        stats::aggregate(&self.inner.worker_stats, self.inner.sched.stats())
+    }
+
+    /// Flushed process-pending counter (diagnostics).
+    pub fn pending_tasks(&self) -> i64 {
+        self.inner.term.pending()
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<Inner> {
+        &self.inner
+    }
+
+    /// Sends an active message to peer process `dst` (requires membership
+    /// in a [`crate::ProcessGroup`]). The message executes as a task on
+    /// the destination; message and task accounting follow the 4-counter
+    /// wave protocol.
+    pub fn send_remote(
+        &self,
+        dst: usize,
+        priority: Priority,
+        job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
+    ) {
+        crate::comm::send_remote_from(&self.inner, dst, priority, Box::new(job));
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.sleep_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Dispose of anything left behind (incomplete graphs, undrained
+        // injections) so memory pools and boxes are reclaimed.
+        while let Some(task) = self.inner.sched.pop(0) {
+            // SAFETY: workers are joined; we own every remaining task.
+            unsafe { RawTask(crate::task::TaskHeader::from_node(task)).dispose() };
+        }
+        for task in self.inner.injection.lock().drain(..) {
+            // SAFETY: as above.
+            unsafe { task.dispose() };
+        }
+        while let Ok(msg) = self.inner.inbox_rx.try_recv() {
+            drop(msg);
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("rank", &self.inner.rank)
+            .field("threads", &self.threads())
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,66 @@
+//! Per-worker execution statistics.
+//!
+//! Counters are plain `Cell`s owned by their worker thread (no atomics on
+//! the hot path — the same discipline as the thread-local termination
+//! counters) and are aggregated on demand by the benchmark harness.
+
+use std::cell::Cell;
+use ttg_sched::QueueStats;
+use ttg_sync::CachePadded;
+
+/// One worker's counters. Only the owning worker writes.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerStatsCell {
+    pub executed: Cell<u64>,
+    pub parks: Cell<u64>,
+    pub contributions: Cell<u64>,
+    pub injections_drained: Cell<u64>,
+    pub inlined: Cell<u64>,
+}
+
+// SAFETY: written only by the owning worker; racy reads by the aggregator
+// are accepted (monotone counters, diagnostics only).
+unsafe impl Sync for WorkerStatsCell {}
+
+/// Aggregated runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks executed across all workers.
+    pub tasks_executed: u64,
+    /// Times a worker parked (starved long enough to sleep).
+    pub parks: u64,
+    /// Termination-wave contributions made.
+    pub wave_contributions: u64,
+    /// Tasks taken from external injection queues.
+    pub injections_drained: u64,
+    /// Tasks executed inline (without a scheduler round-trip; only
+    /// non-zero when `RuntimeConfig::inline_tasks` is enabled).
+    pub inlined: u64,
+    /// Scheduler behaviour counters.
+    pub queue: QueueStats,
+}
+
+pub(crate) fn new_cells(workers: usize) -> Box<[CachePadded<WorkerStatsCell>]> {
+    (0..workers.max(1))
+        .map(|_| CachePadded::new(WorkerStatsCell::default()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+}
+
+pub(crate) fn aggregate(
+    cells: &[CachePadded<WorkerStatsCell>],
+    queue: QueueStats,
+) -> RuntimeStats {
+    let mut s = RuntimeStats {
+        queue,
+        ..Default::default()
+    };
+    for c in cells {
+        s.tasks_executed += c.executed.get();
+        s.parks += c.parks.get();
+        s.wave_contributions += c.contributions.get();
+        s.injections_drained += c.injections_drained.get();
+        s.inlined += c.inlined.get();
+    }
+    s
+}

@@ -1,0 +1,185 @@
+//! Intrusive task objects.
+//!
+//! A task is any struct whose **first field** (under `#[repr(C)]`) is a
+//! [`TaskHeader`]. The header carries the intrusive scheduler link and a
+//! vtable pointer; the runtime never knows the concrete type. This is the
+//! same layout discipline PaRSEC uses (`parsec_task_t` embeds the list
+//! item) and is what lets task objects come from the per-thread memory
+//! pools of Section IV-E with zero per-dispatch allocation.
+
+use crate::worker::WorkerCtx;
+use std::ptr::NonNull;
+use ttg_sched::{Priority, SchedNode};
+
+/// The vtable every task type provides.
+pub struct TaskVTable {
+    /// Executes the task and disposes of it (drops payload, returns
+    /// memory to its pool, performs the executed-task accounting the
+    /// concrete type owes). Called exactly once.
+    pub execute: unsafe fn(NonNull<TaskHeader>, &mut WorkerCtx<'_>),
+    /// Disposes of the task *without* executing it (shutdown/abort path).
+    pub dispose: unsafe fn(NonNull<TaskHeader>),
+    /// Human-readable name of the task's type/template (diagnostics).
+    pub name: &'static str,
+}
+
+impl std::fmt::Debug for TaskVTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskVTable").field("name", &self.name).finish()
+    }
+}
+
+/// Common header embedded at offset 0 of every task object.
+#[derive(Debug)]
+#[repr(C)]
+pub struct TaskHeader {
+    /// Intrusive scheduler link (must be first within the header, which
+    /// must itself be first in the task object).
+    pub node: SchedNode,
+    /// Dispatch table for this task's concrete type.
+    pub vtable: &'static TaskVTable,
+}
+
+impl TaskHeader {
+    /// Creates a header with the given priority and vtable.
+    pub fn new(priority: Priority, vtable: &'static TaskVTable) -> Self {
+        TaskHeader {
+            node: SchedNode::new(priority),
+            vtable,
+        }
+    }
+
+    /// The task's scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.node.priority
+    }
+
+    /// Recovers the header pointer from a scheduler node pointer (they
+    /// are the same address by layout).
+    ///
+    /// # Safety
+    ///
+    /// `node` must be the `node` field of a live `TaskHeader`.
+    pub unsafe fn from_node(node: NonNull<SchedNode>) -> NonNull<TaskHeader> {
+        node.cast()
+    }
+
+    /// The scheduler node pointer for this header.
+    pub fn as_node(task: NonNull<TaskHeader>) -> NonNull<SchedNode> {
+        task.cast()
+    }
+}
+
+/// An owned, type-erased task pointer traveling through the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawTask(pub NonNull<TaskHeader>);
+
+// SAFETY: tasks are owned by exactly one holder at a time; the queues'
+// synchronization transfers ownership between threads.
+unsafe impl Send for RawTask {}
+
+impl RawTask {
+    /// The task's priority.
+    pub fn priority(&self) -> Priority {
+        // SAFETY: the pointer is valid while the RawTask is owned.
+        unsafe { self.0.as_ref().priority() }
+    }
+
+    /// Executes (and thereby consumes) the task.
+    ///
+    /// # Safety
+    ///
+    /// Caller must own the task and never touch it again.
+    pub unsafe fn execute(self, ctx: &mut WorkerCtx<'_>) {
+        // SAFETY: forwarded contract.
+        unsafe { (self.0.as_ref().vtable.execute)(self.0, ctx) }
+    }
+
+    /// Disposes of the task without executing it.
+    ///
+    /// # Safety
+    ///
+    /// Caller must own the task and never touch it again.
+    pub unsafe fn dispose(self) {
+        // SAFETY: forwarded contract.
+        unsafe { (self.0.as_ref().vtable.dispose)(self.0) }
+    }
+}
+
+/// A heap-allocated closure task — the generic path used by
+/// [`crate::Runtime::submit`]. TTG's own task shells use pooled storage
+/// instead (see `ttg-core`).
+#[repr(C)]
+pub(crate) struct ClosureTask {
+    header: TaskHeader,
+    #[allow(clippy::type_complexity)]
+    job: Option<Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>>,
+}
+
+impl ClosureTask {
+    const VTABLE: TaskVTable = TaskVTable {
+        execute: Self::execute,
+        dispose: Self::dispose,
+        name: "closure",
+    };
+
+    /// Allocates a closure task, returning its erased pointer.
+    pub(crate) fn allocate(
+        priority: Priority,
+        job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
+    ) -> RawTask {
+        let boxed = Box::new(ClosureTask {
+            header: TaskHeader::new(priority, &Self::VTABLE),
+            job: Some(Box::new(job)),
+        });
+        // SAFETY: Box::into_raw never returns null.
+        RawTask(unsafe { NonNull::new_unchecked(Box::into_raw(boxed)).cast() })
+    }
+
+    unsafe fn execute(task: NonNull<TaskHeader>, ctx: &mut WorkerCtx<'_>) {
+        // SAFETY: layout contract — the header is the first field.
+        let mut boxed = unsafe { Box::from_raw(task.as_ptr() as *mut ClosureTask) };
+        let job = boxed.job.take().expect("closure task executed twice");
+        drop(boxed); // free before running: the job may run for a while
+        job(ctx);
+    }
+
+    unsafe fn dispose(task: NonNull<TaskHeader>) {
+        // SAFETY: layout contract.
+        drop(unsafe { Box::from_raw(task.as_ptr() as *mut ClosureTask) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_node_roundtrip() {
+        let vt: &'static TaskVTable = &TaskVTable {
+            execute: |_, _| (),
+            dispose: |_| (),
+            name: "test",
+        };
+        let h = Box::new(TaskHeader::new(7, vt));
+        let ptr = NonNull::from(&*h);
+        let node = TaskHeader::as_node(ptr);
+        // SAFETY: node came from a live header.
+        let back = unsafe { TaskHeader::from_node(node) };
+        assert_eq!(back, ptr);
+        assert_eq!(unsafe { back.as_ref() }.priority(), 7);
+        assert_eq!(unsafe { back.as_ref() }.vtable.name, "test");
+    }
+
+    #[test]
+    fn closure_task_disposes_without_running() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        let t = ClosureTask::allocate(0, move |_| r2.store(true, Ordering::Relaxed));
+        // SAFETY: we own the task.
+        unsafe { t.dispose() };
+        assert!(!ran.load(Ordering::Relaxed));
+    }
+}

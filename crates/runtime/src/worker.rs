@@ -1,0 +1,259 @@
+//! The worker main loop and the per-task execution context.
+
+use crate::runtime::Inner;
+use crate::task::{ClosureTask, RawTask, TaskHeader};
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use ttg_sched::{Priority, SortedChain};
+use ttg_sync::OrderingPolicy;
+
+/// Context handed to every executing task.
+///
+/// Collects the tasks a body releases into a sorted bundle that is pushed
+/// in one pass after the body returns — the paper's mitigation for O(N)
+/// ordered insertion (Section IV-C) — and exposes the accounting hooks
+/// the TTG frontend needs.
+pub struct WorkerCtx<'rt> {
+    pub(crate) inner: &'rt Inner,
+    /// This worker's index within the runtime.
+    pub id: usize,
+    bundle: SortedChain,
+    /// Remaining inline-execution budget below the current top-level
+    /// task (see `RuntimeConfig::inline_tasks`).
+    inline_remaining: usize,
+}
+
+impl<'rt> WorkerCtx<'rt> {
+    pub(crate) fn new(inner: &'rt Inner, id: usize) -> Self {
+        WorkerCtx {
+            inner,
+            id,
+            bundle: SortedChain::new(),
+            inline_remaining: 0,
+        }
+    }
+
+    /// The memory-ordering policy of this runtime (used by data copies).
+    pub fn ordering(&self) -> OrderingPolicy {
+        self.inner.config.ordering
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// Number of worker threads in this runtime.
+    pub fn threads(&self) -> usize {
+        self.inner.config.threads.max(1)
+    }
+
+    /// Records the discovery of one task (the +1 of the pending counter).
+    /// The TTG frontend calls this when it creates a task shell.
+    #[inline]
+    pub fn count_discovered(&self) {
+        self.inner.term.task_discovered(Some(self.id));
+    }
+
+    /// Schedules an already-counted task: it joins the current bundle and
+    /// is published when the running task finishes — unless task
+    /// inlining is enabled and budget remains, in which case the task
+    /// executes immediately on this worker (the paper's future-work
+    /// "inlined tasks" extension).
+    ///
+    /// # Safety
+    ///
+    /// `task` must be a live, exclusively owned task object honouring the
+    /// [`TaskHeader`] layout contract, already accounted as discovered.
+    #[inline]
+    pub unsafe fn schedule(&mut self, task: RawTask) {
+        if self.inline_remaining > 0 {
+            self.inline_remaining -= 1;
+            // SAFETY: forwarded caller contract; we own the task.
+            unsafe { task.execute(self) };
+            self.inner.term.task_executed(Some(self.id));
+            let cell = &self.inner.worker_stats[self.id];
+            cell.executed.set(cell.executed.get() + 1);
+            cell.inlined.set(cell.inlined.get() + 1);
+            self.inline_remaining += 1;
+            return;
+        }
+        self.bundle.insert(TaskHeader::as_node(task.0));
+    }
+
+    /// Spawns a closure task from within a task body (counted +
+    /// scheduled).
+    pub fn spawn(&mut self, priority: Priority, job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static) {
+        self.count_discovered();
+        let task = ClosureTask::allocate(priority, job);
+        // SAFETY: freshly allocated, counted above.
+        unsafe { self.schedule(task) };
+    }
+
+    /// Sends an active message to peer process `dst` (ProcessGroup only).
+    pub fn send_remote(
+        &self,
+        dst: usize,
+        priority: Priority,
+        job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
+    ) {
+        crate::comm::send_remote_from(self.inner, dst, priority, Box::new(job));
+    }
+
+    /// Publishes the accumulated bundle to this worker's queue.
+    fn flush_bundle(&mut self) {
+        if !self.bundle.is_empty() {
+            let chain = std::mem::take(&mut self.bundle);
+            self.inner.sched.push_chain(self.id, chain);
+            self.inner.wake_sleepers();
+        }
+    }
+
+    /// Executes one task: body, release bundle, executed accounting.
+    fn run_task(&mut self, task: RawTask) {
+        self.inline_remaining = self.inner.config.inline_tasks.unwrap_or(0);
+        let traced = self.inner.tracer.as_ref().map(|_| {
+            // SAFETY: the task is live until execute consumes it.
+            let name = unsafe { task.0.as_ref().vtable.name };
+            (name, ttg_sync::clock::now_ns())
+        });
+        // SAFETY: ownership of `task` came from the queue pop.
+        unsafe { task.execute(self) };
+        if let (Some(tracer), Some((name, start))) = (self.inner.tracer.as_ref(), traced) {
+            tracer.record(self.id, name, start);
+        }
+        self.flush_bundle();
+        self.inner.term.task_executed(Some(self.id));
+        let cell = &self.inner.worker_stats[self.id];
+        cell.executed.set(cell.executed.get() + 1);
+    }
+
+    /// Drains the external injection queue into this worker's queue.
+    /// Returns true if any task was obtained.
+    fn drain_injection(&mut self) -> bool {
+        if self.inner.injection_len.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let drained: Vec<RawTask> = {
+            let mut q = self.inner.injection.lock();
+            let d: Vec<RawTask> = q.drain(..).collect();
+            d
+        };
+        if drained.is_empty() {
+            return false;
+        }
+        self.inner
+            .injection_len
+            .fetch_sub(drained.len(), Ordering::Release);
+        let cell = &self.inner.worker_stats[self.id];
+        cell.injections_drained
+            .set(cell.injections_drained.get() + drained.len() as u64);
+        for t in drained {
+            self.bundle.insert(TaskHeader::as_node(t.0));
+        }
+        self.flush_bundle();
+        true
+    }
+
+    /// Drains the inter-process inbox: each message becomes a task and is
+    /// accounted as received + discovered. Returns true if any arrived.
+    fn drain_inbox(&mut self) -> bool {
+        let mut got = false;
+        while let Ok(msg) = self.inner.inbox_rx.try_recv() {
+            self.inner.term.message_received();
+            self.inner.term.task_discovered(Some(self.id));
+            let task = ClosureTask::allocate(msg.priority, msg.job);
+            self.bundle.insert(TaskHeader::as_node(task.0));
+            got = true;
+        }
+        if got {
+            self.flush_bundle();
+        }
+        got
+    }
+}
+
+/// How many idle iterations to spin/yield before parking.
+const SPINS_BEFORE_PARK: u32 = 20;
+/// Park timeout so termination polling and shutdown checks keep running.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// The worker thread body.
+pub(crate) fn worker_main(inner: &Inner, id: usize) {
+    let nthreads = inner.config.threads.max(1);
+    let mut ctx = WorkerCtx::new(inner, id);
+    'outer: loop {
+        // ---- busy phase -------------------------------------------------
+        while let Some(node) = inner.sched.pop(id) {
+            // SAFETY: nodes in the queue are task headers by contract.
+            let task = RawTask(unsafe { TaskHeader::from_node(node) });
+            ctx.run_task(task);
+        }
+        // ---- idle transition --------------------------------------------
+        inner.term.flush(id);
+        if ctx.drain_injection() | ctx.drain_inbox() {
+            continue 'outer;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        inner.idle_count.fetch_add(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                inner.idle_count.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            if let Some(node) = inner.sched.pop(id) {
+                inner.idle_count.fetch_sub(1, Ordering::SeqCst);
+                // SAFETY: as above.
+                let task = RawTask(unsafe { TaskHeader::from_node(node) });
+                ctx.run_task(task);
+                continue 'outer;
+            }
+            if inner.injection_len.load(Ordering::Acquire) > 0 || !inner.inbox_rx.is_empty() {
+                inner.idle_count.fetch_sub(1, Ordering::SeqCst);
+                ctx.drain_injection();
+                ctx.drain_inbox();
+                continue 'outer;
+            }
+            // Quiescence: every worker idle (hence flushed) and the
+            // process-pending counter exactly zero.
+            if inner.idle_count.load(Ordering::SeqCst) == nthreads && inner.term.is_quiescent() {
+                let (sent, received) = inner.term.message_totals();
+                let cell = &inner.worker_stats[id];
+                cell.contributions.set(cell.contributions.get() + 1);
+                if inner.wave.try_contribute(inner.rank, sent, received) {
+                    inner.announce_termination();
+                }
+            }
+            // Starvation backoff: brief yields, then timed parking.
+            spins += 1;
+            if spins < SPINS_BEFORE_PARK {
+                std::thread::yield_now();
+            } else {
+                let cell = &inner.worker_stats[id];
+                cell.parks.set(cell.parks.get() + 1);
+                inner.sleeper_count.fetch_add(1, Ordering::SeqCst);
+                let mut guard = inner.sleep_lock.lock();
+                // Re-check wakeup conditions under the lock to avoid a
+                // missed notify between the checks above and the wait.
+                if inner.sched.pending_estimate() == 0
+                    && inner.injection_len.load(Ordering::Acquire) == 0
+                    && inner.inbox_rx.is_empty()
+                    && !inner.shutdown.load(Ordering::Acquire)
+                {
+                    inner.sleep_cv.wait_for(&mut guard, PARK_TIMEOUT);
+                }
+                drop(guard);
+                inner.sleeper_count.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Raw pointer to a task header, for queue round-trips.
+pub(crate) fn _task_ptr(task: &RawTask) -> NonNull<TaskHeader> {
+    task.0
+}

@@ -1,0 +1,270 @@
+//! Behavioural tests for the runtime engine: submission, recursive
+//! spawning, termination detection (both accounting modes, all
+//! schedulers), session reuse, statistics, and the simulated multi-
+//! process communicator.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use ttg_runtime::{ProcessGroup, Runtime, RuntimeConfig, SchedKind, TermDetKind};
+
+fn all_configs(threads: usize) -> Vec<RuntimeConfig> {
+    let mut v = vec![
+        RuntimeConfig::optimized(threads),
+        RuntimeConfig::original(threads),
+    ];
+    // Cross the remaining axis combinations.
+    let mut c = RuntimeConfig::optimized(threads);
+    c.scheduler = SchedKind::Ll;
+    v.push(c);
+    let mut c = RuntimeConfig::optimized(threads);
+    c.termdet = TermDetKind::ProcessWide;
+    v.push(c);
+    let mut c = RuntimeConfig::original(threads);
+    c.scheduler = SchedKind::Llp;
+    v.push(c);
+    v
+}
+
+#[test]
+fn empty_wait_is_a_fence() {
+    let rt = Runtime::new(RuntimeConfig::optimized(2));
+    rt.wait(); // nothing submitted: returns once the wave settles
+    rt.wait(); // and is repeatable
+}
+
+#[test]
+fn executes_all_submitted_tasks_all_configs() {
+    for config in all_configs(3) {
+        let label = format!("{config:?}");
+        let rt = Runtime::new(config);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let hits = Arc::clone(&hits);
+            rt.submit(0, move |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 500, "{label}");
+        assert_eq!(rt.pending_tasks(), 0, "{label}");
+        assert!(rt.stats().tasks_executed >= 500, "{label}");
+    }
+}
+
+#[test]
+fn recursive_spawning_binary_tree() {
+    // Each task spawns two children down to a fixed depth: exercises
+    // worker-side discovery counting and bundled pushes.
+    for config in all_configs(4) {
+        let label = format!("{config:?}");
+        let rt = Runtime::new(config);
+        let count = Arc::new(AtomicU64::new(0));
+
+        fn node(ctx: &mut ttg_runtime::WorkerCtx<'_>, depth: u32, count: Arc<AtomicU64>) {
+            count.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                for _ in 0..2 {
+                    let c = Arc::clone(&count);
+                    ctx.spawn(depth as i32, move |ctx| node(ctx, depth - 1, c));
+                }
+            }
+        }
+
+        let c = Arc::clone(&count);
+        const DEPTH: u32 = 12; // 2^13 - 1 = 8191 tasks
+        rt.submit(0, move |ctx| node(ctx, DEPTH, c));
+        rt.wait();
+        assert_eq!(count.load(Ordering::Relaxed), (1 << (DEPTH + 1)) - 1, "{label}");
+    }
+}
+
+#[test]
+fn wait_is_reusable_across_sessions() {
+    let rt = Runtime::new(RuntimeConfig::optimized(2));
+    let total = Arc::new(AtomicUsize::new(0));
+    for session in 1..=5 {
+        for _ in 0..100 {
+            let t = Arc::clone(&total);
+            rt.submit(0, move |_| {
+                t.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.wait();
+        assert_eq!(total.load(Ordering::Relaxed), session * 100);
+    }
+}
+
+#[test]
+fn submit_after_idle_termination_still_runs() {
+    // Let the runtime terminate an empty session first, then submit:
+    // wait() must not consume the stale completion.
+    let rt = Runtime::new(RuntimeConfig::optimized(2));
+    rt.wait();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let hit = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&hit);
+    rt.submit(0, move |_| {
+        // A slow task widens the race window.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        h.fetch_add(1, Ordering::Relaxed);
+    });
+    rt.wait();
+    assert_eq!(hit.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn tasks_spawned_from_tasks_with_priorities() {
+    // High-priority children should generally run before low-priority
+    // ones on LLP; we only assert completeness plus that the scheduler
+    // recorded orderly behaviour (no strict order guarantee exists under
+    // work stealing).
+    let rt = Runtime::new(RuntimeConfig::optimized(1));
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o = Arc::clone(&order);
+    rt.submit(0, move |ctx| {
+        for (prio, tag) in [(1, "low"), (10, "high"), (5, "mid")] {
+            let o = Arc::clone(&o);
+            ctx.spawn(prio, move |_| o.lock().push(tag));
+        }
+    });
+    rt.wait();
+    let got = order.lock().clone();
+    assert_eq!(got, vec!["high", "mid", "low"], "single worker must follow priority");
+}
+
+#[test]
+fn worker_ctx_exposes_runtime_facts() {
+    let rt = Runtime::new(RuntimeConfig::optimized(3));
+    let checked = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&checked);
+    rt.submit(0, move |ctx| {
+        assert_eq!(ctx.threads(), 3);
+        assert_eq!(ctx.rank(), 0);
+        assert!(ctx.id < 3);
+        c.fetch_add(1, Ordering::Relaxed);
+    });
+    rt.wait();
+    assert_eq!(checked.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn heavy_fanout_stress() {
+    let rt = Runtime::new(RuntimeConfig::optimized(4));
+    let count = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&count);
+    rt.submit(0, move |ctx| {
+        for i in 0..20_000 {
+            let c = Arc::clone(&c);
+            ctx.spawn(i % 32, move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    rt.wait();
+    assert_eq!(count.load(Ordering::Relaxed), 20_000);
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_executed, 20_001);
+}
+
+#[test]
+fn process_group_remote_messages_and_global_termination() {
+    let group = ProcessGroup::new(4, |_| RuntimeConfig::optimized(1));
+    let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+    // Each rank forwards a token around the ring a few times.
+    fn hop(ctx: &mut ttg_runtime::WorkerCtx<'_>, remaining: usize, hits: Arc<Vec<AtomicUsize>>) {
+        hits[ctx.rank()].fetch_add(1, Ordering::Relaxed);
+        if remaining > 0 {
+            let next = (ctx.rank() + 1) % hits.len();
+            let h = Arc::clone(&hits);
+            ctx.send_remote(next, 0, move |ctx| hop(ctx, remaining - 1, h));
+        }
+    }
+    let h = Arc::clone(&hits);
+    group.runtime(0).submit(0, move |ctx| hop(ctx, 16, h));
+    group.wait();
+    let total: usize = hits.iter().map(|h| h.load(Ordering::Relaxed)).sum();
+    assert_eq!(total, 17, "16 hops + the seed");
+    // Ring of 4: every rank was visited.
+    for (r, h) in hits.iter().enumerate() {
+        assert!(h.load(Ordering::Relaxed) >= 4, "rank {r} starved");
+    }
+}
+
+#[test]
+fn process_group_all_to_all_burst() {
+    const P: usize = 3;
+    const MSGS: usize = 50;
+    let group = ProcessGroup::new(P, |_| RuntimeConfig::optimized(2));
+    let received = Arc::new(AtomicUsize::new(0));
+    for src in 0..P {
+        for dst in 0..P {
+            if src == dst {
+                continue;
+            }
+            for _ in 0..MSGS {
+                let r = Arc::clone(&received);
+                group.runtime(src).send_remote(dst, 0, move |_| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+    }
+    group.wait();
+    assert_eq!(received.load(Ordering::Relaxed), P * (P - 1) * MSGS);
+}
+
+#[test]
+fn process_group_is_reusable() {
+    let group = ProcessGroup::new(2, |_| RuntimeConfig::optimized(1));
+    for _ in 0..3 {
+        let r = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&r);
+        group.runtime(0).send_remote(1, 0, move |_| {
+            r2.fetch_add(1, Ordering::Relaxed);
+        });
+        group.wait();
+        assert_eq!(r.load(Ordering::Relaxed), 1);
+    }
+}
+
+#[test]
+fn drop_reclaims_undelivered_work() {
+    // Submitting work and dropping the runtime without wait() must not
+    // leak or crash: Drop disposes of leftovers after joining workers.
+    let rt = Runtime::new(RuntimeConfig::optimized(2));
+    for _ in 0..50 {
+        rt.submit(0, |_| {});
+    }
+    drop(rt); // no wait
+}
+
+#[test]
+fn tracing_records_every_task() {
+    let mut config = RuntimeConfig::optimized(2);
+    config.trace = true;
+    let rt = Runtime::new(config);
+    rt.submit(0, |ctx| {
+        for i in 0..50 {
+            ctx.spawn(i, |_| {});
+        }
+    });
+    rt.wait();
+    let events = rt.take_trace();
+    assert_eq!(events.len(), 51, "one event per task");
+    assert!(events.iter().all(|e| e.name == "closure"));
+    assert!(events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    // Chrome JSON renders and parses.
+    let json = ttg_runtime::trace::to_chrome_trace(&events, 1);
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v["traceEvents"].as_array().unwrap().len(), 51);
+    // Drained: second take is empty.
+    assert!(rt.take_trace().is_empty());
+}
+
+#[test]
+fn tracing_disabled_is_empty() {
+    let rt = Runtime::new(RuntimeConfig::optimized(1));
+    rt.submit(0, |_| {});
+    rt.wait();
+    assert!(rt.take_trace().is_empty());
+}

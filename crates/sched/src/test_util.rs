@@ -1,0 +1,86 @@
+//! Shared helpers for scheduler tests: heap-backed intrusive test nodes
+//! with claim tracking so exactly-once delivery can be asserted.
+
+use crate::{Priority, SchedNode};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A task stand-in embedding the intrusive header first (`repr(C)`), as
+/// real task objects do.
+#[repr(C)]
+pub struct TestNode {
+    pub node: SchedNode,
+    pub id: usize,
+    pub claimed: AtomicBool,
+}
+
+impl TestNode {
+    pub fn new(id: usize, priority: Priority) -> Box<Self> {
+        Box::new(TestNode {
+            node: SchedNode::new(priority),
+            id,
+            claimed: AtomicBool::new(false),
+        })
+    }
+
+    pub fn as_sched(&self) -> NonNull<SchedNode> {
+        NonNull::from(&self.node)
+    }
+}
+
+/// Recovers the test node from a popped scheduler pointer.
+///
+/// # Safety
+///
+/// `ptr` must point at the `node` field of a live `TestNode`.
+pub unsafe fn claim(ptr: NonNull<SchedNode>) -> usize {
+    // SAFETY: repr(C) puts SchedNode at offset 0.
+    let t = unsafe { &*(ptr.as_ptr() as *const TestNode) };
+    assert!(
+        !t.claimed.swap(true, Ordering::Relaxed),
+        "node {} delivered twice",
+        t.id
+    );
+    t.id
+}
+
+/// An arena of test nodes with stable addresses (the `Box` pins each
+/// node while the vector may move).
+pub struct Arena {
+    #[allow(clippy::vec_box)]
+    nodes: Vec<Box<TestNode>>,
+}
+
+impl Arena {
+    pub fn new(prios: impl IntoIterator<Item = Priority>) -> Self {
+        Arena {
+            nodes: prios
+                .into_iter()
+                .enumerate()
+                .map(|(id, p)| TestNode::new(id, p))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node(&self, id: usize) -> &TestNode {
+        &self.nodes[id]
+    }
+
+    pub fn all_claimed(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.claimed.load(Ordering::Relaxed))
+    }
+
+    pub fn unclaimed(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.claimed.load(Ordering::Relaxed))
+            .map(|n| n.id)
+            .collect()
+    }
+}

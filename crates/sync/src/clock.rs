@@ -1,0 +1,108 @@
+//! Cycle-granularity clock and calibrated busy-wait.
+//!
+//! The paper's scheduler stress test "var\[ies\] the amount of work each
+//! task performs by blocking the execution of the task until a given
+//! number of cycles has passed (using the `rdtsc` counter)" (Section V-C).
+//! On x86_64 this module reads `rdtsc` directly; elsewhere it falls back
+//! to a monotonic nanosecond clock scaled by a calibrated cycles-per-ns
+//! factor, so "cycles" remain a meaningful unit on any host.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Reads the CPU timestamp counter (cycles since reset) where available,
+/// or a calibrated cycle estimate elsewhere.
+#[inline]
+pub fn cycles_now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `rdtsc` has no preconditions.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        (now_ns() as f64 * cycles_per_ns()) as u64
+    }
+}
+
+/// Monotonic nanoseconds since an arbitrary (per-process) epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Estimated TSC (or virtual-cycle) frequency in cycles per nanosecond.
+/// Calibrated once on first use against the monotonic clock.
+pub fn cycles_per_ns() -> f64 {
+    static CAL: OnceLock<f64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Measure rdtsc against Instant over a short window.
+            let t0 = Instant::now();
+            let c0 = unsafe { core::arch::x86_64::_rdtsc() };
+            let target = std::time::Duration::from_millis(20);
+            while t0.elapsed() < target {
+                core::hint::spin_loop();
+            }
+            let c1 = unsafe { core::arch::x86_64::_rdtsc() };
+            let ns = t0.elapsed().as_nanos() as f64;
+            ((c1 - c0) as f64 / ns).max(0.1)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            // Assume a nominal 2 GHz "cycle" on hosts without a TSC.
+            2.0
+        }
+    })
+}
+
+/// Busy-spins until (at least) `cycles` timestamp-counter cycles have
+/// elapsed. This is the task "work" kernel of the paper's Figure 6
+/// experiments; zero cycles returns immediately (the "empty task" point).
+#[inline]
+pub fn spin_cycles(cycles: u64) {
+    if cycles == 0 {
+        return;
+    }
+    let start = cycles_now();
+    while cycles_now().wrapping_sub(start) < cycles {
+        core::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_monotonic_enough() {
+        let a = cycles_now();
+        spin_cycles(1_000);
+        let b = cycles_now();
+        assert!(b > a, "tsc did not advance: {a} -> {b}");
+        assert!(b - a >= 1_000);
+    }
+
+    #[test]
+    fn now_ns_advances() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_ns();
+        assert!(b - a >= 1_000_000, "expected >=1ms advance, got {}ns", b - a);
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let c = cycles_per_ns();
+        // Anything from a 100 MHz embedded part to a 10 GHz fantasy chip.
+        assert!(c > 0.1 && c < 10.0, "cycles/ns calibration insane: {c}");
+    }
+
+    #[test]
+    fn spin_zero_is_noop() {
+        spin_cycles(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Runtime-selectable atomic memory-ordering policy.
+//!
+//! Section IV-A of the paper replaces the default sequentially consistent
+//! ordering of the runtime's atomic counters with relaxed ordering (and
+//! acquire/release for locks). To let the benchmark harness ablate that
+//! change — "original" runtime vs "optimized" runtime — the counters in
+//! the termination detector and the data-copy reference counts take an
+//! [`OrderingPolicy`] and ask it which `Ordering` to use per operation.
+//!
+//! Lock implementations do *not* consult the policy: acquire/release is
+//! simply correct for locks and is what the optimized runtime uses
+//! unconditionally; the pre-optimization behaviour (seq-cst locks) can be
+//! approximated by the `SeqCst` policy's `rmw()` in the counter paths,
+//! which is where the paper observed the contention.
+
+use std::sync::atomic::Ordering;
+
+/// Which memory orderings the runtime's atomic *counters* use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderingPolicy {
+    /// Every atomic operation is sequentially consistent — the behaviour of
+    /// the runtime before the paper's Section IV-A optimization.
+    SeqCst,
+    /// Read-modify-writes and loads/stores are relaxed; synchronization is
+    /// established by explicit acquire/release fences or lock operations
+    /// where actually needed. This is the paper's optimized configuration
+    /// and the default.
+    #[default]
+    Relaxed,
+}
+
+impl OrderingPolicy {
+    /// Ordering for read-modify-write operations (fetch_add, CAS, swap) on
+    /// plain counters.
+    #[inline]
+    pub fn rmw(self) -> Ordering {
+        match self {
+            OrderingPolicy::SeqCst => Ordering::SeqCst,
+            OrderingPolicy::Relaxed => Ordering::Relaxed,
+        }
+    }
+
+    /// Ordering for loads of plain counters.
+    #[inline]
+    pub fn load(self) -> Ordering {
+        match self {
+            OrderingPolicy::SeqCst => Ordering::SeqCst,
+            OrderingPolicy::Relaxed => Ordering::Relaxed,
+        }
+    }
+
+    /// Ordering for stores to plain counters.
+    #[inline]
+    pub fn store(self) -> Ordering {
+        match self {
+            OrderingPolicy::SeqCst => Ordering::SeqCst,
+            OrderingPolicy::Relaxed => Ordering::Relaxed,
+        }
+    }
+
+    /// Ordering for a read-modify-write that must *publish* prior writes
+    /// (e.g. the final decrement of a reference count). Under the relaxed
+    /// policy this still needs release semantics — relaxing it would be a
+    /// correctness bug, not an optimization — so both policies return an
+    /// ordering at least as strong as `AcqRel`.
+    #[inline]
+    pub fn rmw_acqrel(self) -> Ordering {
+        match self {
+            OrderingPolicy::SeqCst => Ordering::SeqCst,
+            OrderingPolicy::Relaxed => Ordering::AcqRel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_map_to_expected_orderings() {
+        assert_eq!(OrderingPolicy::SeqCst.rmw(), Ordering::SeqCst);
+        assert_eq!(OrderingPolicy::Relaxed.rmw(), Ordering::Relaxed);
+        assert_eq!(OrderingPolicy::Relaxed.rmw_acqrel(), Ordering::AcqRel);
+        assert_eq!(OrderingPolicy::SeqCst.rmw_acqrel(), Ordering::SeqCst);
+        assert_eq!(OrderingPolicy::default(), OrderingPolicy::Relaxed);
+    }
+}

@@ -1,0 +1,181 @@
+//! The atomic-flag spin lock used for hash-table buckets.
+//!
+//! Section III-C2 of the paper: "the API allows threads to lock individual
+//! buckets … using a simple atomic lock (e.g., using `atomic_flag` in
+//! C11)". Section IV-A then fixes the memory orderings: *acquire* on lock
+//! and *release* on unlock, so that on x86 (a total-store-order
+//! architecture) the unlock compiles to a plain store and only **one**
+//! atomic read-modify-write remains per lock/unlock cycle — the count the
+//! cost model of Section IV-E assumes (N_HB = 1).
+//!
+//! The acquisition path is test-and-test-and-set with [`Backoff`]: spin on
+//! a plain load until the flag looks free, then attempt the exchange.
+
+use crate::backoff::Backoff;
+use crate::counted::note_rmw;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A test-and-test-and-set spin lock with acquire/release orderings.
+///
+/// # Examples
+///
+/// ```
+/// use ttg_sync::SpinLock;
+///
+/// let lock = SpinLock::new(0u64);
+/// {
+///     let mut guard = lock.lock();
+///     *guard += 1;
+/// }
+/// assert_eq!(*lock.lock(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinLock<T> {
+    flag: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the necessary mutual exclusion; `T: Send` is
+// required because the value may be accessed (and dropped) from any thread
+// that acquires the lock.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Creates an unlocked spin lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            flag: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, spinning with exponential backoff while held by
+    /// another thread.
+    #[inline]
+    pub fn lock(&self) -> SpinLockGuard<'_, T> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.try_lock_once() {
+                return SpinLockGuard { lock: self };
+            }
+            // Test-and-test-and-set: spin on the plain load so the line
+            // stays shared until it looks free.
+            while self.flag.load(Ordering::Relaxed) {
+                backoff.spin();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without spinning.
+    #[inline]
+    pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
+        if self.try_lock_once() {
+            Some(SpinLockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn try_lock_once(&self) -> bool {
+        note_rmw();
+        self.flag
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Whether the lock is currently held (racy; for diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Returns a mutable reference to the protected value without locking;
+    /// safe because `&mut self` proves exclusive access.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard for [`SpinLock`]; releases with a release *store* on drop.
+#[derive(Debug)]
+pub struct SpinLockGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinLockGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard's existence proves the lock is held.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinLockGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard's existence proves the lock is held exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinLockGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        // A release store, not an RMW — the Section IV-A optimization.
+        self.lock.flag.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 10_000;
+        let lock = Arc::new(SpinLock::new(0usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        *lock.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), THREADS * ITERS);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = SpinLock::new(());
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        assert!(lock.is_locked());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut lock = SpinLock::new(3);
+        *lock.get_mut() += 1;
+        assert_eq!(lock.into_inner(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Dense per-thread identifiers.
+//!
+//! The paper's BRAVO variant gives *each thread its own slot* ("one table
+//! per lock … an entry for each thread", Section IV-D) instead of hashing
+//! thread×lock into a shared table. That requires small dense thread ids,
+//! which `std::thread::ThreadId` does not provide. This module hands out
+//! ids from a global counter on first use and caches them in a
+//! thread-local.
+//!
+//! Ids are never reused; [`MAX_THREADS`] bounds how many distinct threads
+//! may ever touch a BRAVO lock in one process, which mirrors the paper's
+//! observation that "the number of threads in each process is static and
+//! known during initialization".
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on dense thread ids handed out per process.
+///
+/// Generous: the paper's largest machine has 128 hardware threads; tests
+/// spawn short-lived helper threads too, so leave ample headroom.
+pub const MAX_THREADS: usize = 1024;
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Returns this thread's dense id, assigning one on first call.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_THREADS`] distinct threads request an id over
+/// the lifetime of the process.
+#[inline]
+pub fn current() -> usize {
+    THREAD_ID.with(|id| {
+        let v = id.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                fresh < MAX_THREADS,
+                "more than {MAX_THREADS} threads requested dense thread ids"
+            );
+            id.set(fresh);
+            fresh
+        }
+    })
+}
+
+/// Number of dense ids assigned so far (an upper bound on live threads).
+pub fn assigned() -> usize {
+    NEXT_ID.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn stable_within_thread() {
+        assert_eq!(current(), current());
+    }
+
+    #[test]
+    fn unique_across_threads() {
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let seen = Arc::clone(&seen);
+            handles.push(std::thread::spawn(move || {
+                let id = current();
+                assert_eq!(id, current());
+                assert!(seen.lock().unwrap().insert(id), "duplicate id {id}");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen.lock().unwrap().len(), 8);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-task kernels.
+//!
+//! Task Bench parameterizes the work each task performs; the paper's
+//! evaluation sweeps the *compute-bound* kernel from 10^8 down to 10^2
+//! flops per task (the x-axis of Figures 7/8/10/11) and the scheduler
+//! experiment (Figure 6) uses a cycle-accurate busy-wait.
+
+use ttg_sync::clock::spin_cycles;
+
+/// What one task executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// No work: pure runtime overhead measurement.
+    Empty,
+    /// Spin until `cycles` timestamp-counter cycles elapse (Figure 6's
+    /// "blocking the execution of the task until a given number of
+    /// cycles has passed").
+    BusyWait {
+        /// Cycles to burn.
+        cycles: u64,
+    },
+    /// Compute-bound: fused multiply-add iterations over a small buffer,
+    /// `flops` floating-point operations in total.
+    Compute {
+        /// Total flops per task.
+        flops: u64,
+    },
+    /// Memory-bound: strided sweeps over a scratch buffer of `bytes`.
+    Memory {
+        /// Bytes touched per task.
+        bytes: u64,
+    },
+}
+
+/// Width of the FMA vector in [`Kernel::Compute`]; each iteration of the
+/// inner loop performs `2 * LANES` flops.
+const LANES: usize = 32;
+
+/// Scratch state reused across kernel executions by one worker.
+#[derive(Debug, Clone)]
+pub struct KernelScratch {
+    fma: [f64; LANES],
+    mem: Vec<u64>,
+}
+
+impl Default for KernelScratch {
+    fn default() -> Self {
+        KernelScratch {
+            fma: [1.000_000_1; LANES],
+            mem: Vec::new(),
+        }
+    }
+}
+
+impl Kernel {
+    /// Executes the kernel once. Returns a value data-dependent on the
+    /// computation so the optimizer cannot elide it.
+    pub fn execute(&self, scratch: &mut KernelScratch) -> f64 {
+        match self {
+            Kernel::Empty => 0.0,
+            Kernel::BusyWait { cycles } => {
+                spin_cycles(*cycles);
+                0.0
+            }
+            Kernel::Compute { flops } => {
+                // Each iteration: LANES fused multiply-adds = 2*LANES flops.
+                let iters = (*flops as usize) / (2 * LANES);
+                let a = 1.000_000_001f64;
+                let b = 1.000_000_002f64;
+                for _ in 0..iters {
+                    for x in scratch.fma.iter_mut() {
+                        *x = x.mul_add(a, b);
+                        // Keep the value bounded so it never becomes inf
+                        // (which would change FMA latency on some parts).
+                        if *x > 1e12 {
+                            *x = 1.0;
+                        }
+                    }
+                }
+                std::hint::black_box(scratch.fma.iter().sum())
+            }
+            Kernel::Memory { bytes } => {
+                let words = (*bytes as usize / 8).max(1);
+                if scratch.mem.len() < words {
+                    scratch.mem = (0..words as u64).collect();
+                }
+                let mut acc = 0u64;
+                // Stride of one cache line's worth of u64s.
+                for start in 0..8.min(words) {
+                    let mut i = start;
+                    while i < words {
+                        acc = acc.wrapping_add(scratch.mem[i]);
+                        scratch.mem[i] = acc;
+                        i += 8;
+                    }
+                }
+                std::hint::black_box(acc as f64)
+            }
+        }
+    }
+
+    /// Human-readable label for result tables.
+    pub fn label(&self) -> String {
+        match self {
+            Kernel::Empty => "empty".to_string(),
+            Kernel::BusyWait { cycles } => format!("busywait({cycles}cy)"),
+            Kernel::Compute { flops } => format!("compute({flops}fl)"),
+            Kernel::Memory { bytes } => format!("memory({bytes}B)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttg_sync::clock::cycles_now;
+
+    #[test]
+    fn empty_kernel_is_free() {
+        let mut s = KernelScratch::default();
+        assert_eq!(Kernel::Empty.execute(&mut s), 0.0);
+    }
+
+    #[test]
+    fn busywait_burns_at_least_requested_cycles() {
+        let mut s = KernelScratch::default();
+        let start = cycles_now();
+        Kernel::BusyWait { cycles: 50_000 }.execute(&mut s);
+        assert!(cycles_now() - start >= 50_000);
+    }
+
+    #[test]
+    fn compute_scales_with_flops() {
+        let mut s = KernelScratch::default();
+        // Warm up.
+        Kernel::Compute { flops: 1_000_000 }.execute(&mut s);
+        let t0 = std::time::Instant::now();
+        Kernel::Compute { flops: 1_000_000 }.execute(&mut s);
+        let small = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        Kernel::Compute { flops: 20_000_000 }.execute(&mut s);
+        let large = t1.elapsed();
+        assert!(
+            large > small * 4,
+            "20x flops took {large:?} vs {small:?} — not compute-scaled"
+        );
+    }
+
+    #[test]
+    fn memory_kernel_touches_buffer() {
+        let mut s = KernelScratch::default();
+        let v = Kernel::Memory { bytes: 4096 }.execute(&mut s);
+        assert!(s.mem.len() >= 512);
+        // Deterministic given fresh scratch.
+        let mut s2 = KernelScratch::default();
+        assert_eq!(v, Kernel::Memory { bytes: 4096 }.execute(&mut s2));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Kernel::Compute { flops: 100 }.label(), "compute(100fl)");
+        assert_eq!(Kernel::Empty.label(), "empty");
+    }
+}

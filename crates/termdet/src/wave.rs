@@ -1,0 +1,222 @@
+//! The 4-counter wave algorithm for global (inter-process) termination.
+//!
+//! Paper Section III-A, following Bosilca et al. (IJNC'22): each process
+//! locally tracks pending work and the numbers of messages sent and
+//! received. When a process is locally quiescent it contributes its
+//! (sent, received) totals to a reduction. When the reduced totals are
+//! equal *and* identical for two consecutive reductions, no message can
+//! still be in flight and global termination is announced.
+//!
+//! Here the "reduction" is a shared [`WaveBoard`] (the simulated
+//! communicator is in-process), guarded by a mutex — faithful to the
+//! paper's observation that "the communication of local termination
+//! typically occurs infrequently" and is not a source of overhead.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[derive(Debug)]
+struct WaveState {
+    round: u64,
+    contributions: Vec<Option<(u64, u64)>>,
+    prev_totals: Option<(u64, u64)>,
+}
+
+/// Shared reduction board for the 4-counter wave.
+#[derive(Debug)]
+pub struct WaveBoard {
+    state: Mutex<WaveState>,
+    terminated: AtomicBool,
+}
+
+impl WaveBoard {
+    /// Creates a board for `nprocs` participating processes.
+    pub fn new(nprocs: usize) -> Self {
+        WaveBoard {
+            state: Mutex::new(WaveState {
+                round: 0,
+                contributions: vec![None; nprocs.max(1)],
+                prev_totals: None,
+            }),
+            terminated: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating processes.
+    pub fn nprocs(&self) -> usize {
+        self.state.lock().contributions.len()
+    }
+
+    /// Current reduction round (diagnostics).
+    pub fn round(&self) -> u64 {
+        self.state.lock().round
+    }
+
+    /// Contributes `rank`'s current (sent, received) totals, valid while
+    /// the process is locally quiescent. Idle processes call this
+    /// repeatedly (each call refreshes the contribution, and starts a new
+    /// round once all ranks have contributed). Returns `true` once global
+    /// termination has been announced.
+    pub fn try_contribute(&self, rank: usize, sent: u64, received: u64) -> bool {
+        if self.terminated.load(Ordering::Acquire) {
+            return true;
+        }
+        let mut st = self.state.lock();
+        st.contributions[rank] = Some((sent, received));
+        if st.contributions.iter().all(Option::is_some) {
+            let totals = st
+                .contributions
+                .iter()
+                .map(|c| c.unwrap())
+                .fold((0u64, 0u64), |acc, c| (acc.0 + c.0, acc.1 + c.1));
+            if totals.0 == totals.1 && st.prev_totals == Some(totals) {
+                self.terminated.store(true, Ordering::Release);
+                return true;
+            }
+            st.prev_totals = Some(totals);
+            st.contributions.iter_mut().for_each(|c| *c = None);
+            st.round += 1;
+        }
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    /// True once global termination has been announced.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    /// Resets the board for a new execution wave. Callers must guarantee
+    /// no process is concurrently contributing.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.round = 0;
+        st.prev_totals = None;
+        st.contributions.iter_mut().for_each(|c| *c = None);
+        self.terminated.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_terminates_after_two_stable_rounds() {
+        let board = WaveBoard::new(1);
+        assert!(!board.try_contribute(0, 0, 0), "first round must not terminate");
+        assert!(board.try_contribute(0, 0, 0), "second stable round announces");
+        assert!(board.is_terminated());
+        // Idempotent afterwards.
+        assert!(board.try_contribute(0, 0, 0));
+    }
+
+    #[test]
+    fn unequal_totals_block_termination() {
+        // P0 sent a message P1 has not yet received.
+        let board = WaveBoard::new(2);
+        assert!(!board.try_contribute(0, 1, 0));
+        assert!(!board.try_contribute(1, 0, 0)); // round 1: totals (1,0) — unequal
+        assert_eq!(board.round(), 1);
+        // P1 now received it.
+        assert!(!board.try_contribute(0, 1, 0));
+        assert!(!board.try_contribute(1, 0, 1)); // round 2: totals (1,1), prev (1,0) → continue
+        assert!(!board.try_contribute(0, 1, 0));
+        assert!(board.try_contribute(1, 0, 1)); // round 3: (1,1) == prev → terminate
+        assert!(board.is_terminated());
+    }
+
+    #[test]
+    fn late_message_restarts_stability_window() {
+        let board = WaveBoard::new(2);
+        // Round 1: both quiet at (0,0).
+        board.try_contribute(0, 0, 0);
+        board.try_contribute(1, 0, 0);
+        // P0 wakes up and sends a message before round 2 completes.
+        board.try_contribute(0, 1, 0);
+        assert!(!board.try_contribute(1, 0, 1)); // totals (1,1) ≠ prev (0,0)
+        // Round 3 stabilizes.
+        board.try_contribute(0, 1, 0);
+        assert!(board.try_contribute(1, 0, 1));
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let board = WaveBoard::new(1);
+        board.try_contribute(0, 0, 0);
+        board.try_contribute(0, 0, 0);
+        assert!(board.is_terminated());
+        board.reset();
+        assert!(!board.is_terminated());
+        assert_eq!(board.round(), 0);
+        assert!(!board.try_contribute(0, 5, 5));
+        assert!(board.try_contribute(0, 5, 5));
+    }
+
+    #[test]
+    fn concurrent_processes_with_message_exchange_terminate_exactly_once_done() {
+        // Three "processes" ping-pong a token a fixed number of times;
+        // each polls the board when idle. Termination must only occur
+        // after every sent message has been received.
+        const PROCS: usize = 3;
+        const HOPS: u64 = 50;
+        let board = Arc::new(WaveBoard::new(PROCS));
+        let sent: Arc<Vec<AtomicU64>> =
+            Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
+        let recv: Arc<Vec<AtomicU64>> =
+            Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
+        // The token value encodes both hop count and owner: owner is
+        // token % PROCS; the game ends once token reaches HOPS*PROCS.
+        let token = Arc::new(AtomicU64::new(0));
+        let last = HOPS * PROCS as u64;
+        let handles: Vec<_> = (0..PROCS)
+            .map(|rank| {
+                let board = Arc::clone(&board);
+                let sent = Arc::clone(&sent);
+                let recv = Arc::clone(&recv);
+                let token = Arc::clone(&token);
+                std::thread::spawn(move || {
+                    loop {
+                        let t = token.load(Ordering::Acquire);
+                        let owner = (t % PROCS as u64) as usize;
+                        if owner == rank {
+                            if t != 0 {
+                                // Receive the incoming token.
+                                recv[rank].fetch_add(1, Ordering::Relaxed);
+                            }
+                            if t < last {
+                                // Pass it on.
+                                sent[rank].fetch_add(1, Ordering::Relaxed);
+                                token.store(t + 1, Ordering::Release);
+                            } else {
+                                break; // game over; final receive recorded
+                            }
+                        } else if t >= last {
+                            break; // not ours, game over
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    // Idle: poll the wave until global termination.
+                    while !board.try_contribute(
+                        rank,
+                        sent[rank].load(Ordering::Relaxed),
+                        recv[rank].load(Ordering::Relaxed),
+                    ) {
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All threads exited ⇒ the wave terminated, and it can only have
+        // terminated with Σsent == Σrecv.
+        assert!(board.is_terminated());
+        let s: u64 = sent.iter().map(|a| a.load(Ordering::Relaxed)).sum();
+        let r: u64 = recv.iter().map(|a| a.load(Ordering::Relaxed)).sum();
+        assert_eq!(s, r, "wave terminated with messages in flight");
+    }
+}

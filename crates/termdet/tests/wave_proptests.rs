@@ -1,0 +1,119 @@
+//! Property tests for the 4-counter wave.
+//!
+//! The algorithm's contract (enforced by the runtime): a process only
+//! contributes while **locally quiescent** (no unfinished tasks), and a
+//! quiescent process cannot spontaneously send — sends happen from
+//! executing tasks, and new activity can only arrive by *receiving* a
+//! message (which bumps the receive counter, invalidating stale rounds).
+//! Under any schedule respecting that contract, the wave must
+//!
+//! * never announce termination while a message is in flight or a task
+//!   is unfinished (safety), and
+//! * announce termination within a bounded number of polls once
+//!   everything drains (liveness).
+
+use proptest::prelude::*;
+use ttg_termdet::WaveBoard;
+
+/// One step of a contract-respecting schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Rank r (if active) sends a message to rank d from a running task.
+    Send(usize, usize),
+    /// Rank r (if active) finishes one local task.
+    Finish(usize),
+    /// Rank d receives one pending message, spawning a local task.
+    Recv(usize),
+    /// Rank r (if quiescent) polls the wave.
+    Poll(usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    const P: usize = 4;
+    proptest::collection::vec(
+        prop_oneof![
+            (0..P, 0..P).prop_map(|(a, b)| Step::Send(a, b)),
+            (0..P).prop_map(Step::Finish),
+            (0..P).prop_map(Step::Recv),
+            (0..P).prop_map(Step::Poll),
+        ],
+        0..160,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn wave_is_safe_and_live(nprocs in 1usize..5, script in steps()) {
+        let board = WaveBoard::new(nprocs);
+        let mut sent = vec![0u64; nprocs];
+        let mut recv = vec![0u64; nprocs];
+        let mut active = vec![0usize; nprocs];
+        active[0] = 1; // the seed task
+        let mut in_flight: Vec<usize> = Vec::new(); // destination ranks
+
+        for step in script {
+            match step {
+                Step::Send(r, d) => {
+                    let (r, d) = (r % nprocs, d % nprocs);
+                    // Only a running task may send.
+                    if r != d && active[r] > 0 {
+                        sent[r] += 1;
+                        in_flight.push(d);
+                    }
+                }
+                Step::Finish(r) => {
+                    let r = r % nprocs;
+                    active[r] = active[r].saturating_sub(1);
+                }
+                Step::Recv(d) => {
+                    let d = d % nprocs;
+                    if let Some(pos) = in_flight.iter().position(|&x| x == d) {
+                        in_flight.swap_remove(pos);
+                        recv[d] += 1;
+                        active[d] += 1; // the message spawns work
+                    }
+                }
+                Step::Poll(r) => {
+                    let r = r % nprocs;
+                    if active[r] != 0 {
+                        continue; // contract: contribute only when quiescent
+                    }
+                    if board.try_contribute(r, sent[r], recv[r]) {
+                        prop_assert!(
+                            in_flight.is_empty(),
+                            "terminated with {} message(s) in flight",
+                            in_flight.len()
+                        );
+                        prop_assert!(
+                            active.iter().all(|&a| a == 0),
+                            "terminated with active tasks: {active:?}"
+                        );
+                    }
+                }
+            }
+        }
+        // Drain: finish all tasks, receive all messages (each spawning
+        // and finishing a task), then poll until termination (bounded).
+        for a in active.iter_mut() {
+            *a = 0;
+        }
+        while let Some(d) = in_flight.pop() {
+            recv[d] += 1;
+        }
+        let mut rounds = 0;
+        loop {
+            let mut done = false;
+            for r in 0..nprocs {
+                done |= board.try_contribute(r, sent[r], recv[r]);
+            }
+            if done {
+                break;
+            }
+            rounds += 1;
+            prop_assert!(rounds < 16, "wave failed to terminate");
+        }
+        prop_assert!(board.is_terminated());
+    }
+}

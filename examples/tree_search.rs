@@ -1,0 +1,96 @@
+//! Parallel tree reduction: expand a binary tree of pseudo-random values
+//! downward with control-flow tasks (the hash-table *bypass* path), then
+//! aggregate the results upward with 2-ary aggregator terminals — the
+//! same down/up data-flow shape as divide-and-conquer search or
+//! branch-and-bound.
+//!
+//! ```text
+//! cargo run --release -p ttg-examples --bin tree_search
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use ttg_core::{AggCount, Edge, Graph};
+use ttg_runtime::RuntimeConfig;
+
+const HEIGHT: u64 = 14; // 2^15 - 1 nodes
+
+/// Node ids: root = 1; children of v are 2v and 2v+1 (heap order).
+fn value_of(node: u64) -> u64 {
+    // SplitMix-ish hash as the node's "score".
+    let mut z = node.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}
+
+fn level_of(node: u64) -> u64 {
+    63 - node.leading_zeros() as u64
+}
+
+fn serial_sum() -> u64 {
+    let first = 1u64;
+    let last = 1u64 << (HEIGHT + 1);
+    (first..last).map(value_of).fold(0u64, u64::wrapping_add)
+}
+
+fn main() {
+    let graph = Graph::new(RuntimeConfig::optimized(4));
+
+    // Downward expansion tokens and upward partial sums.
+    let expand: Edge<u64, u8> = Edge::new("expand");
+    let results: Edge<u64, u64> = Edge::new("results");
+    let answer = Arc::new(AtomicU64::new(0));
+
+    // `visit(node)`: score the node; leaves report their value upward,
+    // inner nodes fan out to their children. Single input ⇒ every visit
+    // bypasses the hash table entirely (the paper's Figure 6 workload).
+    let visit = graph
+        .tt::<u64>("visit")
+        .input::<u8>(&expand)
+        .output(&expand)
+        .output(&results)
+        .priority(|node| level_of(*node) as i32) // depth-first-ish
+        .build(move |&node, _inputs, out| {
+            let v = value_of(node);
+            if level_of(node) == HEIGHT {
+                // Leaf: report its value to the parent's join task.
+                out.send(1, node / 2, v);
+            } else {
+                out.send(0, 2 * node, 0u8);
+                out.send(0, 2 * node + 1, 0u8);
+            }
+        });
+
+    // `join(node)`: aggregates the two children's subtree sums, adds the
+    // node's own value, and reports to its parent (or the final answer).
+    let a = Arc::clone(&answer);
+    let _join = graph
+        .tt::<u64>("join")
+        .input_aggregator(&results, AggCount::Fixed(2))
+        .output(&results)
+        .build(move |&node, inputs, out| {
+            let children: u64 = inputs
+                .aggregate::<u64>(0)
+                .iter()
+                .fold(0u64, |acc, v| acc.wrapping_add(*v));
+            let total = children.wrapping_add(value_of(node));
+            if node == 1 {
+                a.store(total, Ordering::Relaxed);
+            } else {
+                out.send(0, node / 2, total);
+            }
+        });
+
+    visit.deliver(0, 1u64, 0u8);
+    graph.wait();
+
+    let got = answer.load(Ordering::Relaxed);
+    let want = serial_sum();
+    println!("tree height {HEIGHT}: parallel sum {got:#x}, serial {want:#x}");
+    assert_eq!(got, want);
+    let stats = graph.runtime().stats();
+    println!(
+        "tasks executed: {} (visits + joins), steals: {}",
+        stats.tasks_executed, stats.queue.steals
+    );
+}

@@ -1,0 +1,108 @@
+//! Wavefront (2D dynamic-programming) example.
+//!
+//! Computes the classic edit-distance DP table with one task per cell:
+//! cell (i, j) needs (i−1, j), (i, j−1) and (i−1, j−1) — a three-input
+//! join with an irregular unfolding order, exactly the kind of data flow
+//! TTG's hash-table-tracked shells exist for. Priorities follow the
+//! anti-diagonal so the scheduler drives the critical path.
+//!
+//! ```text
+//! cargo run --release -p ttg-examples --bin wavefront
+//! ```
+
+use std::sync::Arc;
+use ttg_core::{Edge, Graph};
+use ttg_runtime::RuntimeConfig;
+
+const A: &[u8] = b"kitten sitting in the garden";
+const B: &[u8] = b"sitting kitten in a garden";
+
+fn serial_edit_distance(a: &[u8], b: &[u8]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn main() {
+    let n = A.len();
+    let m = B.len();
+    let graph = Graph::new(RuntimeConfig::optimized(4));
+
+    // Three edges into each cell: from the north, west, and northwest.
+    let north: Edge<(u32, u32), usize> = Edge::new("north");
+    let west: Edge<(u32, u32), usize> = Edge::new("west");
+    let diag: Edge<(u32, u32), usize> = Edge::new("diag");
+    let result = Arc::new(parking_lot::Mutex::new(None::<usize>));
+
+    let r = Arc::clone(&result);
+    let cell = graph
+        .tt::<(u32, u32)>("cell")
+        .input::<usize>(&north)
+        .input::<usize>(&west)
+        .input::<usize>(&diag)
+        .output(&north) // to (i+1, j)
+        .output(&west) // to (i, j+1)
+        .output(&diag) // to (i+1, j+1)
+        .priority(|&(i, j)| (i + j) as i32) // drive the wavefront
+        .build(move |&(i, j), inputs, out| {
+            let up = *inputs.get::<usize>(0);
+            let left = *inputs.get::<usize>(1);
+            let corner = *inputs.get::<usize>(2);
+            let cost = usize::from(A[i as usize - 1] != B[j as usize - 1]);
+            let v = (up + 1).min(left + 1).min(corner + cost);
+            if (i as usize) < n {
+                out.send(0, (i + 1, j), v);
+            }
+            if (j as usize) < m {
+                out.send(1, (i, j + 1), v);
+            }
+            if (i as usize) < n && (j as usize) < m {
+                out.send(2, (i + 1, j + 1), v);
+            }
+            if i as usize == n && j as usize == m {
+                *r.lock() = Some(v);
+            }
+        });
+
+    // Seed the boundary: row 0 and column 0 of the DP table feed the
+    // interior cells' missing inputs.
+    for j in 1..=m as u32 {
+        cell.deliver(0, (1, j), j as usize - 1 + 1); // north value = DP[0][j]
+    }
+    for i in 1..=n as u32 {
+        cell.deliver(1, (i, 1), i as usize - 1 + 1); // west value = DP[i][0]
+    }
+    // Diagonal values DP[i-1][j-1] for the first row/column cells.
+    cell.deliver(2, (1, 1), 0usize);
+    for j in 2..=m as u32 {
+        cell.deliver(2, (1, j), j as usize - 1); // DP[0][j-1]
+    }
+    for i in 2..=n as u32 {
+        cell.deliver(2, (i, 1), i as usize - 1); // DP[i-1][0]
+    }
+
+    graph.wait();
+    let got = result.lock().expect("bottom-right cell never fired");
+    let want = serial_edit_distance(A, B);
+    println!(
+        "edit distance between\n  {:?}\n  {:?}\n= {got} (serial reference {want})",
+        std::str::from_utf8(A).unwrap(),
+        std::str::from_utf8(B).unwrap()
+    );
+    assert_eq!(got, want);
+    println!(
+        "cells computed: {} ({}x{} grid); scheduler stats: {:?}",
+        graph.runtime().stats().tasks_executed,
+        n,
+        m,
+        graph.runtime().stats().queue
+    );
+}
