@@ -1,0 +1,301 @@
+//! Offline-compatible `criterion` shim.
+//!
+//! Provides the measurement API this workspace's `harness = false` benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `BenchmarkId`, `Throughput`, `Bencher::iter` — with
+//! simple wall-clock timing instead of criterion's statistical machinery.
+//! Honors the `--test` flag cargo passes when bench targets run under
+//! `cargo test`: each benchmark then executes exactly one iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long a benchmark is measured for (after one warm-up iteration)
+/// unless `--test` asks for a single iteration.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets as `bench --bench` for `cargo bench`
+        // and with `--test` under `cargo test`; unknown flags (e.g.
+        // filters) are ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.test_mode, &id.to_string(), None, f);
+        self
+    }
+
+    /// Matches criterion's builder API; sampling is not configurable in
+    /// the shim, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// No-op (see [`Criterion::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs registered groups then prints a footer, mirroring
+    /// `Criterion::final_summary`.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares work-per-iteration so reports can show rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// No-op in the shim (sampling is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// No-op in the shim (measurement window is fixed).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// No-op in the shim (warm-up is one iteration).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.test_mode, &label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies a benchmark, optionally parameterized.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; measures the timed section.
+pub struct Bencher {
+    /// Exactly one iteration (`--test` mode).
+    single: bool,
+    /// Total measured time and iteration count for reporting.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.single {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed = start.elapsed();
+            self.iters = 1;
+            return;
+        }
+        // Warm-up.
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TARGET && iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    /// Times `iters` iterations with caller-controlled clocking.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = if self.single { 1 } else { 10 };
+        self.elapsed = f(iters);
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        single: test_mode,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let mut line = format!("{label:<48} {:>12.3} us/iter", per_iter * 1e6);
+    if let Some(t) = throughput {
+        match t {
+            Throughput::Elements(n) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                line.push_str(&format!("  {:>12.0} elem/s", rate));
+            }
+            Throughput::Bytes(n) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                line.push_str(&format!("  {:>12.1} MiB/s", rate / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Elements(4));
+            g.bench_function(BenchmarkId::new("count", 1), |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "--test mode must run exactly one iteration");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("push", 32).to_string(), "push/32");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

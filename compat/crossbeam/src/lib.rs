@@ -1,0 +1,243 @@
+//! Offline-compatible subset of the `crossbeam` API.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by
+//! this workspace (the runtime inbox and the MPI baseline), so that is
+//! all this vendored shim provides: an unbounded MPMC channel over a
+//! mutex-protected deque with disconnect detection. The runtime's hot
+//! paths never touch the channel (tasks flow through the lock-free
+//! schedulers); the inbox sees one lock per *inter-process* message,
+//! which the paper's cost model already budgets as communication.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        /// Fast-path emptiness check without taking the queue lock.
+        len: AtomicUsize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            len: AtomicUsize::new(0),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: Debug without requiring `T: Debug`.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the channel is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Appends `value`, waking one blocked receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            self.shared.len.store(q.len(), Ordering::Release);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.len.load(Ordering::Acquire)
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake receivers so blocked recv() observes
+                // the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Removes the oldest message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            if self.shared.len.load(Ordering::Acquire) == 0
+                && self.shared.senders.load(Ordering::Acquire) > 0
+            {
+                return Err(TryRecvError::Empty);
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => {
+                    self.shared.len.store(q.len(), Ordering::Release);
+                    Ok(v)
+                }
+                None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Removes the oldest message, blocking while the channel is
+        /// empty and at least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    self.shared.len.store(q.len(), Ordering::Release);
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.len.load(Ordering::Acquire)
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_try_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert!(!rx.is_empty());
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn blocking_recv_across_threads() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tx.send(42u32).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn disconnect_detection() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx2, rx2) = unbounded::<u8>();
+            drop(rx2);
+            assert_eq!(tx2.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn clone_senders_count() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(7).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports what this workspace derives: structs with named fields,
+//! optional lifetime/type parameters (copied verbatim into the impl
+//! header), and the `#[serde(rename = "...")]` field attribute. Enums and
+//! tuple structs are rejected with a compile error pointing here.
+//!
+//! Implemented with hand-rolled `proc_macro::TokenStream` parsing because
+//! the offline container has no `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// JSON object key (`rename` attribute or the field name).
+    wire_name: String,
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list including angle brackets (e.g. `<'a>`), or
+    /// an empty string.
+    generics: String,
+    fields: Vec<Field>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts `rename = "..."` from the tokens inside a `#[serde(...)]`
+/// attribute group.
+fn parse_rename(group: &proc_macro::Group) -> Option<String> {
+    let mut iter = group.stream().into_iter();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(id) = &tok {
+            if id.to_string() == "rename" {
+                // Skip '=' then read the string literal.
+                iter.next();
+                if let Some(TokenTree::Literal(lit)) = iter.next() {
+                    let s = lit.to_string();
+                    return Some(s.trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    // Outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional (crate)/(super) restriction group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            return Err("the vendored serde derive supports only structs \
+                        with named fields (see compat/serde_derive)"
+                .to_string());
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    // Optional generics: collect `<...>` verbatim with depth tracking.
+    // Re-rendered through TokenStream so lifetimes (`'` + ident token
+    // pairs) keep valid spacing.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut toks: Vec<TokenTree> = Vec::new();
+            let mut depth = 0i32;
+            for tok in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                toks.push(tok);
+                if depth == 0 {
+                    break;
+                }
+            }
+            generics = toks.into_iter().collect::<TokenStream>().to_string();
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => {
+            return Err(format!(
+                "expected named fields (tuple/unit structs unsupported), found {other:?}"
+            ))
+        }
+    };
+    // Fields: `#[attr]* vis? name : Type ,`
+    let mut fields = Vec::new();
+    let mut iter = body.stream().into_iter().peekable();
+    loop {
+        let mut rename = None;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                // `#[serde(rename = "...")]`: the bracket group wraps a
+                // `serde (...)` sequence.
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            if let Some(r) = parse_rename(&args) {
+                                rename = Some(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let fname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma (angle-bracket
+        // depth tracked; (), [], {} arrive as atomic groups).
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        let wire_name = rename.unwrap_or_else(|| fname.clone());
+        fields.push(Field {
+            name: fname,
+            wire_name,
+        });
+    }
+    Ok(Input {
+        name,
+        generics,
+        fields,
+    })
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let Input {
+        name,
+        generics,
+        fields,
+    } = parsed;
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__fields.push(({:?}.to_string(), \
+                 ::serde::Serialize::to_value(&self.{})));\n",
+                f.wire_name, f.name
+            )
+        })
+        .collect();
+    format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let Input {
+        name,
+        generics,
+        fields,
+    } = parsed;
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{}: ::serde::Deserialize::from_value(__v.get_field({:?})?)?,\n",
+                f.name, f.wire_name
+            )
+        })
+        .collect();
+    format!(
+        "impl {generics} ::serde::Deserialize for {name} {generics} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

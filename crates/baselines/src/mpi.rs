@@ -62,10 +62,7 @@ impl Comm {
             }
         }
         loop {
-            let (from, env) = self
-                .inbox
-                .recv()
-                .expect("all peers exited while receiving");
+            let (from, env) = self.inbox.recv().expect("all peers exited while receiving");
             if from == src && env.tag == tag {
                 return env.payload;
             }
@@ -219,7 +216,11 @@ mod tests {
             (0..W * RANKS)
                 .map(|i| {
                     let l = if i == 0 { 0.0 } else { all_cells[i - 1] };
-                    let r = if i == W * RANKS - 1 { 0.0 } else { all_cells[i + 1] };
+                    let r = if i == W * RANKS - 1 {
+                        0.0
+                    } else {
+                        all_cells[i + 1]
+                    };
                     l + all_cells[i] + r
                 })
                 .collect()

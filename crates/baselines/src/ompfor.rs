@@ -88,7 +88,12 @@ impl OmpPool {
 
     /// Executes `body(begin, end)` over `[begin, end)` split into one
     /// static contiguous chunk per thread, then barriers.
-    pub fn parallel_for(&self, begin: usize, end: usize, body: impl Fn(usize, usize) + Send + Sync) {
+    pub fn parallel_for(
+        &self,
+        begin: usize,
+        end: usize,
+        body: impl Fn(usize, usize) + Send + Sync,
+    ) {
         let n = end.saturating_sub(begin);
         let t = self.team.as_ref();
         // Static schedule: ceil-div chunks, master takes chunk 0.
@@ -167,7 +172,8 @@ fn helper_loop(team: &Team, tid: usize) {
                 if *team.shutdown.lock() {
                     return;
                 }
-                team.work_ready.wait_for(&mut gen, std::time::Duration::from_millis(50));
+                team.work_ready
+                    .wait_for(&mut gen, std::time::Duration::from_millis(50));
             }
             seen_gen = *gen;
             let region = team.region.lock();
@@ -179,9 +185,8 @@ fn helper_loop(team: &Team, tid: usize) {
             // otherwise the master deadlocks; the panic is reported and
             // the helper continues (the master will surface the failure
             // through its own assertion context).
-            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                body(range.0, range.1)
-            }));
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(range.0, range.1)));
             if r.is_err() {
                 eprintln!("omp helper {tid}: region body panicked");
             }

@@ -174,7 +174,8 @@ impl OmpTaskRuntime {
         let s = &self.shared;
         let mut guard = s.idle_lock.lock();
         while s.outstanding.load(Ordering::Acquire) != 0 {
-            s.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+            s.idle_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
         }
         drop(guard);
         s.tasks.lock().clear();
@@ -194,7 +195,8 @@ fn worker(s: &Shared) {
                 if s.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                s.ready_cv.wait_for(&mut q, std::time::Duration::from_millis(1));
+                s.ready_cv
+                    .wait_for(&mut q, std::time::Duration::from_millis(1));
                 if s.shutdown.load(Ordering::Acquire) && q.is_empty() {
                     return;
                 }

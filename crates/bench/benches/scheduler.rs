@@ -47,7 +47,10 @@ fn bench_tree(c: &mut Criterion) {
     g.sample_size(10);
     const HEIGHT: u64 = 11; // 4095 tasks
     g.throughput(Throughput::Elements((1 << (HEIGHT + 1)) - 1));
-    for (name, kind) in [("lfq", SchedKind::Lfq { buffer: 8 }), ("llp", SchedKind::Llp)] {
+    for (name, kind) in [
+        ("lfq", SchedKind::Lfq { buffer: 8 }),
+        ("llp", SchedKind::Llp),
+    ] {
         let mut config = RuntimeConfig::optimized(1);
         config.scheduler = kind;
         let graph = Graph::new(config);

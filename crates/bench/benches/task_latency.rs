@@ -17,9 +17,7 @@ struct ChainHarness {
 fn build_chain(flows: usize, copy: bool) -> ChainHarness {
     let graph = Graph::new(RuntimeConfig::optimized(1));
     let nedges = flows.max(1);
-    let edges: Vec<Edge<u64, i64>> = (0..nedges)
-        .map(|i| Edge::new(format!("flow{i}")))
-        .collect();
+    let edges: Vec<Edge<u64, i64>> = (0..nedges).map(|i| Edge::new(format!("flow{i}"))).collect();
     let mut b = graph.tt::<u64>("chain");
     for e in &edges {
         b = b.input::<i64>(e);

@@ -41,11 +41,7 @@ fn bench_patterns(c: &mut Criterion) {
     const WIDTH: usize = 4;
     g.throughput(Throughput::Elements((STEPS * WIDTH) as u64));
     let mut runner = Implementation::Ttg { optimized: true }.build(1);
-    for pattern in [
-        Pattern::NoComm,
-        Pattern::Stencil1D,
-        Pattern::AllToAll,
-    ] {
+    for pattern in [Pattern::NoComm, Pattern::Stencil1D, Pattern::AllToAll] {
         let graph = TaskGraph::new(STEPS, WIDTH, pattern, Kernel::Empty);
         let expected = TaskGraph::checksum(&graph.expected_final_row());
         g.bench_function(BenchmarkId::new("empty_kernel", pattern.name()), |b| {

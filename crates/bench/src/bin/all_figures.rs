@@ -43,13 +43,23 @@ fn main() {
         &out,
         "fig1",
         "fig1_atomics",
-        &["--threads".into(), "1,2,4".into(), "--ops".into(), s(100_000)],
+        &[
+            "--threads".into(),
+            "1,2,4".into(),
+            "--ops".into(),
+            s(100_000),
+        ],
     );
     run(
         &out,
         "fig5",
         "fig5_task_latency",
-        &["--length".into(), s(100_000), "--max-flows".into(), "4".into()],
+        &[
+            "--length".into(),
+            s(100_000),
+            "--max-flows".into(),
+            "4".into(),
+        ],
     );
     run(
         &out,

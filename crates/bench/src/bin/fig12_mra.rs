@@ -60,11 +60,7 @@ fn main() {
          (paper: k=10, eps=1e-8, exponent=30000)"
     );
 
-    let mut report = Report::new(
-        "Figure 12: MRA time to solution",
-        "threads",
-        "seconds",
-    );
+    let mut report = Report::new("Figure 12: MRA time to solution", "threads", "seconds");
     for &nf in &func_counts {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let funcs = Gaussian3::random_set(nf, -6.0, 6.0, exponent, &mut rng);

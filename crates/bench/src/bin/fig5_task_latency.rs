@@ -34,9 +34,7 @@ fn ttg_chain(length: u64, flows: usize, copy: bool, inline_depth: Option<usize>)
     let graph = Graph::new(config);
     let done = Arc::new(AtomicU64::new(0));
     let nedges = flows.max(1);
-    let edges: Vec<Edge<u64, i64>> = (0..nedges)
-        .map(|i| Edge::new(format!("flow{i}")))
-        .collect();
+    let edges: Vec<Edge<u64, i64>> = (0..nedges).map(|i| Edge::new(format!("flow{i}"))).collect();
     let mut b = graph.tt::<u64>("chain");
     for e in &edges {
         b = b.input::<i64>(e);

@@ -63,11 +63,12 @@ fn main() {
     let json = args.has("json");
     let ntasks = (1u64 << (height + 1)) - 1;
     let cyc_per_ns = cycles_per_ns();
-    println!(
-        "binary tree height {height} -> {ntasks} tasks; tsc ≈ {cyc_per_ns:.2} cycles/ns"
-    );
+    println!("binary tree height {height} -> {ntasks} tasks; tsc ≈ {cyc_per_ns:.2} cycles/ns");
 
-    let schedulers = [("LFQ", SchedKind::Lfq { buffer: 8 }), ("LLP", SchedKind::Llp)];
+    let schedulers = [
+        ("LFQ", SchedKind::Lfq { buffer: 8 }),
+        ("LLP", SchedKind::Llp),
+    ];
 
     // ---- Figure 6a: relative overhead --------------------------------
     let mut fig6a = Report::new(

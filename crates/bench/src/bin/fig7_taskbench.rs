@@ -23,10 +23,7 @@ fn main() {
     let args = Args::parse(USAGE);
     let threads: usize = args.get("threads", 1usize);
     let steps: usize = args.get("steps", 200usize);
-    let flops_list = args.get_list(
-        "flops",
-        &[1_000_000u64, 100_000, 10_000, 1_000, 100],
-    );
+    let flops_list = args.get_list("flops", &[1_000_000u64, 100_000, 10_000, 1_000, 100]);
     let width: usize = {
         let w: usize = args.get("width", 0usize);
         if w == 0 {
@@ -41,10 +38,7 @@ fn main() {
     );
 
     let impls = Implementation::all();
-    let mut runners: Vec<_> = impls
-        .iter()
-        .map(|imp| imp.build(threads))
-        .collect();
+    let mut runners: Vec<_> = impls.iter().map(|imp| imp.build(threads)).collect();
 
     // Validate once with the empty kernel before timing.
     let vgraph = TaskGraph::new(steps.min(50), width, Pattern::Stencil1D, Kernel::Empty);
@@ -71,14 +65,16 @@ fn main() {
         for &flops in &flops_list {
             let graph = TaskGraph::new(steps, width, Pattern::Stencil1D, Kernel::Compute { flops });
             let res = runner.run(&graph);
-            assert_eq!(res.checksum, TaskGraph::checksum(&graph.expected_final_row()));
+            assert_eq!(
+                res.checksum,
+                TaskGraph::checksum(&graph.expected_final_row())
+            );
             results[ri].push(res.core_time_per_task(runner.threads()));
         }
     }
     // Best observed throughput (flops/core-second) anywhere = 100%.
     let best_throughput = results
         .iter()
-        
         .flat_map(|r| {
             r.iter()
                 .zip(&flops_list)

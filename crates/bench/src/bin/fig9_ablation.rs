@@ -35,10 +35,7 @@ fn main() {
     let args = Args::parse(USAGE);
     let threads: usize = args.get("threads", 2usize);
     let steps: usize = args.get("steps", 200usize);
-    let flops_list = args.get_list(
-        "flops",
-        &[1_000_000u64, 100_000, 10_000, 1_000, 100],
-    );
+    let flops_list = args.get_list("flops", &[1_000_000u64, 100_000, 10_000, 1_000, 100]);
     let width: usize = {
         let w: usize = args.get("width", 0usize);
         if w == 0 {
@@ -57,8 +54,7 @@ fn main() {
         let mut runner = TtgRunner::with_config(threads, config);
         let mut series = Series::new(label);
         for &flops in &flops_list {
-            let graph =
-                TaskGraph::new(steps, width, Pattern::Stencil1D, Kernel::Compute { flops });
+            let graph = TaskGraph::new(steps, width, Pattern::Stencil1D, Kernel::Compute { flops });
             let res = runner.run(&graph);
             assert_eq!(
                 res.checksum,

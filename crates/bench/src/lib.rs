@@ -11,6 +11,7 @@
 //! | `fig7_taskbench` | Figs. 7/8/10/11 — Task-Bench core-time and efficiency |
 //! | `fig9_ablation` | Fig. 9 — termdet + BRAVO contribution breakdown |
 //! | `fig12_mra` | Fig. 12 — MRA time-to-solution |
+//! | `fig13_distributed` | Fig. 13 — ttg-net message latency and rank scaling |
 //!
 //! Every binary prints a human-readable table plus machine-readable
 //! JSON (`--json`), and accepts `--threads`, sweep lists, and scale

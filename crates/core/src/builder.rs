@@ -235,8 +235,7 @@ impl<'g, K: Key> TtBuilder<'g, K> {
     ) -> Tt<K> {
         let runtime = Arc::clone(self.graph.runtime_arc());
         let threads = runtime.threads();
-        let bypass =
-            self.inputs.len() == 1 && matches!(self.inputs[0].kind, InputKind::Single);
+        let bypass = self.inputs.len() == 1 && matches!(self.inputs[0].kind, InputKind::Single);
         let table = ScalableHashTable::with_options(HashTableOptions {
             lock: runtime.config().table_lock,
             bravo_slots: (threads + 8).next_power_of_two().max(64),
@@ -257,7 +256,8 @@ impl<'g, K: Key> TtBuilder<'g, K> {
         for reg in self.registrars {
             reg(&inner);
         }
-        self.graph.register(Arc::clone(&inner) as Arc<dyn crate::graph::AnyTt>);
+        self.graph
+            .register(Arc::clone(&inner) as Arc<dyn crate::graph::AnyTt>);
         Tt { inner }
     }
 }

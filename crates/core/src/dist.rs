@@ -86,20 +86,53 @@ pub(crate) fn make_hooks<V: Serialize + DeserializeOwned + Send + Sync + 'static
     }
 }
 
-/// Per-TT distribution state, installed by [`link_distributed`].
+/// How cross-rank deliveries reach the owner's TT instance.
+pub(crate) enum RouteTarget<K: Key> {
+    /// All ranks share one address space ([`link_distributed`]): ship a
+    /// closure capturing the peer instance directly.
+    Peers(Vec<Weak<TtInner<K>>>),
+    /// Each rank is its own process ([`link_spmd`]): ship a serialized
+    /// frame for the handler this TT registered with its runtime. SPMD
+    /// registration order makes the id identical on every rank.
+    Handler(u32),
+}
+
+/// Per-TT distribution state, installed by [`link_distributed`] or
+/// [`link_spmd`].
 pub(crate) struct Route<K: Key> {
     /// Which rank owns each key.
     pub(crate) keymap: Arc<dyn Fn(&K) -> usize + Send + Sync>,
     /// This instance's rank.
     pub(crate) my_rank: usize,
-    /// The peer TT instances, indexed by rank (weak: the remote graphs
-    /// own them).
-    pub(crate) peers: Vec<Weak<TtInner<K>>>,
+    /// Delivery mechanism for non-local keys.
+    pub(crate) target: RouteTarget<K>,
     /// Key serialization.
     #[allow(clippy::type_complexity)]
     pub(crate) key_to_bytes: Arc<dyn Fn(&K) -> Vec<u8> + Send + Sync>,
     #[allow(clippy::type_complexity)]
     pub(crate) key_from_bytes: Arc<dyn Fn(&[u8]) -> K + Send + Sync>,
+}
+
+/// SPMD wire format: `[u32 idx][u32 key_len][key bytes][value bytes]`,
+/// little-endian. `idx == INVOKE_IDX` marks an `invoke` (no value).
+pub(crate) const INVOKE_IDX: u32 = u32::MAX;
+
+pub(crate) fn encode_spmd(idx: u32, key_bytes: &[u8], val_bytes: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + key_bytes.len() + val_bytes.len());
+    payload.extend_from_slice(&idx.to_le_bytes());
+    payload.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key_bytes);
+    payload.extend_from_slice(val_bytes);
+    payload
+}
+
+/// Splits an SPMD payload into `(idx, key_bytes, val_bytes)`.
+fn decode_spmd(payload: &[u8]) -> (u32, &[u8], &[u8]) {
+    assert!(payload.len() >= 8, "truncated SPMD message header");
+    let idx = u32::from_le_bytes(payload[..4].try_into().unwrap());
+    let key_len = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+    assert!(payload.len() >= 8 + key_len, "truncated SPMD message key");
+    (idx, &payload[8..8 + key_len], &payload[8 + key_len..])
 }
 
 /// Wires the per-rank instances of one template task into a distributed
@@ -133,7 +166,7 @@ where
         let route = Route {
             keymap: Arc::clone(&keymap),
             my_rank: rank,
-            peers: peers.clone(),
+            target: RouteTarget::Peers(peers.clone()),
             key_to_bytes: Arc::new(|k: &K| serde_json::to_vec(k).expect("serialize key")),
             key_from_bytes: Arc::new(|b: &[u8]| {
                 serde_json::from_slice(b).expect("deserialize key")
@@ -145,4 +178,68 @@ where
             .ok()
             .expect("template task linked twice");
     }
+}
+
+/// Wires ONE local instance of a template task into an SPMD distributed
+/// TT: this process is rank `runtime.rank()` of `nranks`; task `key`
+/// executes on rank `keymap(key)`; non-local sends travel as serialized
+/// active messages through the runtime's handler registry (and from
+/// there over whatever medium the runtime is connected to — an
+/// in-process `ttg-net` group or real TCP sockets between OS processes).
+///
+/// Every rank must build the identical graph and call `link_spmd` on the
+/// corresponding TTs **in the same order** (handler ids are assigned by
+/// registration order), before any remote message can arrive. Input
+/// terminals receiving cross-rank data must be remote-capable
+/// ([`crate::TtBuilder::input_remote`] /
+/// [`crate::TtBuilder::input_aggregator_remote`]).
+///
+/// # Panics
+///
+/// Panics if the TT was already linked.
+pub fn link_spmd<K>(tt: &Tt<K>, keymap: impl Fn(&K) -> usize + Send + Sync + 'static)
+where
+    K: Key + Serialize + DeserializeOwned,
+{
+    // Weak: the handler must not keep the TT (and through it the
+    // runtime) alive past graph teardown.
+    let weak: Weak<TtInner<K>> = Arc::downgrade(&tt.inner);
+    let handler = tt
+        .inner
+        .runtime
+        .register_handler(move |ctx, payload: Vec<u8>| {
+            let inner = weak.upgrade().expect("SPMD message for a torn-down TT");
+            let route = inner.route.get().expect("SPMD message before link_spmd");
+            let (idx, key_bytes, val_bytes) = decode_spmd(&payload);
+            let key: K = (route.key_from_bytes)(key_bytes);
+            let mut d = crate::io::Dispatch::Worker(ctx);
+            if idx == INVOKE_IDX {
+                inner.invoke_now(&mut d, key);
+            } else {
+                let hooks = inner.inputs[idx as usize]
+                    .serde
+                    .as_ref()
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "input {idx} of '{}' received a cross-rank datum but was not \
+                         declared with input_remote()/input_aggregator_remote()",
+                            inner.name
+                        )
+                    });
+                let copy = (hooks.from_bytes)(val_bytes, d.ordering());
+                inner.deliver_input(&mut d, idx as usize, &key, copy);
+            }
+        });
+    let route = Route {
+        keymap: Arc::new(keymap),
+        my_rank: tt.inner.runtime.rank(),
+        target: RouteTarget::Handler(handler),
+        key_to_bytes: Arc::new(|k: &K| serde_json::to_vec(k).expect("serialize key")),
+        key_from_bytes: Arc::new(|b: &[u8]| serde_json::from_slice(b).expect("deserialize key")),
+    };
+    tt.inner
+        .route
+        .set(route)
+        .ok()
+        .expect("template task linked twice");
 }

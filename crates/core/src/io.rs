@@ -39,6 +39,16 @@ impl Dispatch<'_, '_> {
         }
     }
 
+    /// Sends a serialized active message to rank `dst` (runs under the
+    /// handler registered with that id; works over a process group or a
+    /// network transport alike).
+    pub(crate) fn send_msg(&mut self, dst: usize, priority: i32, handler: u32, payload: Vec<u8>) {
+        match self {
+            Dispatch::Worker(ctx) => ctx.send_msg(dst, priority, handler, payload),
+            Dispatch::External(rt) => rt.send_msg(dst, priority, handler, payload),
+        }
+    }
+
     /// Accounts for and schedules a freshly readied task.
     ///
     /// # Safety

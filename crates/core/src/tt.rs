@@ -230,16 +230,29 @@ impl<K: Key> TtInner<K> {
         let key_bytes = (route.key_to_bytes)(key);
         let val_bytes = (hooks.to_bytes)(&copy);
         drop(copy); // the serialized payload now carries the datum
-        let peer = route.peers[owner]
-            .upgrade()
-            .expect("peer template task already torn down");
         let priority = self.priority_for(key);
-        d.send_remote(owner, priority, move |ctx: &mut ttg_runtime::WorkerCtx<'_>| {
-            let key: K = (peer.route.get().expect("unlinked peer").key_from_bytes)(&key_bytes);
-            let hooks = peer.inputs[idx].serde.as_ref().expect("peer hooks");
-            let copy = (hooks.from_bytes)(&val_bytes, ctx.ordering());
-            peer.deliver_input(&mut Dispatch::Worker(ctx), idx, &key, copy);
-        });
+        match &route.target {
+            crate::dist::RouteTarget::Peers(peers) => {
+                let peer = peers[owner]
+                    .upgrade()
+                    .expect("peer template task already torn down");
+                d.send_remote(
+                    owner,
+                    priority,
+                    move |ctx: &mut ttg_runtime::WorkerCtx<'_>| {
+                        let key: K =
+                            (peer.route.get().expect("unlinked peer").key_from_bytes)(&key_bytes);
+                        let hooks = peer.inputs[idx].serde.as_ref().expect("peer hooks");
+                        let copy = (hooks.from_bytes)(&val_bytes, ctx.ordering());
+                        peer.deliver_input(&mut Dispatch::Worker(ctx), idx, &key, copy);
+                    },
+                );
+            }
+            crate::dist::RouteTarget::Handler(h) => {
+                let payload = crate::dist::encode_spmd(idx as u32, &key_bytes, &val_bytes);
+                d.send_msg(owner, priority, *h, payload);
+            }
+        }
     }
 
     /// Creates and schedules a task whose inputs are already (vacuously)
@@ -249,15 +262,30 @@ impl<K: Key> TtInner<K> {
             let owner = (route.keymap)(&key);
             if owner != route.my_rank {
                 let key_bytes = (route.key_to_bytes)(&key);
-                let peer = route.peers[owner]
-                    .upgrade()
-                    .expect("peer template task already torn down");
                 let priority = self.priority_for(&key);
-                d.send_remote(owner, priority, move |ctx: &mut ttg_runtime::WorkerCtx<'_>| {
-                    let key: K =
-                        (peer.route.get().expect("unlinked peer").key_from_bytes)(&key_bytes);
-                    peer.invoke_now(&mut Dispatch::Worker(ctx), key);
-                });
+                match &route.target {
+                    crate::dist::RouteTarget::Peers(peers) => {
+                        let peer = peers[owner]
+                            .upgrade()
+                            .expect("peer template task already torn down");
+                        d.send_remote(
+                            owner,
+                            priority,
+                            move |ctx: &mut ttg_runtime::WorkerCtx<'_>| {
+                                let key: K =
+                                    (peer.route.get().expect("unlinked peer").key_from_bytes)(
+                                        &key_bytes,
+                                    );
+                                peer.invoke_now(&mut Dispatch::Worker(ctx), key);
+                            },
+                        );
+                    }
+                    crate::dist::RouteTarget::Handler(h) => {
+                        let payload =
+                            crate::dist::encode_spmd(crate::dist::INVOKE_IDX, &key_bytes, &[]);
+                        d.send_msg(owner, priority, *h, payload);
+                    }
+                }
                 return;
             }
         }

@@ -34,8 +34,7 @@ const CHAIN: u64 = 20_000;
 /// take/forward (move).
 fn run_chain(n_flows: usize, reuse: bool) -> f64 {
     let graph = Graph::new(RuntimeConfig::optimized(1));
-    let edges: Vec<Edge<u64, u64>> =
-        (0..n_flows).map(|i| Edge::new(format!("f{i}"))).collect();
+    let edges: Vec<Edge<u64, u64>> = (0..n_flows).map(|i| Edge::new(format!("f{i}"))).collect();
     let mut builder = graph.tt::<u64>("chain");
     for e in &edges {
         builder = builder.input::<u64>(e);

@@ -87,7 +87,11 @@ fn external_deliver_routes_to_owner() {
     got.sort();
     assert_eq!(got.len(), 10);
     for (rank, k, msg) in got {
-        assert_eq!(rank, (k % RANKS as u32) as usize, "key {k} ran on wrong rank");
+        assert_eq!(
+            rank,
+            (k % RANKS as u32) as usize,
+            "key {k} ran on wrong rank"
+        );
         assert_eq!(msg, format!("msg{k}"));
     }
 }
@@ -144,13 +148,15 @@ fn distributed_stencil_matches_serial() {
             .tt::<(u32, u32)>("point")
             .input_aggregator_remote::<Msg>(
                 &edge,
-                AggCount::PerKey(Arc::new(move |&(t, i): &(u32, u32)| {
-                    if t == 0 {
-                        0
-                    } else {
-                        deps_of(i as usize).len()
-                    }
-                })),
+                AggCount::PerKey(Arc::new(
+                    move |&(t, i): &(u32, u32)| {
+                        if t == 0 {
+                            0
+                        } else {
+                            deps_of(i as usize).len()
+                        }
+                    },
+                )),
             )
             .output(&edge)
             .build(move |&(t, i), inputs, out| {

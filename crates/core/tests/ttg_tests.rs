@@ -34,7 +34,10 @@ fn two_stage_pipeline_delivers_all() {
             producer.invoke(k);
         }
         graph.wait();
-        assert_eq!(sum.load(Ordering::Relaxed), (0..200u64).map(|k| k * 2).sum::<u64>());
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (0..200u64).map(|k| k * 2).sum::<u64>()
+        );
     }
 }
 
@@ -320,7 +323,10 @@ fn table_grows_under_many_waiting_tasks() {
         .input::<u32>(&a)
         .input::<u32>(&b)
         .build(move |_k, i, _o| {
-            s.fetch_add((*i.get::<u32>(0) + *i.get::<u32>(1)) as u64, Ordering::Relaxed);
+            s.fetch_add(
+                (*i.get::<u32>(0) + *i.get::<u32>(1)) as u64,
+                Ordering::Relaxed,
+            );
         });
     for k in 0..N {
         join.deliver(0, k, k);

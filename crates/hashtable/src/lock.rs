@@ -64,7 +64,6 @@ impl TableLock {
             TableLock::Bravo(l) => TableWriteGuard::Bravo(l.write()),
         }
     }
-
 }
 
 /// Shared guard over the table structure. Variants are held purely for

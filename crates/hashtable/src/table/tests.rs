@@ -52,8 +52,7 @@ fn locked_bucket_transaction_pattern() {
 #[test]
 fn growth_chains_tables_and_preserves_entries() {
     for lock in [LockKind::Plain, LockKind::Bravo] {
-        let t: ScalableHashTable<u64, u64> =
-            ScalableHashTable::with_options(small_opts(lock));
+        let t: ScalableHashTable<u64, u64> = ScalableHashTable::with_options(small_opts(lock));
         const N: u64 = 10_000;
         for k in 0..N {
             t.insert(k, k * 3);

@@ -40,11 +40,7 @@ impl BoxKey {
             let cz = ((c >> 2) & 1) as u32;
             BoxKey {
                 n: self.n + 1,
-                l: [
-                    self.l[0] * 2 + cx,
-                    self.l[1] * 2 + cy,
-                    self.l[2] * 2 + cz,
-                ],
+                l: [self.l[0] * 2 + cx, self.l[1] * 2 + cy, self.l[2] * 2 + cz],
             }
         })
     }
@@ -172,7 +168,7 @@ impl MraContext {
             }
         }
         let mut s = values.transform(&self.quad_phi_w);
-        s.scale(2f64.powi(-3 * key.n as i32) .sqrt());
+        s.scale(2f64.powi(-3 * key.n as i32).sqrt());
         s
     }
 

@@ -104,8 +104,7 @@ impl MraTtg {
         let stores = Stores::fresh();
         let funcs: Arc<Vec<Gaussian3>> = Arc::new(funcs.to_vec());
         let graph = Graph::with_runtime(Arc::clone(runtime));
-        let (project, _c, _r) =
-            self.build_tts(&graph, &funcs, &stores, false);
+        let (project, _c, _r) = self.build_tts(&graph, &funcs, &stores, false);
         for f in 0..funcs.len() as u32 {
             project.deliver(0, (f, BoxKey::ROOT), 0u8);
         }
@@ -123,8 +122,7 @@ impl MraTtg {
         let funcs: Arc<Vec<Gaussian3>> = Arc::new(funcs.to_vec());
         let nprocs = group.nprocs();
         let mut graphs = Vec::new();
-        let (mut projects, mut compresses, mut reconstructs) =
-            (Vec::new(), Vec::new(), Vec::new());
+        let (mut projects, mut compresses, mut reconstructs) = (Vec::new(), Vec::new(), Vec::new());
         for rank in 0..nprocs {
             let graph = Graph::with_runtime(group.runtime_arc(rank));
             let (p, c, r) = self.build_tts(&graph, &funcs, &stores, true);

@@ -36,8 +36,8 @@ impl TwoScale {
                 let parent = scaling_at(k, (u + c as f64) / 2.0);
                 for j in 0..k {
                     for i in 0..k {
-                        let v = h[c].get(j, i)
-                            + w * parent[j] * child[i] / std::f64::consts::SQRT_2;
+                        let v =
+                            h[c].get(j, i) + w * parent[j] * child[i] / std::f64::consts::SQRT_2;
                         h[c].set(j, i, v);
                     }
                 }
@@ -83,9 +83,7 @@ mod tests {
             let parent = scaling_at(K, x);
             let child = scaling_at(K, 2.0 * x);
             for j in 0..K {
-                let recon: f64 = (0..K)
-                    .map(|i| ts.h(0).get(j, i) * child[i])
-                    .sum::<f64>()
+                let recon: f64 = (0..K).map(|i| ts.h(0).get(j, i) * child[i]).sum::<f64>()
                     * std::f64::consts::SQRT_2;
                 assert!(
                     (recon - parent[j]).abs() < 1e-10,
@@ -104,9 +102,7 @@ mod tests {
             let parent = scaling_at(K, x);
             let child = scaling_at(K, 2.0 * x - 1.0);
             for j in 0..K {
-                let recon: f64 = (0..K)
-                    .map(|i| ts.h(1).get(j, i) * child[i])
-                    .sum::<f64>()
+                let recon: f64 = (0..K).map(|i| ts.h(1).get(j, i) * child[i]).sum::<f64>()
                     * std::f64::consts::SQRT_2;
                 assert!((recon - parent[j]).abs() < 1e-10);
             }

@@ -20,7 +20,9 @@ fn random_tensor(k: usize, seed: u64) -> Tensor3 {
     let mut t = Tensor3::zeros(k);
     let mut z = seed.wrapping_add(1);
     for v in t.data_mut() {
-        z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        z = z
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *v = ((z >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
     }
     t
@@ -157,7 +159,10 @@ fn distributed_mra_matches_serial() {
     for (f, func) in funcs.iter().enumerate() {
         let serial = ttg_mra::serial::run(&ctx, func);
         assert_eq!(
-            out.leaves.iter().filter(|((fi, _), _)| *fi == f as u32).count(),
+            out.leaves
+                .iter()
+                .filter(|((fi, _), _)| *fi == f as u32)
+                .count(),
             serial.leaves.len(),
             "function {f}: leaf count"
         );

@@ -1,0 +1,261 @@
+//! Wire format for active messages and termination control traffic.
+//!
+//! Every frame is length-prefixed so a receiver thread can read from a
+//! byte stream without knowing handler payload layouts:
+//!
+//! ```text
+//! [u32 body_len (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [payload ...]
+//! ```
+//!
+//! `body_len` counts everything after the length word. Data frames carry
+//! a registered handler id plus an opaque payload; control frames reuse
+//! the same layout with `handler`/`priority` reinterpreted per kind (see
+//! [`FrameKind`]), which keeps the codec to a single code path.
+
+use std::io::{self, Read, Write};
+
+/// Discriminates frame roles on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Active message for a registered handler; scheduled at `priority`.
+    Data = 0,
+    /// Peer handshake: payload-free, `handler` = sender's rank.
+    Hello = 1,
+    /// Rank tells the coordinator it entered a termination fence:
+    /// `handler` = rank, payload = u64 epoch.
+    EnterFence = 2,
+    /// Coordinator opens a wave round: `handler` = round number.
+    RoundBegin = 3,
+    /// Rank contributes counters for a round: `handler` = rank,
+    /// payload = u64 round, u64 sent, u64 received.
+    Contribute = 4,
+    /// Coordinator announces global termination of an epoch:
+    /// payload = u64 epoch.
+    Terminated = 5,
+    /// Orderly connection shutdown after an epoch completes.
+    Goodbye = 6,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> io::Result<Self> {
+        Ok(match v {
+            0 => FrameKind::Data,
+            1 => FrameKind::Hello,
+            2 => FrameKind::EnterFence,
+            3 => FrameKind::RoundBegin,
+            4 => FrameKind::Contribute,
+            5 => FrameKind::Terminated,
+            6 => FrameKind::Goodbye,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame kind {other}"),
+                ))
+            }
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Role of the frame (data vs control).
+    pub kind: FrameKind,
+    /// Scheduling priority carried to the destination (data frames).
+    pub priority: i32,
+    /// Registered handler id (data) or kind-specific word (control).
+    pub handler: u32,
+    /// Opaque handler payload (data) or kind-specific words (control).
+    pub payload: Vec<u8>,
+}
+
+/// Fixed bytes after the length prefix: kind + priority + handler.
+const HEADER_LEN: usize = 1 + 4 + 4;
+
+/// Refuse frames larger than this (corrupt length words otherwise turn
+/// into multi-gigabyte allocations).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+impl Frame {
+    /// Builds a data frame for a registered handler.
+    pub fn data(handler: u32, priority: i32, payload: Vec<u8>) -> Self {
+        Frame {
+            kind: FrameKind::Data,
+            priority,
+            handler,
+            payload,
+        }
+    }
+
+    /// Builds a control frame with no payload.
+    pub fn control(kind: FrameKind, handler: u32) -> Self {
+        Frame {
+            kind,
+            priority: 0,
+            handler,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds a control frame whose payload is a sequence of u64 words.
+    pub fn control_with_words(kind: FrameKind, handler: u32, words: &[u64]) -> Self {
+        let mut payload = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        Frame {
+            kind,
+            priority: 0,
+            handler,
+            payload,
+        }
+    }
+
+    /// Reads the payload back as u64 words (for control frames).
+    pub fn words(&self) -> Vec<u64> {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Serialized size including the length prefix.
+    pub fn encoded_len(&self) -> usize {
+        4 + HEADER_LEN + self.payload.len()
+    }
+
+    /// Appends the encoded frame to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let body_len = (HEADER_LEN + self.payload.len()) as u32;
+        buf.extend_from_slice(&body_len.to_le_bytes());
+        buf.push(self.kind as u8);
+        buf.extend_from_slice(&self.priority.to_le_bytes());
+        buf.extend_from_slice(&self.handler.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Writes the encoded frame to a stream in one `write_all`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        w.write_all(&buf)
+    }
+
+    /// Reads one frame from a stream. Returns `Ok(None)` on clean EOF at
+    /// a frame boundary.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+        let mut len_bytes = [0u8; 4];
+        if !read_exact_or_eof(r, &mut len_bytes)? {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(len_bytes) as usize;
+        if body_len < HEADER_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame body too short: {body_len}"),
+            ));
+        }
+        if body_len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame body too long: {body_len}"),
+            ));
+        }
+        let mut body = vec![0u8; body_len];
+        r.read_exact(&mut body)?;
+        let kind = FrameKind::from_u8(body[0])?;
+        let priority = i32::from_le_bytes(body[1..5].try_into().unwrap());
+        let handler = u32::from_le_bytes(body[5..9].try_into().unwrap());
+        let payload = body[HEADER_LEN..].to_vec();
+        Ok(Some(Frame {
+            kind,
+            priority,
+            handler,
+            payload,
+        }))
+    }
+}
+
+/// Like `read_exact`, but a clean EOF before the first byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_data_frame() {
+        let f = Frame::data(7, -3, vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        assert_eq!(buf.len(), f.encoded_len());
+        let got = Frame::read_from(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn roundtrip_control_words() {
+        let f = Frame::control_with_words(FrameKind::Contribute, 2, &[9, 100, 99]);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let got = Frame::read_from(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(got.kind, FrameKind::Contribute);
+        assert_eq!(got.handler, 2);
+        assert_eq!(got.words(), vec![9, 100, 99]);
+    }
+
+    #[test]
+    fn stream_of_frames_with_clean_eof() {
+        let mut buf = Vec::new();
+        Frame::control(FrameKind::Hello, 3).encode_into(&mut buf);
+        Frame::data(1, 5, b"xyz".to_vec()).encode_into(&mut buf);
+        let mut cur = Cursor::new(&buf);
+        let a = Frame::read_from(&mut cur).unwrap().unwrap();
+        let b = Frame::read_from(&mut cur).unwrap().unwrap();
+        assert_eq!(a.kind, FrameKind::Hello);
+        assert_eq!(b.payload, b"xyz");
+        assert!(Frame::read_from(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        Frame::data(1, 0, vec![0; 16]).encode_into(&mut buf);
+        buf.truncate(buf.len() - 4);
+        let mut cur = Cursor::new(&buf);
+        assert!(Frame::read_from(&mut cur).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_kind_and_oversize() {
+        // kind byte 200 is invalid.
+        let mut buf = Vec::new();
+        Frame::data(0, 0, vec![]).encode_into(&mut buf);
+        buf[4] = 200;
+        assert!(Frame::read_from(&mut Cursor::new(&buf)).is_err());
+        // Oversized length word.
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        assert!(Frame::read_from(&mut Cursor::new(&buf)).is_err());
+    }
+}

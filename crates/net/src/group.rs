@@ -1,0 +1,337 @@
+//! Gluing a [`ttg_runtime::Runtime`] to a [`Transport`] and a
+//! [`NetWave`]: one fully distributed rank, plus the in-process
+//! [`NetGroup`] that runs all ranks of a job in one address space over
+//! [`LocalTransport`] (the same protocol stack the TCP mode uses, minus
+//! the sockets — invaluable for tests and for apples-to-apples
+//! comparisons against real-socket runs).
+
+use crate::frame::{Frame, FrameKind};
+use crate::transport::{FrameSink, LocalTransport, Transport};
+use crate::wave::NetWave;
+use std::io;
+use std::sync::Arc;
+use ttg_runtime::{FrameSender, Runtime, RuntimeConfig};
+use ttg_termdet::TermWave;
+
+/// Adapts the runtime + wave pair into the transport's frame ingestion
+/// point: data frames enter the runtime's inbox, control frames drive
+/// the wave protocol.
+struct RuntimeSink {
+    rt: Arc<Runtime>,
+    wave: Arc<NetWave>,
+}
+
+impl FrameSink for RuntimeSink {
+    fn deliver(&self, src: usize, frame: Frame) {
+        match frame.kind {
+            FrameKind::Data => {
+                self.rt
+                    .deliver_frame(src, frame.handler, frame.priority, frame.payload)
+            }
+            // Handshake/teardown frames are transport-level concerns; a
+            // LocalTransport never produces them and the TCP reader
+            // consumes them before the sink.
+            FrameKind::Hello | FrameKind::Goodbye => {}
+            _ => self.wave.on_control(src, frame),
+        }
+    }
+}
+
+/// Adapts the transport into the runtime's outbound message hook.
+struct TransportSender(Arc<dyn Transport>);
+
+impl FrameSender for TransportSender {
+    fn send_data(
+        &self,
+        dst: usize,
+        handler: u32,
+        priority: i32,
+        payload: Vec<u8>,
+    ) -> io::Result<()> {
+        self.0.send(dst, Frame::data(handler, priority, payload))
+    }
+}
+
+/// One rank of a distributed job: a runtime whose remote messages
+/// travel over a [`Transport`] and whose termination runs the fenced
+/// wave protocol.
+pub struct NetRuntime {
+    rt: Arc<Runtime>,
+    wave: Arc<NetWave>,
+    transport: Arc<dyn Transport>,
+}
+
+impl NetRuntime {
+    /// Assembles a rank over an arbitrary transport. `make_transport`
+    /// receives the frame sink and must return the connected endpoint
+    /// for (`rank`, `nranks`) — for TCP this is where the mesh dial
+    /// happens, so the call may block until all peers are up.
+    pub fn over_transport<T, E>(
+        config: RuntimeConfig,
+        rank: usize,
+        nranks: usize,
+        make_transport: impl FnOnce(Arc<dyn FrameSink>) -> Result<Arc<T>, E>,
+    ) -> Result<NetRuntime, E>
+    where
+        T: Transport + 'static,
+    {
+        let wave = NetWave::new(rank, nranks);
+        let rt = Arc::new(Runtime::with_termination(
+            config,
+            Arc::clone(&wave) as Arc<dyn ttg_termdet::TermWave>,
+            rank,
+        ));
+        let sink: Arc<dyn FrameSink> = Arc::new(RuntimeSink {
+            rt: Arc::clone(&rt),
+            wave: Arc::clone(&wave),
+        });
+        let transport: Arc<dyn Transport> = make_transport(sink)?;
+        wave.bind_transport(Arc::clone(&transport));
+        rt.set_frame_sender(Arc::new(TransportSender(Arc::clone(&transport))));
+        Ok(NetRuntime {
+            rt,
+            wave,
+            transport,
+        })
+    }
+
+    /// Connects this process as rank `rank` of an `nranks` TCP mesh on
+    /// `127.0.0.1` ports `base_port..base_port + nranks`. Blocks until
+    /// the mesh is fully connected.
+    pub fn connect_tcp(
+        config: RuntimeConfig,
+        rank: usize,
+        nranks: usize,
+        base_port: u16,
+    ) -> io::Result<NetRuntime> {
+        Self::over_transport(config, rank, nranks, |sink| {
+            crate::tcp::TcpTransport::connect_mesh(rank, nranks, base_port, sink)
+        })
+    }
+
+    /// The rank's runtime (submit work, register handlers, send
+    /// messages, `wait()` for the fenced global termination).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Shared handle to the runtime (e.g. for binding TTG graphs).
+    pub fn runtime_arc(&self) -> Arc<Runtime> {
+        Arc::clone(&self.rt)
+    }
+
+    /// The wave endpoint (diagnostics; `runtime().wait()` drives it).
+    pub fn wave(&self) -> &Arc<NetWave> {
+        &self.wave
+    }
+
+    /// The underlying transport (counters, shutdown).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Announces this rank's fence entry for the current epoch without
+    /// blocking. When several ranks live in one process (tests, benches,
+    /// [`NetGroup`]), every rank must fence **before** any is waited on;
+    /// see [`NetGroup::wait`] for why.
+    pub fn fence(&self) {
+        self.wave.enter_fence();
+    }
+
+    /// Blocks until global termination of the current session
+    /// (equivalent to `runtime().wait()`).
+    pub fn wait(&self) {
+        self.rt.wait();
+    }
+
+    /// Tears down the transport. Call after the final `wait()`.
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
+    }
+}
+
+impl std::fmt::Debug for NetRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetRuntime")
+            .field("rank", &self.rt.rank())
+            .field("nranks", &self.wave.nranks())
+            .finish_non_exhaustive()
+    }
+}
+
+/// All ranks of a distributed job in one address space, wired through
+/// [`LocalTransport`]: the full wave/fence protocol runs exactly as it
+/// does over TCP, but frames are handed over synchronously in-process.
+pub struct NetGroup {
+    members: Vec<NetRuntime>,
+}
+
+impl NetGroup {
+    /// Spawns `nranks` runtimes configured by `config_for(rank)`.
+    pub fn local(nranks: usize, config_for: impl Fn(usize) -> RuntimeConfig) -> NetGroup {
+        let nranks = nranks.max(1);
+        let members = LocalTransport::mesh(nranks)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, transport)| {
+                NetRuntime::over_transport::<_, std::convert::Infallible>(
+                    config_for(rank),
+                    rank,
+                    nranks,
+                    |sink| {
+                        transport.bind_sink(sink);
+                        Ok(Arc::new(transport))
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        NetGroup { members }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Access to the rank's assembled endpoint.
+    pub fn member(&self, rank: usize) -> &NetRuntime {
+        &self.members[rank]
+    }
+
+    /// Access to the runtime of `rank`.
+    pub fn runtime(&self, rank: usize) -> &Runtime {
+        self.members[rank].runtime()
+    }
+
+    /// Shared handle to the runtime of `rank`.
+    pub fn runtime_arc(&self, rank: usize) -> Arc<Runtime> {
+        self.members[rank].runtime_arc()
+    }
+
+    /// Blocks until global termination. All ranks must enter the fence
+    /// **before** any of them is waited on: the coordinator only opens
+    /// reduction rounds once every rank has fenced, so waiting rank 0
+    /// to completion first would deadlock against ranks that have not
+    /// announced fence entry yet.
+    pub fn wait(&self) {
+        for m in &self.members {
+            m.fence();
+        }
+        for m in &self.members {
+            m.wait();
+        }
+    }
+}
+
+impl std::fmt::Debug for NetGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetGroup")
+            .field("nranks", &self.members.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn zero_task_group_wait_returns() {
+        // The zero-task shutdown race: every rank idles at (0, 0) from
+        // the start; the fence must still gate termination until all
+        // ranks entered, then announce cleanly.
+        let group = NetGroup::local(3, |_| RuntimeConfig::optimized(1));
+        group.wait();
+        group.wait(); // and the epoch turnover must allow reuse
+    }
+
+    #[test]
+    fn framed_messages_cross_ranks_and_terminate() {
+        let group = NetGroup::local(2, |_| RuntimeConfig::optimized(2));
+        let hits = Arc::new(AtomicU64::new(0));
+        // SPMD registration: same order on every rank → same id.
+        let ids: Vec<u32> = (0..2)
+            .map(|r| {
+                let hits = Arc::clone(&hits);
+                group.runtime(r).register_handler(move |ctx, payload| {
+                    assert_eq!(payload, vec![9, 9]);
+                    hits.fetch_add(1 + ctx.rank() as u64, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 0]);
+        group.runtime(0).send_msg(1, 0, 0, vec![9, 9]);
+        group.runtime(1).send_msg(0, 0, 0, vec![9, 9]);
+        group.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 3); // ranks 0 and 1 hit once each
+        let s0 = group.runtime(0).stats();
+        assert_eq!(s0.messages_sent, 1);
+        assert_eq!(s0.messages_received, 1);
+        assert!(s0.bytes_on_wire >= 4, "2 payload bytes each way");
+    }
+
+    #[test]
+    fn message_storm_ping_pong() {
+        // Satellite stress test: a storm of messages bouncing between
+        // ranks; termination must only fire once the storm dies out.
+        const STORM: u64 = 200;
+        let group = Arc::new(NetGroup::local(2, |_| RuntimeConfig::optimized(2)));
+        let bounces = Arc::new(AtomicU64::new(0));
+        for r in 0..2 {
+            let bounces = Arc::clone(&bounces);
+            let rt = group.runtime_arc(r);
+            let id = group.runtime(r).register_handler(move |ctx, payload| {
+                let n = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                bounces.fetch_add(1, Ordering::Relaxed);
+                if n > 0 {
+                    let peer = 1 - ctx.rank();
+                    ctx.send_msg(peer, 0, 0, (n - 1).to_le_bytes().to_vec());
+                }
+            });
+            assert_eq!(id, 0);
+            drop(rt);
+        }
+        // Launch 4 concurrent storms from both sides.
+        for k in 0..2u64 {
+            group
+                .runtime(0)
+                .send_msg(1, 0, 0, (STORM + k).to_le_bytes().to_vec());
+            group
+                .runtime(1)
+                .send_msg(0, 0, 0, (STORM - k).to_le_bytes().to_vec());
+        }
+        group.wait();
+        let total: u64 = (0..4)
+            .map(|k| [STORM, STORM + 1, STORM, STORM - 1][k] + 1)
+            .sum();
+        assert_eq!(bounces.load(Ordering::Relaxed), total);
+        // Conservation: Σsent == Σreceived across the group.
+        let (s, r) = (0..2)
+            .map(|i| group.runtime(i).stats())
+            .fold((0, 0), |a, st| {
+                (a.0 + st.messages_sent, a.1 + st.messages_received)
+            });
+        assert_eq!(s, r, "wave terminated with messages unaccounted");
+        assert_eq!(s, total);
+    }
+
+    #[test]
+    fn multi_phase_reuse_with_work_between_waits() {
+        let group = NetGroup::local(2, |_| RuntimeConfig::optimized(1));
+        let sum = Arc::new(AtomicU64::new(0));
+        for r in 0..2 {
+            let sum = Arc::clone(&sum);
+            group.runtime(r).register_handler(move |_ctx, payload| {
+                sum.fetch_add(payload[0] as u64, Ordering::Relaxed);
+            });
+        }
+        for phase in 1..=3u8 {
+            group.runtime(0).send_msg(1, 0, 0, vec![phase]);
+            group.wait();
+            let want: u64 = (1..=phase as u64).sum();
+            assert_eq!(sum.load(Ordering::Relaxed), want, "phase {phase}");
+        }
+    }
+}

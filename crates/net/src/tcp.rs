@@ -1,0 +1,365 @@
+//! Real-socket transport: each rank is an OS process, frames travel
+//! over a full TCP mesh.
+//!
+//! Connection establishment follows the usual SPMD convention: every
+//! rank binds its listener **first** (port = base + rank when using
+//! [`TcpTransport::connect_mesh`]), then dials every lower rank with
+//! exponential-backoff retry (the peer may not have bound yet) and
+//! accepts one connection from every higher rank. A payload-free
+//! `Hello` frame carrying the dialer's rank is the handshake that tells
+//! the acceptor who is on the other end.
+//!
+//! One reader thread per peer socket decodes frames and hands them to
+//! the bound [`FrameSink`]; writers are per-peer mutex-guarded streams
+//! (frame writes are a single `write_all`, so per-peer ordering — which
+//! the wave protocol relies on — is the TCP stream's own ordering).
+
+use crate::frame::{Frame, FrameKind};
+use crate::transport::{FrameSink, Transport, TransportCounters};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long to keep retrying a dial before giving up.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(20);
+/// First retry delay; doubles up to [`CONNECT_RETRY_MAX`].
+const CONNECT_RETRY_START: Duration = Duration::from_millis(5);
+const CONNECT_RETRY_MAX: Duration = Duration::from_millis(250);
+
+/// A connected TCP endpoint of the rank mesh.
+pub struct TcpTransport {
+    rank: usize,
+    nranks: usize,
+    /// Write half per peer (`None` at our own index).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Shared with reader threads (which must NOT hold the transport
+    /// itself, or the last reader to exit would self-join in `Drop`).
+    counters: Arc<TransportCounters>,
+    down: Arc<AtomicBool>,
+    readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Connects rank `rank` of an `nranks` mesh on `127.0.0.1` with
+    /// contiguous ports `base_port + rank`. Blocks until the mesh is
+    /// fully connected; incoming frames go to `sink`.
+    pub fn connect_mesh(
+        rank: usize,
+        nranks: usize,
+        base_port: u16,
+        sink: Arc<dyn FrameSink>,
+    ) -> io::Result<Arc<TcpTransport>> {
+        let addrs: Vec<SocketAddr> = (0..nranks)
+            .map(|r| {
+                format!("127.0.0.1:{}", base_port + r as u16)
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        let listener = TcpListener::bind(addrs[rank])?;
+        Self::with_listener(rank, listener, &addrs, sink)
+    }
+
+    /// Connects using an already-bound listener for this rank and an
+    /// explicit address per rank (lets tests use OS-assigned ports).
+    /// `addrs[rank]` must be the listener's address.
+    pub fn with_listener(
+        rank: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        sink: Arc<dyn FrameSink>,
+    ) -> io::Result<Arc<TcpTransport>> {
+        let nranks = addrs.len();
+        assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
+        let mut streams: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+        // Dial every lower rank (its listener is bound or will be soon).
+        for peer in 0..rank {
+            let stream = dial_with_retry(addrs[peer])?;
+            stream.set_nodelay(true)?;
+            let mut hello = stream.try_clone()?;
+            Frame::control(FrameKind::Hello, rank as u32).write_to(&mut hello)?;
+            streams[peer] = Some(stream);
+        }
+        // Accept one connection from every higher rank; the Hello frame
+        // identifies which one just arrived.
+        for _ in rank + 1..nranks {
+            let (stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut reader = stream.try_clone()?;
+            let frame = Frame::read_from(&mut reader)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before Hello")
+            })?;
+            if frame.kind != FrameKind::Hello {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Hello, got {:?}", frame.kind),
+                ));
+            }
+            let peer = frame.handler as usize;
+            if peer <= rank || peer >= nranks || streams[peer].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad Hello rank {peer}"),
+                ));
+            }
+            streams[peer] = Some(stream);
+        }
+        drop(listener);
+        let counters = Arc::new(TransportCounters::default());
+        let down = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .filter_map(|(peer, s)| {
+                s.as_ref()
+                    .map(|s| (peer, s.try_clone().expect("clone read half")))
+            })
+            .map(|(peer, stream)| {
+                let counters = Arc::clone(&counters);
+                let down = Arc::clone(&down);
+                let sink = Arc::clone(&sink);
+                std::thread::Builder::new()
+                    .name(format!("ttg-net-{rank}<-{peer}"))
+                    .spawn(move || reader_loop(rank, peer, stream, &*sink, &counters, &down))
+                    .expect("spawn reader thread")
+            })
+            .collect();
+        Ok(Arc::new(TcpTransport {
+            rank,
+            nranks,
+            writers: streams.into_iter().map(|s| s.map(Mutex::new)).collect(),
+            counters,
+            down,
+            readers: Mutex::new(handles),
+        }))
+    }
+
+    /// Per-endpoint traffic counters.
+    pub fn counters(&self) -> &TransportCounters {
+        &self.counters
+    }
+}
+
+fn dial_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + CONNECT_DEADLINE;
+    let mut delay = CONNECT_RETRY_START;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("connecting to {addr} timed out after {CONNECT_DEADLINE:?}: {e}"),
+                ))
+            }
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(CONNECT_RETRY_MAX);
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    rank: usize,
+    peer: usize,
+    mut stream: TcpStream,
+    sink: &dyn FrameSink,
+    counters: &TransportCounters,
+    down: &AtomicBool,
+) {
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Some(frame)) => {
+                if frame.kind == FrameKind::Goodbye {
+                    return;
+                }
+                counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .bytes_received
+                    .fetch_add(frame.encoded_len() as u64, Ordering::Relaxed);
+                sink.deliver(peer, frame);
+            }
+            Ok(None) => return, // peer closed cleanly
+            Err(_) if down.load(Ordering::Acquire) => return,
+            Err(e) => panic!("rank {rank}: connection to rank {peer} failed: {e}"),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn send(&self, dst: usize, frame: Frame) -> io::Result<()> {
+        if self.down.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "transport is shut down",
+            ));
+        }
+        let writer = self.writers[dst].as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no connection to rank {dst}"),
+            )
+        })?;
+        let len = frame.encoded_len() as u64;
+        let mut stream = writer.lock();
+        frame.write_to(&mut *stream)?;
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn shutdown(&self) {
+        if self.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for writer in self.writers.iter().flatten() {
+            let mut stream = writer.lock();
+            let _ = Frame::control(FrameKind::Goodbye, self.rank as u32).write_to(&mut *stream);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.readers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.counters.bytes_sent.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.rank)
+            .field("nranks", &self.nranks)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Binds `n` listeners on OS-assigned loopback ports (test helper for
+/// meshes that cannot assume a free contiguous port range).
+pub fn ephemeral_listeners(n: usize) -> io::Result<(Vec<TcpListener>, Vec<SocketAddr>)> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let addrs = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<io::Result<_>>()?;
+    Ok((listeners, addrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::FnSink;
+    use std::sync::mpsc;
+
+    type FrameRx = mpsc::Receiver<(usize, Frame)>;
+
+    /// Full mesh over ephemeral ports; returns transports plus a frame
+    /// receiver per rank.
+    fn tcp_mesh(n: usize) -> (Vec<Arc<TcpTransport>>, Vec<FrameRx>) {
+        let (listeners, addrs) = ephemeral_listeners(n).unwrap();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel()).unzip();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .zip(txs)
+            .enumerate()
+            .map(|(rank, (listener, tx))| {
+                let addrs = addrs.clone();
+                std::thread::spawn(move || {
+                    let sink = Arc::new(FnSink(move |src, frame| {
+                        tx.send((src, frame)).unwrap();
+                    }));
+                    TcpTransport::with_listener(rank, listener, &addrs, sink).unwrap()
+                })
+            })
+            .collect();
+        let transports = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (transports, rxs)
+    }
+
+    #[test]
+    fn loopback_round_trip() {
+        let (transports, rxs) = tcp_mesh(2);
+        transports[0]
+            .send(1, Frame::data(7, -2, b"ping".to_vec()))
+            .unwrap();
+        let (src, frame) = rxs[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, frame.handler, frame.priority), (0, 7, -2));
+        assert_eq!(frame.payload, b"ping");
+        transports[1]
+            .send(0, Frame::data(8, 1, b"pong".to_vec()))
+            .unwrap();
+        let (src, frame) = rxs[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, frame.handler), (1, 8));
+        assert_eq!(frame.payload, b"pong");
+        for t in &transports {
+            t.shutdown();
+        }
+    }
+
+    #[test]
+    fn three_rank_mesh_is_fully_connected_and_ordered() {
+        let (transports, rxs) = tcp_mesh(3);
+        for (src, t) in transports.iter().enumerate() {
+            for dst in 0..3 {
+                if src == dst {
+                    continue;
+                }
+                for seq in 0..10u32 {
+                    t.send(dst, Frame::data(seq, 0, vec![src as u8])).unwrap();
+                }
+            }
+        }
+        for (dst, rx) in rxs.iter().enumerate() {
+            let mut per_peer: Vec<Vec<u32>> = vec![Vec::new(); 3];
+            for _ in 0..20 {
+                let (src, frame) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+                assert_eq!(frame.payload, vec![src as u8]);
+                per_peer[src].push(frame.handler);
+            }
+            for (src, seqs) in per_peer.iter().enumerate() {
+                if src == dst {
+                    assert!(seqs.is_empty());
+                } else {
+                    assert_eq!(*seqs, (0..10).collect::<Vec<_>>(), "per-peer order broken");
+                }
+            }
+        }
+        for t in &transports {
+            t.shutdown();
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_blocks_sends() {
+        let (transports, _rxs) = tcp_mesh(2);
+        transports[0].shutdown();
+        transports[0].shutdown();
+        assert!(transports[0]
+            .send(1, Frame::control(FrameKind::Hello, 0))
+            .is_err());
+        transports[1].shutdown();
+    }
+}

@@ -1,0 +1,197 @@
+//! The pluggable transport abstraction.
+//!
+//! A [`Transport`] moves encoded [`Frame`]s between ranks; a
+//! [`FrameSink`] is the destination's ingestion point (in practice the
+//! runtime adapter that decodes a data frame into a scheduled task).
+//! Keeping both as object-safe traits lets the same program run over
+//! in-process delivery ([`LocalTransport`]) or real sockets
+//! ([`crate::tcp::TcpTransport`]) without touching graph code.
+
+use crate::frame::{Frame, FrameKind};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Receives frames arriving at one rank.
+pub trait FrameSink: Send + Sync {
+    /// Ingests one frame sent by `src`. Called from the sender's thread
+    /// (local transport) or a receiver thread (TCP), never from a worker
+    /// of the destination runtime.
+    fn deliver(&self, src: usize, frame: Frame);
+}
+
+/// Moves frames between ranks.
+pub trait Transport: Send + Sync {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the job.
+    fn nranks(&self) -> usize;
+
+    /// Sends one frame to `dst`. Delivery is reliable and per-peer
+    /// ordered; the call may block but must not drop frames.
+    fn send(&self, dst: usize, frame: Frame) -> io::Result<()>;
+
+    /// Tears the endpoint down (joins receiver threads, closes sockets).
+    /// Idempotent.
+    fn shutdown(&self);
+
+    /// Bytes of frame payload+header shipped so far (excludes the
+    /// in-process fast path where nothing is encoded).
+    fn bytes_sent(&self) -> u64 {
+        0
+    }
+}
+
+/// Per-rank counters a transport keeps for the stats report.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    /// Frames shipped to peers (data + control).
+    pub frames_sent: AtomicU64,
+    /// Frames received from peers (data + control, excluding handshake).
+    pub frames_received: AtomicU64,
+    /// Encoded bytes shipped (header + payload).
+    pub bytes_sent: AtomicU64,
+    /// Encoded bytes received.
+    pub bytes_received: AtomicU64,
+}
+
+/// In-process transport: every rank lives in the same address space and
+/// `send` hands the frame straight to the destination sink.
+///
+/// This is the refactored form of the channel shuffling that used to be
+/// open-coded in `ttg_runtime::comm`: same synchronous-delivery
+/// semantics (a frame is in the destination's inbox before `send`
+/// returns, so there is never invisible in-flight state), now behind the
+/// [`Transport`] interface the TCP path also implements.
+pub struct LocalTransport {
+    rank: usize,
+    sinks: Arc<Vec<OnceLock<Arc<dyn FrameSink>>>>,
+    counters: TransportCounters,
+    down: AtomicBool,
+}
+
+impl LocalTransport {
+    /// Creates one connected endpoint per rank.
+    pub fn mesh(nranks: usize) -> Vec<LocalTransport> {
+        assert!(nranks > 0);
+        let sinks: Arc<Vec<OnceLock<Arc<dyn FrameSink>>>> =
+            Arc::new((0..nranks).map(|_| OnceLock::new()).collect());
+        (0..nranks)
+            .map(|rank| LocalTransport {
+                rank,
+                sinks: Arc::clone(&sinks),
+                counters: TransportCounters::default(),
+                down: AtomicBool::new(false),
+            })
+            .collect()
+    }
+
+    /// Registers the sink that ingests frames for `self.rank()`.
+    pub fn bind_sink(&self, sink: Arc<dyn FrameSink>) {
+        self.sinks[self.rank]
+            .set(sink)
+            .unwrap_or_else(|_| panic!("sink already bound for rank {}", self.rank));
+    }
+
+    /// Per-endpoint traffic counters.
+    pub fn counters(&self) -> &TransportCounters {
+        &self.counters
+    }
+}
+
+impl Transport for LocalTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.sinks.len()
+    }
+
+    fn send(&self, dst: usize, frame: Frame) -> io::Result<()> {
+        if self.down.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "transport is shut down",
+            ));
+        }
+        let sink = self.sinks[dst].get().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("no sink bound for rank {dst}"),
+            )
+        })?;
+        let len = frame.encoded_len() as u64;
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
+        sink.deliver(self.rank, frame);
+        Ok(())
+    }
+
+    fn shutdown(&self) {
+        self.down.store(true, Ordering::Release);
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.counters.bytes_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// A sink that discards everything; useful in tests.
+pub struct NullSink;
+
+impl FrameSink for NullSink {
+    fn deliver(&self, _src: usize, _frame: Frame) {}
+}
+
+/// A sink that forwards into a closure.
+pub struct FnSink<F: Fn(usize, Frame) + Send + Sync>(pub F);
+
+impl<F: Fn(usize, Frame) + Send + Sync> FrameSink for FnSink<F> {
+    fn deliver(&self, src: usize, frame: Frame) {
+        (self.0)(src, frame)
+    }
+}
+
+/// Convenience: true for frames that carry application data (vs
+/// termination/handshake control traffic).
+pub fn is_data(frame: &Frame) -> bool {
+    frame.kind == FrameKind::Data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn local_mesh_delivers_to_bound_sink() {
+        let mesh = LocalTransport::mesh(2);
+        let seen: Arc<Mutex<Vec<(usize, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        mesh[1].bind_sink(Arc::new(FnSink(move |src, f: Frame| {
+            seen2.lock().unwrap().push((src, f.handler));
+        })));
+        mesh[0].send(1, Frame::data(42, 0, vec![1])).unwrap();
+        mesh[0].send(1, Frame::data(43, 0, vec![2])).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 42), (0, 43)]);
+        assert_eq!(mesh[0].counters().frames_sent.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unbound_sink_errors_and_shutdown_blocks_sends() {
+        let mesh = LocalTransport::mesh(2);
+        assert!(mesh[0]
+            .send(1, Frame::control(FrameKind::Hello, 0))
+            .is_err());
+        mesh[1].bind_sink(Arc::new(NullSink));
+        mesh[0]
+            .send(1, Frame::control(FrameKind::Hello, 0))
+            .unwrap();
+        mesh[0].shutdown();
+        assert!(mesh[0]
+            .send(1, Frame::control(FrameKind::Hello, 0))
+            .is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! The 4-counter wave over a transport: fenced epochs, coordinator
+//! reductions, and per-rank clients.
+//!
+//! Same algorithm as the in-memory `ttg_termdet::WaveBoard` — global
+//! termination is announced when Σsent == Σreceived holds, unchanged,
+//! for two consecutive reduction rounds — but the "reduction" is now
+//! control traffic over the [`Transport`]: rank 0 hosts a coordinator
+//! that opens rounds, collects contributions, and broadcasts the
+//! verdict.
+//!
+//! # The fence
+//!
+//! A distributed session must not be allowed to terminate before every
+//! rank has finished *submitting* its work: a rank whose workers idle at
+//! (0, 0) before the application seeded anything would otherwise latch a
+//! spurious empty-session termination while peers still have messages in
+//! flight. Epochs are therefore **fenced**: each `Runtime::wait` call
+//! announces fence entry ([`TermWave::enter_fence`]) with its epoch
+//! number, and the coordinator only opens reduction rounds for epoch *e*
+//! once all ranks have entered fence *e*. Counters are cumulative across
+//! epochs, so messages of epoch *e+1* that arrive while a slow rank is
+//! still tearing down epoch *e* are simply early work for the next
+//! session — they can never corrupt the already-announced reduction.
+//!
+//! Lock discipline: the client and coordinator states are separate
+//! mutexes and **no send (or cross-state call) happens while either is
+//! held** — decisions are computed under the lock, transmissions happen
+//! after it drops. This is what makes the rank-0 direct-call path (its
+//! client talks to the in-process coordinator without a socket) free of
+//! lock-order cycles.
+
+use crate::frame::{Frame, FrameKind};
+use crate::transport::Transport;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use ttg_termdet::TermWave;
+
+/// Per-rank state of the wave client.
+#[derive(Debug)]
+struct ClientState {
+    /// Current session epoch (advances at `reset`).
+    epoch: u64,
+    /// Fence entered for this epoch (makes `enter_fence` idempotent).
+    entered: bool,
+    /// A round the coordinator opened and we have not yet contributed
+    /// to; consumed by the first locally-quiescent `try_contribute`.
+    pending_round: Option<u64>,
+    /// Highest round seen this epoch (drops reordered `RoundBegin`s).
+    last_round: u64,
+}
+
+/// Coordinator state (lives on rank 0 only).
+#[derive(Debug)]
+struct CoordState {
+    /// Epoch whose reduction we are (or will be) running.
+    epoch: u64,
+    /// Number of fences each rank has entered so far; rank `r` has
+    /// entered the fence of epoch `e` iff `fenced[r] > e`.
+    fenced: Vec<u64>,
+    /// Current round number within the epoch (0 = none opened yet).
+    round: u64,
+    /// Per-rank contributions to the current round.
+    contributions: Vec<Option<(u64, u64)>>,
+    /// Totals of the previous completed round.
+    prev_totals: Option<(u64, u64)>,
+}
+
+/// What the coordinator decided to broadcast (computed under its lock,
+/// transmitted after it drops).
+enum Verdict {
+    None,
+    /// Open reduction round `.0` of epoch `.1`.
+    Round(u64, u64),
+    /// Epoch `.0` is globally terminated.
+    Done(u64),
+}
+
+/// A [`TermWave`] implementation that reduces counters over a
+/// [`Transport`]. One instance per rank; the rank-0 instance also hosts
+/// the coordinator.
+pub struct NetWave {
+    rank: usize,
+    nranks: usize,
+    out: OnceLock<Arc<dyn Transport>>,
+    state: Mutex<ClientState>,
+    coord: Option<Mutex<CoordState>>,
+    terminated: AtomicBool,
+}
+
+impl NetWave {
+    /// Creates the wave endpoint for `rank` of `nranks`. The transport
+    /// must be bound with [`NetWave::bind_transport`] before the first
+    /// `wait` (control frames spin briefly waiting for it otherwise).
+    pub fn new(rank: usize, nranks: usize) -> Arc<NetWave> {
+        assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
+        Arc::new(NetWave {
+            rank,
+            nranks,
+            out: OnceLock::new(),
+            state: Mutex::new(ClientState {
+                epoch: 0,
+                entered: false,
+                pending_round: None,
+                last_round: 0,
+            }),
+            coord: (rank == 0).then(|| {
+                Mutex::new(CoordState {
+                    epoch: 0,
+                    fenced: vec![0; nranks],
+                    round: 0,
+                    contributions: vec![None; nranks],
+                    prev_totals: None,
+                })
+            }),
+            terminated: AtomicBool::new(false),
+        })
+    }
+
+    /// Binds the transport control frames travel over.
+    pub fn bind_transport(&self, transport: Arc<dyn Transport>) {
+        assert_eq!(transport.rank(), self.rank, "transport rank mismatch");
+        assert_eq!(transport.nranks(), self.nranks, "transport size mismatch");
+        self.out
+            .set(transport)
+            .unwrap_or_else(|_| panic!("transport already bound"));
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current epoch (diagnostics).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    fn transport(&self) -> Arc<dyn Transport> {
+        // Bound during construction, before any peer can possibly send;
+        // the spin only covers the construction window itself.
+        loop {
+            if let Some(t) = self.out.get() {
+                return Arc::clone(t);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Ingestion point for control frames arriving over the transport.
+    pub fn on_control(&self, src: usize, frame: Frame) {
+        match frame.kind {
+            FrameKind::EnterFence => {
+                let words = frame.words();
+                self.coord_enter_fence(frame.handler as usize, words[0]);
+            }
+            FrameKind::Contribute => {
+                let words = frame.words();
+                self.coord_contribute(
+                    frame.handler as usize,
+                    words[0],
+                    words[1],
+                    (words[2], words[3]),
+                );
+            }
+            FrameKind::RoundBegin => {
+                let words = frame.words();
+                self.client_round_begin(words[0], frame.handler as u64);
+            }
+            FrameKind::Terminated => {
+                let words = frame.words();
+                self.client_terminated(words[0]);
+            }
+            other => panic!("unexpected control frame {other:?} from rank {src}"),
+        }
+    }
+
+    // ---- client side ----------------------------------------------------
+
+    fn client_round_begin(&self, epoch: u64, round: u64) {
+        let mut st = self.state.lock();
+        if st.epoch == epoch && round > st.last_round {
+            st.last_round = round;
+            st.pending_round = Some(round);
+        }
+    }
+
+    fn client_terminated(&self, epoch: u64) {
+        let st = self.state.lock();
+        if st.epoch == epoch {
+            self.terminated.store(true, Ordering::Release);
+        }
+    }
+
+    // ---- coordinator side (rank 0) --------------------------------------
+
+    fn coord(&self) -> &Mutex<CoordState> {
+        self.coord
+            .as_ref()
+            .expect("coordinator control frame reached a non-zero rank")
+    }
+
+    fn coord_enter_fence(&self, rank: usize, epoch: u64) {
+        let verdict = {
+            let mut st = self.coord().lock();
+            st.fenced[rank] = st.fenced[rank].max(epoch + 1);
+            Self::maybe_open_first_round(&mut st)
+        };
+        self.broadcast(verdict);
+    }
+
+    fn coord_contribute(&self, rank: usize, epoch: u64, round: u64, totals: (u64, u64)) {
+        let verdict = {
+            let mut st = self.coord().lock();
+            if epoch != st.epoch || round != st.round {
+                return; // stale (an earlier round's late contribution)
+            }
+            st.contributions[rank] = Some(totals);
+            if !st.contributions.iter().all(Option::is_some) {
+                return;
+            }
+            let sums = st
+                .contributions
+                .iter()
+                .map(|c| c.unwrap())
+                .fold((0u64, 0u64), |a, c| (a.0 + c.0, a.1 + c.1));
+            st.contributions.iter_mut().for_each(|c| *c = None);
+            if sums.0 == sums.1 && st.prev_totals == Some(sums) {
+                // Two consecutive stable, balanced rounds: epoch over.
+                let done = st.epoch;
+                st.epoch += 1;
+                st.round = 0;
+                st.prev_totals = None;
+                Verdict::Done(done)
+            } else {
+                st.prev_totals = Some(sums);
+                st.round += 1;
+                Verdict::Round(st.epoch, st.round)
+            }
+        };
+        self.broadcast(verdict);
+    }
+
+    /// Opens round 1 of the current epoch once every rank has fenced
+    /// into it (and no round is already running).
+    fn maybe_open_first_round(st: &mut CoordState) -> Verdict {
+        let epoch = st.epoch;
+        if st.round == 0 && st.fenced.iter().all(|&f| f > epoch) {
+            st.round = 1;
+            st.contributions.iter_mut().for_each(|c| *c = None);
+            st.prev_totals = None;
+            Verdict::Round(epoch, 1)
+        } else {
+            Verdict::None
+        }
+    }
+
+    /// Transmits a coordinator verdict to every rank. Rank 0's own copy
+    /// is a direct call (no self-connection exists over TCP).
+    fn broadcast(&self, verdict: Verdict) {
+        match verdict {
+            Verdict::None => {}
+            Verdict::Round(epoch, round) => {
+                let frame =
+                    Frame::control_with_words(FrameKind::RoundBegin, round as u32, &[epoch]);
+                self.fan_out(frame);
+                self.client_round_begin(epoch, round);
+            }
+            Verdict::Done(epoch) => {
+                let frame = Frame::control_with_words(FrameKind::Terminated, 0, &[epoch]);
+                self.fan_out(frame);
+                self.client_terminated(epoch);
+            }
+        }
+    }
+
+    fn fan_out(&self, frame: Frame) {
+        let out = self.transport();
+        for dst in 1..self.nranks {
+            out.send(dst, frame.clone())
+                .expect("wave control send failed");
+        }
+    }
+
+    /// Sends a client control frame to the coordinator (direct call when
+    /// we *are* rank 0).
+    fn to_coordinator(&self, frame: Frame) {
+        if self.rank == 0 {
+            self.on_control(0, frame);
+        } else {
+            self.transport()
+                .send(0, frame)
+                .expect("wave control send failed");
+        }
+    }
+}
+
+impl TermWave for NetWave {
+    fn try_contribute(&self, rank: usize, sent: u64, received: u64) -> bool {
+        debug_assert_eq!(rank, self.rank);
+        if self.terminated.load(Ordering::Acquire) {
+            return true;
+        }
+        let pending = {
+            let mut st = self.state.lock();
+            st.pending_round.take().map(|round| (st.epoch, round))
+        };
+        if let Some((epoch, round)) = pending {
+            self.to_coordinator(Frame::control_with_words(
+                FrameKind::Contribute,
+                self.rank as u32,
+                &[epoch, round, sent, received],
+            ));
+        }
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    fn reset(&self) {
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        st.entered = false;
+        st.pending_round = None;
+        st.last_round = 0;
+        // Clear the latch under the state lock so no contribution can
+        // observe the old epoch with a cleared latch.
+        self.terminated.store(false, Ordering::Release);
+    }
+
+    /// Distributed sessions only turn over at the fence: a send or
+    /// submit during the latched window belongs to the *next* epoch and
+    /// must not un-latch the current one.
+    fn on_new_work(&self) {}
+
+    fn enter_fence(&self) {
+        let epoch = {
+            let mut st = self.state.lock();
+            if st.entered {
+                return;
+            }
+            st.entered = true;
+            st.epoch
+        };
+        self.to_coordinator(Frame::control_with_words(
+            FrameKind::EnterFence,
+            self.rank as u32,
+            &[epoch],
+        ));
+    }
+
+    fn fenced_protocol(&self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for NetWave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetWave")
+            .field("rank", &self.rank)
+            .field("nranks", &self.nranks)
+            .field("coordinator", &self.coord.is_some())
+            .field("terminated", &self.terminated.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LocalTransport;
+
+    /// Builds a fully wired in-process wave mesh: control frames from
+    /// rank r reach rank s's NetWave through a LocalTransport.
+    fn wave_mesh(nranks: usize) -> Vec<(Arc<NetWave>, Arc<dyn Transport>)> {
+        let mesh = LocalTransport::mesh(nranks);
+        let waves: Vec<Arc<NetWave>> = (0..nranks).map(|r| NetWave::new(r, nranks)).collect();
+        mesh.iter().zip(&waves).for_each(|(t, w)| {
+            let w = Arc::clone(w);
+            t.bind_sink(Arc::new(crate::transport::FnSink(move |src, frame| {
+                w.on_control(src, frame)
+            })));
+        });
+        mesh.into_iter()
+            .zip(waves)
+            .map(|(t, w)| {
+                let t: Arc<dyn Transport> = Arc::new(t);
+                w.bind_transport(Arc::clone(&t));
+                (w, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_epoch_terminates_after_all_ranks_fence() {
+        let ranks = wave_mesh(3);
+        // Nobody has fenced: contributing does nothing, no termination.
+        assert!(!ranks[1].0.try_contribute(1, 0, 0));
+        // Two ranks fence; still gated on the third.
+        ranks[0].0.enter_fence();
+        ranks[1].0.enter_fence();
+        for (w, _) in &ranks {
+            w.try_contribute(w.rank(), 0, 0);
+        }
+        assert!(ranks.iter().all(|(w, _)| !w.is_terminated()));
+        // Third rank fences: round 1 opens; two stable rounds announce.
+        ranks[2].0.enter_fence();
+        for _ in 0..2 {
+            for (w, _) in &ranks {
+                w.try_contribute(w.rank(), 0, 0);
+            }
+        }
+        assert!(ranks.iter().all(|(w, _)| w.is_terminated()));
+    }
+
+    #[test]
+    fn unbalanced_counters_block_termination() {
+        let ranks = wave_mesh(2);
+        ranks[0].0.enter_fence();
+        ranks[1].0.enter_fence();
+        // Rank 0 claims a sent message rank 1 never received: rounds
+        // keep cycling without announcing.
+        for _ in 0..4 {
+            ranks[0].0.try_contribute(0, 1, 0);
+            ranks[1].0.try_contribute(1, 0, 0);
+        }
+        assert!(!ranks[0].0.is_terminated());
+        assert!(!ranks[1].0.is_terminated());
+        // The message lands: two stable balanced rounds → done.
+        for _ in 0..3 {
+            ranks[0].0.try_contribute(0, 1, 0);
+            ranks[1].0.try_contribute(1, 0, 1);
+        }
+        assert!(ranks[0].0.is_terminated() && ranks[1].0.is_terminated());
+    }
+
+    #[test]
+    fn epochs_turn_over_through_reset() {
+        let ranks = wave_mesh(2);
+        for epoch in 0..3u64 {
+            assert_eq!(ranks[0].0.epoch(), epoch);
+            ranks[0].0.enter_fence();
+            ranks[0].0.enter_fence(); // idempotent
+            ranks[1].0.enter_fence();
+            // `&` (not `&&`): both ranks must keep contributing every
+            // iteration or the round reduction never completes.
+            while !(ranks[0].0.try_contribute(0, epoch, epoch) & ranks[1].0.try_contribute(1, 0, 0))
+            {
+            }
+            ranks[0].0.reset();
+            ranks[1].0.reset();
+            assert!(!ranks[0].0.is_terminated());
+        }
+    }
+
+    #[test]
+    fn new_work_keeps_the_latch() {
+        let ranks = wave_mesh(1);
+        ranks[0].0.enter_fence();
+        while !ranks[0].0.try_contribute(0, 0, 0) {}
+        assert!(ranks[0].0.is_terminated());
+        ranks[0].0.on_new_work();
+        assert!(
+            ranks[0].0.is_terminated(),
+            "net wave must keep the latch until the fence resets it"
+        );
+    }
+}

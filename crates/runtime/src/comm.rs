@@ -19,13 +19,27 @@ use std::sync::{Arc, Weak};
 use ttg_sched::Priority;
 use ttg_termdet::WaveBoard;
 
-/// An active message: a job executed as a task on the destination.
-pub(crate) struct RemoteMsg {
-    pub(crate) priority: Priority,
-    pub(crate) job: Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>,
+/// An active message: work executed as a task on the destination.
+///
+/// `Closure` is the in-memory fast path — a boxed job shipped by pointer,
+/// only possible between runtimes sharing an address space. `Framed` is
+/// the transport-portable form: a registered handler id plus serialized
+/// payload, exactly what `ttg-net` moves over sockets (and what in-memory
+/// groups also accept, so both execution modes share one inbox path).
+pub(crate) enum RemoteMsg {
+    Closure {
+        priority: Priority,
+        job: Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>,
+    },
+    Framed {
+        priority: Priority,
+        handler: u32,
+        payload: Vec<u8>,
+    },
 }
 
-/// Routes an active message from `src` to rank `dst`.
+/// Routes a closure active message from `src` to rank `dst` (in-memory
+/// process groups only; closures cannot cross process boundaries).
 pub(crate) fn send_remote_from(
     src: &Inner,
     dst: usize,
@@ -50,10 +64,70 @@ pub(crate) fn send_remote_from(
     src.maybe_new_session();
     // Count the send *before* the message becomes receivable.
     src.term.message_sent();
+    src.comm
+        .messages_sent
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     peer.inbox_tx
-        .send(RemoteMsg { priority, job })
+        .send(RemoteMsg::Closure { priority, job })
         .expect("peer inbox closed");
     peer.wake_sleepers();
+}
+
+/// Routes a framed (serialized) active message from `src` to rank `dst`,
+/// over whichever medium this runtime is connected to: the in-memory
+/// peer table of a [`ProcessGroup`], or a bound network transport.
+pub(crate) fn send_msg_from(
+    src: &Inner,
+    dst: usize,
+    priority: Priority,
+    handler: u32,
+    payload: Vec<u8>,
+) {
+    use std::sync::atomic::Ordering;
+    if dst == src.rank {
+        // Local delivery: execute the handler as an ordinary injected
+        // task; no inter-process message accounting.
+        let h = src.handler(handler);
+        src.term.task_discovered(None);
+        src.inject(crate::task::ClosureTask::allocate(
+            priority,
+            move |ctx: &mut WorkerCtx<'_>| h(ctx, payload),
+        ));
+        return;
+    }
+    src.maybe_new_session();
+    if let Some(peers) = src.peers.get() {
+        let peer = peers[dst]
+            .upgrade()
+            .expect("destination process already shut down");
+        src.term.message_sent();
+        src.comm.messages_sent.fetch_add(1, Ordering::Relaxed);
+        src.comm
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        peer.comm
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        peer.inbox_tx
+            .send(RemoteMsg::Framed {
+                priority,
+                handler,
+                payload,
+            })
+            .expect("peer inbox closed");
+        peer.wake_sleepers();
+    } else if let Some(out) = src.frame_out.get() {
+        // Count the send *before* the frame can possibly be received.
+        src.term.message_sent();
+        src.comm.messages_sent.fetch_add(1, Ordering::Relaxed);
+        src.comm
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        out.send_data(dst, handler, priority, payload)
+            .expect("transport send failed");
+    } else {
+        panic!("send_msg requires ProcessGroup membership or a bound transport");
+    }
 }
 
 /// A set of in-process "processes" sharing one termination wave.
@@ -90,7 +164,7 @@ impl ProcessGroup {
             .map(|rank| {
                 Arc::new(Runtime::with_wave(
                     config_for(rank),
-                    Arc::clone(&wave),
+                    Arc::clone(&wave) as Arc<dyn ttg_termdet::TermWave>,
                     rank,
                     false,
                 ))
@@ -98,9 +172,7 @@ impl ProcessGroup {
             .collect();
         let weak: Vec<Weak<Inner>> = procs.iter().map(|r| Arc::downgrade(r.inner())).collect();
         for r in &procs {
-            r.inner()
-                .peers
-                .set(weak.clone()).expect("peers set twice");
+            r.inner().peers.set(weak.clone()).expect("peers set twice");
         }
         ProcessGroup { procs, wave }
     }

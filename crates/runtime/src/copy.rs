@@ -120,7 +120,9 @@ impl Clone for DataCopy {
     /// Retain: one counted atomic RMW (N_RC's first half).
     fn clone(&self) -> Self {
         // SAFETY: inner live.
-        unsafe { self.inner.as_ref() }.refs.fetch_add(1, self.policy.rmw());
+        unsafe { self.inner.as_ref() }
+            .refs
+            .fetch_add(1, self.policy.rmw());
         DataCopy {
             inner: self.inner,
             policy: self.policy,

@@ -38,7 +38,7 @@ pub mod worker;
 
 pub use comm::ProcessGroup;
 pub use copy::DataCopy;
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{FrameSender, Runtime, RuntimeConfig};
 pub use stats::RuntimeStats;
 pub use task::{RawTask, TaskHeader, TaskVTable};
 pub use worker::WorkerCtx;

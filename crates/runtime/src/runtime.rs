@@ -1,18 +1,38 @@
 //! The [`Runtime`] handle and its configuration.
 
 use crate::comm::RemoteMsg;
-use crate::stats::{self, WorkerStatsCell};
+use crate::stats::{self, CommCounters, WorkerStatsCell};
 use crate::task::{ClosureTask, RawTask};
 use crate::worker::{self, WorkerCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use ttg_hashtable::LockKind;
 use ttg_sched::{Priority, SchedKind, TaskQueue};
 use ttg_sync::{CachePadded, OrderingPolicy};
-use ttg_termdet::{LocalTermination, TermDetKind, WaveBoard};
+use ttg_termdet::{LocalTermination, TermDetKind, TermWave, WaveBoard};
+
+/// A registered typed-message handler: executes on the destination with
+/// the carried payload.
+pub(crate) type HandlerFn = dyn Fn(&mut WorkerCtx<'_>, Vec<u8>) + Send + Sync;
+
+/// Outbound side of a network transport, bound via
+/// [`Runtime::set_frame_sender`]. `ttg-net` implements this over sockets;
+/// the runtime stays independent of any wire format.
+pub trait FrameSender: Send + Sync {
+    /// Ships one data message to `dst`. Must be reliable and per-peer
+    /// ordered; called after the sender's `message_sent` counter was
+    /// incremented.
+    fn send_data(
+        &self,
+        dst: usize,
+        handler: u32,
+        priority: Priority,
+        payload: Vec<u8>,
+    ) -> std::io::Result<()>;
+}
 
 /// Configuration of one runtime instance ("process").
 ///
@@ -90,7 +110,7 @@ pub(crate) struct Inner {
     pub(crate) config: RuntimeConfig,
     pub(crate) sched: Box<dyn TaskQueue>,
     pub(crate) term: LocalTermination,
-    pub(crate) wave: Arc<WaveBoard>,
+    pub(crate) wave: Arc<dyn TermWave>,
     /// This process's rank within its wave board / process group.
     pub(crate) rank: usize,
     /// Whether `wait()` may reset the wave board (false inside a
@@ -104,6 +124,13 @@ pub(crate) struct Inner {
     pub(crate) inbox_tx: Sender<RemoteMsg>,
     /// Peer processes (set once by ProcessGroup).
     pub(crate) peers: OnceLock<Vec<Weak<Inner>>>,
+    /// Outbound network transport (set once when driven by `ttg-net`).
+    pub(crate) frame_out: OnceLock<Arc<dyn FrameSender>>,
+    /// Typed-message handlers, indexed by registration order. SPMD
+    /// programs register identically on every rank so ids agree.
+    pub(crate) handlers: RwLock<Vec<Arc<HandlerFn>>>,
+    /// Inter-process communication counters (stats satellite).
+    pub(crate) comm: CommCounters,
     /// Workers currently in the idle phase (SeqCst: quiescence fence).
     pub(crate) idle_count: AtomicUsize,
     pub(crate) shutdown: AtomicBool,
@@ -129,13 +156,22 @@ impl Inner {
     }
 
     /// Opens a new session if the previous one already terminated: a
-    /// latched wave board must be reset *before* new work becomes
+    /// latched shared wave board must be reset *before* new work becomes
     /// visible, otherwise a later `wait()` could accept the stale
     /// termination while cross-process messages are still in flight.
+    /// (Network wave clients keep the latch — their sessions only turn
+    /// over at the fence — so this delegates to the implementation.)
     pub(crate) fn maybe_new_session(&self) {
-        if self.wave.is_terminated() {
-            self.wave.reset();
-        }
+        self.wave.on_new_work();
+    }
+
+    /// Looks up a registered handler by id.
+    pub(crate) fn handler(&self, id: u32) -> Arc<HandlerFn> {
+        let handlers = self.handlers.read();
+        handlers
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("no message handler registered with id {id}"))
+            .clone()
     }
 
     /// Pushes an externally produced task into the injection queue.
@@ -192,15 +228,25 @@ pub struct Runtime {
 impl Runtime {
     /// Spawns a standalone runtime (its own single-process wave board).
     pub fn new(config: RuntimeConfig) -> Self {
-        let wave = Arc::new(WaveBoard::new(1));
+        let wave: Arc<dyn TermWave> = Arc::new(WaveBoard::new(1));
         Self::with_wave(config, wave, 0, true)
     }
 
-    /// Spawns a runtime participating in a shared wave board (used by
-    /// [`crate::ProcessGroup`]).
+    /// Spawns a runtime participating in an external global-termination
+    /// protocol: `wave` decides when the whole job is quiescent and
+    /// `rank` is this process's identity within it. Used by `ttg-net` to
+    /// run one rank of a distributed job per OS process; the wave client
+    /// then reduces (sent, received) totals over the transport instead
+    /// of a shared board.
+    pub fn with_termination(config: RuntimeConfig, wave: Arc<dyn TermWave>, rank: usize) -> Self {
+        Self::with_wave(config, wave, rank, true)
+    }
+
+    /// Spawns a runtime participating in a shared wave (used by
+    /// [`crate::ProcessGroup`] and [`Runtime::with_termination`]).
     pub(crate) fn with_wave(
         config: RuntimeConfig,
-        wave: Arc<WaveBoard>,
+        wave: Arc<dyn TermWave>,
         rank: usize,
         owns_wave: bool,
     ) -> Self {
@@ -217,6 +263,9 @@ impl Runtime {
             inbox_rx,
             inbox_tx,
             peers: OnceLock::new(),
+            frame_out: OnceLock::new(),
+            handlers: RwLock::new(Vec::new()),
+            comm: CommCounters::default(),
             idle_count: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             session_done: Mutex::new(false),
@@ -256,7 +305,11 @@ impl Runtime {
     }
 
     /// Submits a closure task from outside the worker pool.
-    pub fn submit(&self, priority: Priority, job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static) {
+    pub fn submit(
+        &self,
+        priority: Priority,
+        job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
+    ) {
         // Count the discovery *before* the task becomes reachable so no
         // quiescence check can miss it.
         self.inner.term.task_discovered(None);
@@ -290,10 +343,32 @@ impl Runtime {
     /// work everywhere plus in-flight messages) has completed. This is
     /// TTG's fence; the runtime is reusable afterwards.
     pub fn wait(&self) {
+        // Announce fence entry first: distributed wave clients tell the
+        // coordinator that this rank has submitted all of its session's
+        // work, which gates the first reduction round (no-op for the
+        // shared-memory board).
+        self.inner.wave.enter_fence();
         let mut done = self.inner.session_done.lock();
         loop {
             if *done {
                 *done = false;
+                if self.inner.wave.fenced_protocol() {
+                    // The latch is per-epoch authoritative: set only by a
+                    // coordinator announcement for the epoch this wait
+                    // fenced into, cleared only by our own reset below.
+                    // Messages of the *next* epoch may already sit in the
+                    // inbox (their sender's wait returned first); they
+                    // belong to the next session and must not block us.
+                    if self.inner.wave.is_terminated() {
+                        if self.inner.owns_wave {
+                            self.inner.wave.reset();
+                        }
+                        return;
+                    }
+                    // Spurious wakeup from a worker that raced the reset;
+                    // await a genuine announcement.
+                    continue;
+                }
                 if self.inner.truly_quiet() {
                     if self.inner.owns_wave {
                         self.inner.wave.reset();
@@ -322,7 +397,12 @@ impl Runtime {
 
     /// Aggregated statistics snapshot.
     pub fn stats(&self) -> crate::RuntimeStats {
-        stats::aggregate(&self.inner.worker_stats, self.inner.sched.stats())
+        let mut s = stats::aggregate(&self.inner.worker_stats, self.inner.sched.stats());
+        s.messages_sent = self.inner.comm.messages_sent.load(Ordering::Relaxed);
+        s.messages_received = self.inner.comm.messages_received.load(Ordering::Relaxed);
+        s.bytes_on_wire = self.inner.comm.bytes_sent.load(Ordering::Relaxed)
+            + self.inner.comm.bytes_received.load(Ordering::Relaxed);
+        s
     }
 
     /// Flushed process-pending counter (diagnostics).
@@ -345,6 +425,60 @@ impl Runtime {
         job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
     ) {
         crate::comm::send_remote_from(&self.inner, dst, priority, Box::new(job));
+    }
+
+    /// Registers a typed-message handler and returns its id. SPMD
+    /// programs must register the same handlers in the same order on
+    /// every rank (ids are assigned by registration order), before any
+    /// message for them can arrive.
+    pub fn register_handler(
+        &self,
+        handler: impl Fn(&mut WorkerCtx<'_>, Vec<u8>) + Send + Sync + 'static,
+    ) -> u32 {
+        let mut handlers = self.inner.handlers.write();
+        let id = handlers.len() as u32;
+        handlers.push(Arc::new(handler));
+        id
+    }
+
+    /// Sends a serialized active message to rank `dst`: the payload is
+    /// executed there by the handler registered under `handler`, as a
+    /// task of the given priority. Works over a [`crate::ProcessGroup`]
+    /// and over a bound network transport alike; `dst == rank` executes
+    /// locally without counting as an inter-process message.
+    pub fn send_msg(&self, dst: usize, priority: Priority, handler: u32, payload: Vec<u8>) {
+        crate::comm::send_msg_from(&self.inner, dst, priority, handler, payload);
+    }
+
+    /// Binds the outbound network transport. Called once by `ttg-net`
+    /// before any work is submitted.
+    pub fn set_frame_sender(&self, sender: Arc<dyn FrameSender>) {
+        self.inner
+            .frame_out
+            .set(sender)
+            .unwrap_or_else(|_| panic!("frame sender already bound"));
+    }
+
+    /// Ingests a data message that arrived over the network for this
+    /// rank. Called by the transport's receiver thread; the message is
+    /// queued into the inbox and drained by a worker, which counts
+    /// `message_received` and schedules the handler at `priority` — the
+    /// same path in-memory peer messages take.
+    pub fn deliver_frame(&self, src: usize, handler: u32, priority: Priority, payload: Vec<u8>) {
+        let _ = src;
+        self.inner
+            .comm
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.inner
+            .inbox_tx
+            .send(RemoteMsg::Framed {
+                priority,
+                handler,
+                payload,
+            })
+            .expect("own inbox closed");
+        self.inner.wake_sleepers();
     }
 }
 

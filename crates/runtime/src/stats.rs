@@ -5,8 +5,26 @@
 //! counters) and are aggregated on demand by the benchmark harness.
 
 use std::cell::Cell;
+use std::sync::atomic::AtomicU64;
 use ttg_sched::QueueStats;
 use ttg_sync::CachePadded;
+
+/// Inter-process communication counters, shared between worker threads,
+/// the sending application thread, and transport receiver threads —
+/// hence atomics, unlike [`WorkerStatsCell`]. Updated once per message,
+/// never on the task hot path.
+#[derive(Debug, Default)]
+pub(crate) struct CommCounters {
+    /// Active messages sent to other ranks (closure or framed).
+    pub messages_sent: AtomicU64,
+    /// Active messages drained from the inbox.
+    pub messages_received: AtomicU64,
+    /// Payload bytes shipped to other ranks (framed messages only; the
+    /// in-memory closure path serializes nothing).
+    pub bytes_sent: AtomicU64,
+    /// Payload bytes received from other ranks.
+    pub bytes_received: AtomicU64,
+}
 
 /// One worker's counters. Only the owning worker writes.
 #[derive(Debug, Default)]
@@ -36,6 +54,14 @@ pub struct RuntimeStats {
     /// Tasks executed inline (without a scheduler round-trip; only
     /// non-zero when `RuntimeConfig::inline_tasks` is enabled).
     pub inlined: u64,
+    /// Active messages sent to peer ranks.
+    pub messages_sent: u64,
+    /// Active messages received from peer ranks.
+    pub messages_received: u64,
+    /// Serialized payload bytes exchanged with peer ranks (sent +
+    /// received; zero for in-memory closure messages, which ship no
+    /// bytes).
+    pub bytes_on_wire: u64,
     /// Scheduler behaviour counters.
     pub queue: QueueStats,
 }
@@ -47,10 +73,7 @@ pub(crate) fn new_cells(workers: usize) -> Box<[CachePadded<WorkerStatsCell>]> {
         .into_boxed_slice()
 }
 
-pub(crate) fn aggregate(
-    cells: &[CachePadded<WorkerStatsCell>],
-    queue: QueueStats,
-) -> RuntimeStats {
+pub(crate) fn aggregate(cells: &[CachePadded<WorkerStatsCell>], queue: QueueStats) -> RuntimeStats {
     let mut s = RuntimeStats {
         queue,
         ..Default::default()

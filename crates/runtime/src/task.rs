@@ -25,7 +25,9 @@ pub struct TaskVTable {
 
 impl std::fmt::Debug for TaskVTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskVTable").field("name", &self.name).finish()
+        f.debug_struct("TaskVTable")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

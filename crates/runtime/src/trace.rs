@@ -147,6 +147,9 @@ mod tests {
         assert_eq!(arr[0]["ph"], "X");
         assert_eq!(arr[0]["tid"], 0);
         assert_eq!(arr[1]["tid"], 3);
-        assert!(arr[1]["dur"].as_f64().unwrap() > 0.0, "zero durations clamped");
+        assert!(
+            arr[1]["dur"].as_f64().unwrap() > 0.0,
+            "zero durations clamped"
+        );
     }
 }

@@ -84,7 +84,11 @@ impl<'rt> WorkerCtx<'rt> {
 
     /// Spawns a closure task from within a task body (counted +
     /// scheduled).
-    pub fn spawn(&mut self, priority: Priority, job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static) {
+    pub fn spawn(
+        &mut self,
+        priority: Priority,
+        job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
+    ) {
         self.count_discovered();
         let task = ClosureTask::allocate(priority, job);
         // SAFETY: freshly allocated, counted above.
@@ -99,6 +103,13 @@ impl<'rt> WorkerCtx<'rt> {
         job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
     ) {
         crate::comm::send_remote_from(self.inner, dst, priority, Box::new(job));
+    }
+
+    /// Sends a serialized active message to rank `dst`: the payload runs
+    /// there under the handler registered with that id (works over a
+    /// process group or a bound network transport alike).
+    pub fn send_msg(&self, dst: usize, priority: Priority, handler: u32, payload: Vec<u8>) {
+        crate::comm::send_msg_from(self.inner, dst, priority, handler, payload);
     }
 
     /// Publishes the accumulated bundle to this worker's queue.
@@ -162,8 +173,24 @@ impl<'rt> WorkerCtx<'rt> {
         let mut got = false;
         while let Ok(msg) = self.inner.inbox_rx.try_recv() {
             self.inner.term.message_received();
+            self.inner
+                .comm
+                .messages_received
+                .fetch_add(1, Ordering::Relaxed);
             self.inner.term.task_discovered(Some(self.id));
-            let task = ClosureTask::allocate(msg.priority, msg.job);
+            let task = match msg {
+                crate::comm::RemoteMsg::Closure { priority, job } => {
+                    ClosureTask::allocate(priority, job)
+                }
+                crate::comm::RemoteMsg::Framed {
+                    priority,
+                    handler,
+                    payload,
+                } => {
+                    let h = self.inner.handler(handler);
+                    ClosureTask::allocate(priority, move |ctx: &mut WorkerCtx<'_>| h(ctx, payload))
+                }
+            };
             self.bundle.insert(TaskHeader::as_node(task.0));
             got = true;
         }

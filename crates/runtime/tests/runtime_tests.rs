@@ -74,7 +74,11 @@ fn recursive_spawning_binary_tree() {
         const DEPTH: u32 = 12; // 2^13 - 1 = 8191 tasks
         rt.submit(0, move |ctx| node(ctx, DEPTH, c));
         rt.wait();
-        assert_eq!(count.load(Ordering::Relaxed), (1 << (DEPTH + 1)) - 1, "{label}");
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            (1 << (DEPTH + 1)) - 1,
+            "{label}"
+        );
     }
 }
 
@@ -129,7 +133,11 @@ fn tasks_spawned_from_tasks_with_priorities() {
     });
     rt.wait();
     let got = order.lock().clone();
-    assert_eq!(got, vec!["high", "mid", "low"], "single worker must follow priority");
+    assert_eq!(
+        got,
+        vec!["high", "mid", "low"],
+        "single worker must follow priority"
+    );
 }
 
 #[test]

@@ -78,11 +78,7 @@ impl BoundedBuffer {
 
     /// Tries to displace the lowest-priority occupant with `node` if
     /// `prio` outranks it. Returns the displaced task on success.
-    fn try_displace(
-        &self,
-        node: NonNull<SchedNode>,
-        prio: Priority,
-    ) -> Option<NonNull<SchedNode>> {
+    fn try_displace(&self, node: NonNull<SchedNode>, prio: Priority) -> Option<NonNull<SchedNode>> {
         let mut min_idx = None;
         let mut min_prio = prio;
         for (i, slot) in self.slots.iter().enumerate() {
@@ -135,7 +131,12 @@ impl BoundedBuffer {
             note_rmw();
             if slot
                 .ptr
-                .compare_exchange(ptr, std::ptr::null_mut(), Ordering::Acquire, Ordering::Relaxed)
+                .compare_exchange(
+                    ptr,
+                    std::ptr::null_mut(),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 // SAFETY: CAS success transfers ownership.
@@ -200,7 +201,11 @@ impl Lfq {
     /// then everyone else (both round-robin from the thief).
     fn victims(&self, worker: usize) -> impl Iterator<Item = usize> + '_ {
         let w = self.buffers.len();
-        let ds = if self.domain_size == 0 { w } else { self.domain_size };
+        let ds = if self.domain_size == 0 {
+            w
+        } else {
+            self.domain_size
+        };
         let my_domain = worker / ds;
         let near = (1..w)
             .map(move |i| (worker + i) % w)

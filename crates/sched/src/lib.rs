@@ -157,8 +157,7 @@ pub unsafe trait TaskQueue: Send + Sync {
 }
 
 /// Which scheduler to instantiate; consumed by the runtime's config.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedKind {
     /// Local flat queues + global overflow FIFO (PaRSEC default).
     Lfq {
@@ -171,7 +170,6 @@ pub enum SchedKind {
     #[default]
     Llp,
 }
-
 
 impl SchedKind {
     /// Instantiates the scheduler for `workers` queues.

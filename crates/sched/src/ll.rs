@@ -55,7 +55,12 @@ impl Ll {
         }
         note_rmw();
         q.head
-            .compare_exchange(h, std::ptr::null_mut(), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                h,
+                std::ptr::null_mut(),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .ok()
             // SAFETY: CAS success transfers chain ownership.
             .map(|p| unsafe { NonNull::new_unchecked(p) })
@@ -122,7 +127,9 @@ unsafe impl TaskQueue for Ll {
     fn pop(&self, worker: usize) -> Option<NonNull<SchedNode>> {
         if let Some(head) = self.try_detach(worker) {
             let first = self.split_first_deposit_rest(worker, head);
-            self.queues[worker].local_pops.fetch_add(1, Ordering::Relaxed);
+            self.queues[worker]
+                .local_pops
+                .fetch_add(1, Ordering::Relaxed);
             return Some(first);
         }
         let n = self.queues.len();

@@ -57,7 +57,12 @@ impl WorkerQueue {
         note_rmw();
         if self
             .head
-            .compare_exchange(h, std::ptr::null_mut(), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                h,
+                std::ptr::null_mut(),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
         {
             // SAFETY: the successful CAS transferred ownership of the
@@ -157,8 +162,7 @@ unsafe impl TaskQueue for Llp {
                 // because prio >= head's priority (new-before-equal).
                 unsafe { node.as_ref().set_next(h) };
                 note_rmw();
-                if q
-                    .head
+                if q.head
                     .compare_exchange_weak(h, node.as_ptr(), Ordering::Release, Ordering::Relaxed)
                     .is_ok()
                 {
@@ -190,8 +194,7 @@ unsafe impl TaskQueue for Llp {
             // SAFETY: we own the chain until the CAS succeeds.
             unsafe { (*c_tail).set_next(h) };
             note_rmw();
-            if q
-                .head
+            if q.head
                 .compare_exchange(h, c_head, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
             {

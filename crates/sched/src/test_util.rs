@@ -71,9 +71,7 @@ impl Arena {
     }
 
     pub fn all_claimed(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|n| n.claimed.load(Ordering::Relaxed))
+        self.nodes.iter().all(|n| n.claimed.load(Ordering::Relaxed))
     }
 
     pub fn unclaimed(&self) -> Vec<usize> {

@@ -21,7 +21,10 @@ fn llp_pops_in_priority_order_after_bulk_push() {
         q.push(0, arena.node(id).as_sched());
     }
     let order = drain_all(&q, 0);
-    let got: Vec<i32> = order.iter().map(|&id| arena.node(id).node.priority).collect();
+    let got: Vec<i32> = order
+        .iter()
+        .map(|&id| arena.node(id).node.priority)
+        .collect();
     let mut want = prios.clone();
     want.sort_unstable_by(|a, b| b.cmp(a));
     assert_eq!(got, want, "LLP must pop in non-increasing priority order");
@@ -47,7 +50,11 @@ fn llp_ascending_pushes_use_fast_path_only() {
     for id in 0..arena.len() {
         q.push(0, arena.node(id).as_sched());
     }
-    assert_eq!(q.stats().slow_pushes, 0, "ascending priorities must be pure fast path");
+    assert_eq!(
+        q.stats().slow_pushes,
+        0,
+        "ascending priorities must be pure fast path"
+    );
     let order = drain_all(&q, 0);
     assert_eq!(order, (0..100).rev().collect::<Vec<_>>());
 }
@@ -71,7 +78,7 @@ fn llp_push_chain_bundles() {
     // Seed the queue with two singles.
     q.push(0, arena.node(4).as_sched()); // prio 1
     q.push(0, arena.node(3).as_sched()); // prio 5
-    // Bundle the rest as a sorted chain.
+                                         // Bundle the rest as a sorted chain.
     let mut chain = SortedChain::new();
     for id in [0, 1, 2, 5] {
         chain.insert(arena.node(id).as_sched());
@@ -79,7 +86,10 @@ fn llp_push_chain_bundles() {
     assert_eq!(chain.len(), 4);
     q.push_chain(0, chain);
     let order = drain_all(&q, 0);
-    let got: Vec<i32> = order.iter().map(|&id| arena.node(id).node.priority).collect();
+    let got: Vec<i32> = order
+        .iter()
+        .map(|&id| arena.node(id).node.priority)
+        .collect();
     assert_eq!(got, vec![9, 7, 5, 4, 3, 1]);
 }
 
@@ -90,7 +100,11 @@ fn ll_is_lifo_and_ignores_priorities() {
     for id in 0..arena.len() {
         q.push(0, arena.node(id).as_sched());
     }
-    assert_eq!(drain_all(&q, 0), vec![4, 3, 2, 1, 0], "LL must be pure LIFO");
+    assert_eq!(
+        drain_all(&q, 0),
+        vec![4, 3, 2, 1, 0],
+        "LL must be pure LIFO"
+    );
 }
 
 #[test]
@@ -103,7 +117,10 @@ fn lfq_prefers_high_priority_and_spills_low_to_fifo() {
     let s = q.stats();
     assert_eq!(s.overflow, 4, "four tasks must have spilled to the FIFO");
     let order = drain_all(&q, 0);
-    let prios: Vec<i32> = order.iter().map(|&id| arena.node(id).node.priority).collect();
+    let prios: Vec<i32> = order
+        .iter()
+        .map(|&id| arena.node(id).node.priority)
+        .collect();
     // Buffer retains {5,6,7,8} (highest), FIFO holds the displaced in
     // arrival order {1,2,3,4}.
     assert_eq!(prios, vec![8, 7, 6, 5, 1, 2, 3, 4]);
@@ -125,7 +142,9 @@ fn lfq_fifo_preserves_order_of_overflow() {
 }
 
 fn exactly_once_stress(q: Arc<dyn TaskQueue>, workers: usize, per_worker: usize) {
-    let arena = Arc::new(Arena::new((0..workers * per_worker).map(|i| (i % 17) as i32)));
+    let arena = Arc::new(Arena::new(
+        (0..workers * per_worker).map(|i| (i % 17) as i32),
+    ));
     let delivered = Arc::new(AtomicUsize::new(0));
     let total = workers * per_worker;
     let handles: Vec<_> = (0..workers)
@@ -224,7 +243,10 @@ fn sched_kind_builds_all_variants() {
         let n = TestNode::new(0, 3);
         q.push(0, n.as_sched());
         assert!(q.pending_estimate() > 0);
-        let popped = q.pop(1).or_else(|| q.pop(0)).expect("task must be retrievable");
+        let popped = q
+            .pop(1)
+            .or_else(|| q.pop(0))
+            .expect("task must be retrievable");
         // SAFETY: test node.
         assert_eq!(unsafe { claim(popped) }, 0);
     }
@@ -348,10 +370,13 @@ fn lfq_domain_stealing_prefers_near_victims_and_stays_correct() {
     q.push(0, arena.node(1).as_sched()); // domain 0
     q.push(2, arena.node(2).as_sched()); // domain 1
     q.push(2, arena.node(3).as_sched()); // domain 1
-    // Worker 1 (domain 0) steals: both domain-0 tasks come first.
+                                         // Worker 1 (domain 0) steals: both domain-0 tasks come first.
     let a = unsafe { claim(q.pop(1).unwrap()) };
     let b = unsafe { claim(q.pop(1).unwrap()) };
-    assert!(a < 2 && b < 2, "near-domain tasks must be stolen first: {a}, {b}");
+    assert!(
+        a < 2 && b < 2,
+        "near-domain tasks must be stolen first: {a}, {b}"
+    );
     // Domain 0 is now empty: the next pops cross into domain 1.
     let c = unsafe { claim(q.pop(1).unwrap()) };
     let d = unsafe { claim(q.pop(1).unwrap()) };

@@ -119,7 +119,10 @@ impl<T> BravoRwLock<T> {
         }
         self.underlying.lock_shared();
         self.maybe_reenable_bias();
-        BravoReadGuard { lock: self, slot: None }
+        BravoReadGuard {
+            lock: self,
+            slot: None,
+        }
     }
 
     /// Acquires the exclusive lock, revoking reader bias if necessary.
@@ -139,8 +142,10 @@ impl<T> BravoRwLock<T> {
                 }
             }
             let elapsed = now_ns().saturating_sub(start);
-            self.inhibit_until
-                .store(now_ns() + INHIBIT_MULTIPLIER * elapsed.max(1), Ordering::Relaxed);
+            self.inhibit_until.store(
+                now_ns() + INHIBIT_MULTIPLIER * elapsed.max(1),
+                Ordering::Relaxed,
+            );
         }
         BravoWriteGuard { lock: self }
     }

@@ -91,7 +91,11 @@ mod tests {
         let a = now_ns();
         std::thread::sleep(std::time::Duration::from_millis(2));
         let b = now_ns();
-        assert!(b - a >= 1_000_000, "expected >=1ms advance, got {}ns", b - a);
+        assert!(
+            b - a >= 1_000_000,
+            "expected >=1ms advance, got {}ns",
+            b - a
+        );
     }
 
     #[test]

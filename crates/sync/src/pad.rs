@@ -93,7 +93,10 @@ mod tests {
         assert!(core::mem::size_of::<CachePadded<u8>>() >= CACHE_LINE);
         assert!(core::mem::align_of::<CachePadded<u8>>() >= CACHE_LINE);
         // A big payload still rounds up to a multiple of the alignment.
-        assert_eq!(core::mem::size_of::<CachePadded<[u8; 200]>>() % CACHE_LINE, 0);
+        assert_eq!(
+            core::mem::size_of::<CachePadded<[u8; 200]>>() % CACHE_LINE,
+            0
+        );
     }
 
     #[test]

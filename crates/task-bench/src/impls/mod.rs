@@ -94,15 +94,11 @@ impl Implementation {
     pub fn build(&self, threads: usize) -> Box<dyn BenchRunner> {
         match self {
             Implementation::Serial => Box::new(serial::SerialRunner),
-            Implementation::Ttg { optimized } => {
-                Box::new(ttg::TtgRunner::new(threads, *optimized))
-            }
+            Implementation::Ttg { optimized } => Box::new(ttg::TtgRunner::new(threads, *optimized)),
             Implementation::OmpFor => Box::new(omp::OmpForRunner::new(threads)),
             Implementation::OmpTask => Box::new(omp::OmpTaskRunner::new(threads)),
             Implementation::Mpi => Box::new(mpi::MpiRunner::new(threads)),
-            Implementation::Ptg { optimized } => {
-                Box::new(ptg::PtgRunner::new(threads, *optimized))
-            }
+            Implementation::Ptg { optimized } => Box::new(ptg::PtgRunner::new(threads, *optimized)),
             Implementation::TtgDist => Box::new(ttg_dist::TtgDistRunner::new(threads)),
         }
     }

@@ -20,7 +20,9 @@ pub struct MpiRunner {
 impl MpiRunner {
     /// Creates a runner with `ranks` rank-threads.
     pub fn new(ranks: usize) -> Self {
-        MpiRunner { ranks: ranks.max(1) }
+        MpiRunner {
+            ranks: ranks.max(1),
+        }
     }
 }
 

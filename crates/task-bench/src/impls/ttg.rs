@@ -108,12 +108,13 @@ impl BenchRunner for TtgRunner {
             });
 
         let res = Arc::clone(&results);
-        let _writeback = graph
-            .tt::<u32>("write-back")
-            .input::<u64>(&wb_edge)
-            .build(move |&i, inputs, _out| {
-                res[i as usize].store(*inputs.get::<u64>(0), Ordering::Relaxed);
-            });
+        let _writeback =
+            graph
+                .tt::<u32>("write-back")
+                .input::<u64>(&wb_edge)
+                .build(move |&i, inputs, _out| {
+                    res[i as usize].store(*inputs.get::<u64>(0), Ordering::Relaxed);
+                });
 
         let start = Instant::now();
         // Seed every task whose satisfaction goal is zero: the first

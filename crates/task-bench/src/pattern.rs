@@ -129,8 +129,10 @@ impl Pattern {
                     vec![i / 2]
                 } else {
                     // Gather step: i receives from children 2i, 2i+1.
-                    let mut v: Vec<usize> =
-                        [2 * i, 2 * i + 1].into_iter().filter(|&j| j < width).collect();
+                    let mut v: Vec<usize> = [2 * i, 2 * i + 1]
+                        .into_iter()
+                        .filter(|&j| j < width)
+                        .collect();
                     if v.is_empty() {
                         v.push(i); // leaf rows carry themselves
                     }

@@ -81,12 +81,7 @@ fn wider_than_threads_and_narrower_than_threads() {
 fn longer_run_with_kernel_still_validates() {
     // A busy kernel must not perturb results (checks thread-local
     // scratch isolation).
-    let graph = TaskGraph::new(
-        50,
-        8,
-        Pattern::Stencil1D,
-        Kernel::Compute { flops: 2_000 },
-    );
+    let graph = TaskGraph::new(50, 8, Pattern::Stencil1D, Kernel::Compute { flops: 2_000 });
     let expected = TaskGraph::checksum(&graph.expected_final_row());
     for imp in Implementation::all() {
         let mut runner = imp.build(2);

@@ -34,4 +34,4 @@ mod local;
 mod wave;
 
 pub use local::{LocalTermination, TermDetKind};
-pub use wave::WaveBoard;
+pub use wave::{TermWave, WaveBoard};

@@ -191,7 +191,11 @@ mod tests {
     fn external_submissions_are_atomic_even_in_thread_local_mode() {
         let t = LocalTermination::new(TermDetKind::ThreadLocal, OrderingPolicy::Relaxed, 2);
         t.task_discovered(None);
-        assert_eq!(t.pending(), 1, "external discovery must be visible immediately");
+        assert_eq!(
+            t.pending(),
+            1,
+            "external discovery must be visible immediately"
+        );
         t.task_executed(Some(0));
         t.flush(0);
         assert!(t.is_quiescent());

@@ -15,6 +15,57 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// Global-termination interface the runtime polls.
+///
+/// The in-memory [`WaveBoard`] implements it with a shared mutex-guarded
+/// reduction; a network transport implements it with control messages to
+/// a coordinator rank (same 4-counter algorithm, reductions over the
+/// wire). Object safety keeps the runtime independent of the medium.
+pub trait TermWave: Send + Sync {
+    /// Contributes `rank`'s cumulative (sent, received) message totals,
+    /// valid only while that process is locally quiescent. Idle workers
+    /// call this repeatedly. Returns `true` once global termination for
+    /// the current session has been announced.
+    fn try_contribute(&self, rank: usize, sent: u64, received: u64) -> bool;
+
+    /// True once global termination has been announced for the current
+    /// session.
+    fn is_terminated(&self) -> bool;
+
+    /// Opens the next session after a termination was consumed by
+    /// `wait()`. Callers guarantee no process is concurrently
+    /// contributing to the old session.
+    fn reset(&self);
+
+    /// Hook invoked when new local work arrives (task injected or
+    /// message sent). The shared-memory board un-latches a stale
+    /// termination here; distributed implementations keep the latch
+    /// (their sessions only turn over at the fence) and make this a
+    /// no-op.
+    fn on_new_work(&self) {
+        if self.is_terminated() {
+            self.reset();
+        }
+    }
+
+    /// Hook invoked when the application enters the termination fence
+    /// (`Runtime::wait`). Distributed implementations announce fence
+    /// entry to the coordinator here so no reduction can complete before
+    /// every rank has finished submitting its session's work.
+    fn enter_fence(&self) {}
+
+    /// Whether this wave runs the fenced epoch protocol. If `true`,
+    /// a latched termination is authoritative for the epoch the caller
+    /// fenced into — `Runtime::wait` may return even if messages of the
+    /// *next* epoch already arrived (they were sent by ranks whose wait
+    /// for this epoch already returned). If `false` (the shared-memory
+    /// board), a latch concurrent with local work is stale and the
+    /// waiter must re-arm.
+    fn fenced_protocol(&self) -> bool {
+        false
+    }
+}
+
 #[derive(Debug)]
 struct WaveState {
     round: u64,
@@ -96,6 +147,20 @@ impl WaveBoard {
     }
 }
 
+impl TermWave for WaveBoard {
+    fn try_contribute(&self, rank: usize, sent: u64, received: u64) -> bool {
+        WaveBoard::try_contribute(self, rank, sent, received)
+    }
+
+    fn is_terminated(&self) -> bool {
+        WaveBoard::is_terminated(self)
+    }
+
+    fn reset(&self) {
+        WaveBoard::reset(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,8 +170,14 @@ mod tests {
     #[test]
     fn single_process_terminates_after_two_stable_rounds() {
         let board = WaveBoard::new(1);
-        assert!(!board.try_contribute(0, 0, 0), "first round must not terminate");
-        assert!(board.try_contribute(0, 0, 0), "second stable round announces");
+        assert!(
+            !board.try_contribute(0, 0, 0),
+            "first round must not terminate"
+        );
+        assert!(
+            board.try_contribute(0, 0, 0),
+            "second stable round announces"
+        );
         assert!(board.is_terminated());
         // Idempotent afterwards.
         assert!(board.try_contribute(0, 0, 0));
@@ -136,7 +207,7 @@ mod tests {
         // P0 wakes up and sends a message before round 2 completes.
         board.try_contribute(0, 1, 0);
         assert!(!board.try_contribute(1, 0, 1)); // totals (1,1) ≠ prev (0,0)
-        // Round 3 stabilizes.
+                                                 // Round 3 stabilizes.
         board.try_contribute(0, 1, 0);
         assert!(board.try_contribute(1, 0, 1));
     }
@@ -162,10 +233,8 @@ mod tests {
         const PROCS: usize = 3;
         const HOPS: u64 = 50;
         let board = Arc::new(WaveBoard::new(PROCS));
-        let sent: Arc<Vec<AtomicU64>> =
-            Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
-        let recv: Arc<Vec<AtomicU64>> =
-            Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
+        let sent: Arc<Vec<AtomicU64>> = Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
+        let recv: Arc<Vec<AtomicU64>> = Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
         // The token value encodes both hop count and owner: owner is
         // token % PROCS; the game ends once token reaches HOPS*PROCS.
         let token = Arc::new(AtomicU64::new(0));

@@ -143,9 +143,10 @@ fn main() {
     let lj_to_gemm: Edge<(u32, u32, u32), Tile> = Edge::new("ljk"); // (k,i,j)
     let a_to_gemm: Edge<(u32, u32, u32), Tile> = Edge::new("aij"); // (k,i,j)
 
-    let result = Arc::new(parking_lot::Mutex::new(
-        vec![vec![Tile::new(); nt as usize]; nt as usize],
-    ));
+    let result = Arc::new(parking_lot::Mutex::new(vec![
+        vec![Tile::new(); nt as usize];
+        nt as usize
+    ]));
 
     // potrf(k): diag tile in → L[k][k]; broadcast to trsm(k, i).
     let res = Arc::clone(&result);

@@ -1,52 +1,122 @@
-//! Simulated distributed execution: a [`ProcessGroup`] of four
-//! "processes" (each with its own runtime, scheduler, and termination
-//! counters) exchanging active messages, with global termination decided
-//! by the 4-counter wave algorithm — the mechanism that lets TTG scale
-//! "seamlessly from shared memory to distributed execution".
+//! Distributed execution, in two flavours sharing one workload:
 //!
-//! The workload is a distributed ping-pong ring plus a scatter/gather:
-//! rank 0 scatters work items, every rank processes its share locally
-//! (spawning local tasks), and results are gathered back on rank 0.
+//! * **Simulated** (default): a [`ProcessGroup`] of four in-process
+//!   "processes" exchanging closure active messages, global termination
+//!   decided by the shared-board 4-counter wave.
+//! * **Real** (`--tcp`): each rank is a genuine OS process; serialized
+//!   active messages travel over a TCP mesh (`ttg-net`) and the same
+//!   4-counter wave runs as control frames over the sockets, gated by
+//!   the fence protocol. Results are identical to the simulated mode.
+//!
+//! The workload is a token ring (two laps) plus a scatter/compute/
+//! gather of sums of squares.
 //!
 //! ```text
 //! cargo run --release -p ttg-examples --bin distributed
+//! cargo run --release -p ttg-examples --bin distributed -- --tcp --ranks 4
 //! ```
+//!
+//! `--tcp` re-executes this binary once per rank (environment variables
+//! `TTG_NET_RANK` / `TTG_NET_RANKS` / `TTG_NET_PORT` select the child
+//! role) and waits for all ranks to exit successfully.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use ttg_net::NetRuntime;
 use ttg_runtime::{ProcessGroup, RuntimeConfig, WorkerCtx};
 
-const RANKS: usize = 4;
+const DEFAULT_RANKS: usize = 4;
 const ITEMS: usize = 64;
+const DEFAULT_PORT: u16 = 43117;
 
 fn main() {
-    let group = ProcessGroup::new(RANKS, |_rank| RuntimeConfig::optimized(2));
-    println!("process group: {RANKS} ranks x 2 workers each");
+    // Child role: selected via environment by the `--tcp` parent.
+    if let Ok(rank) = std::env::var("TTG_NET_RANK") {
+        let rank: usize = rank.parse().expect("TTG_NET_RANK");
+        let nranks: usize = std::env::var("TTG_NET_RANKS")
+            .expect("TTG_NET_RANKS")
+            .parse()
+            .expect("TTG_NET_RANKS");
+        let port: u16 = std::env::var("TTG_NET_PORT")
+            .expect("TTG_NET_PORT")
+            .parse()
+            .expect("TTG_NET_PORT");
+        run_tcp_rank(rank, nranks, port);
+        return;
+    }
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut tcp = false;
+    let mut ranks = DEFAULT_RANKS;
+    let mut port = DEFAULT_PORT;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => tcp = true,
+            "--ranks" => {
+                i += 1;
+                ranks = args[i].parse().expect("--ranks N");
+            }
+            "--port-base" => {
+                i += 1;
+                port = args[i].parse().expect("--port-base P");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    if tcp {
+        spawn_tcp_job(ranks, port);
+    } else {
+        run_simulated(ranks);
+    }
+}
+
+// ---- the workload (used by both modes) ---------------------------------
+
+/// Expected hop count for the token ring: two laps plus the seed visit.
+fn ring_expected(ranks: usize) -> usize {
+    2 * ranks + 1
+}
+
+/// Expected scatter/gather result: sum of squares of 0..ITEMS.
+fn gather_expected() -> u64 {
+    (0..ITEMS as u64).map(|i| i * i).sum()
+}
+
+// ---- simulated mode (in-process ProcessGroup, closure messages) --------
+
+fn run_simulated(ranks: usize) {
+    let group = ProcessGroup::new(ranks, |_rank| RuntimeConfig::optimized(2));
+    println!("process group: {ranks} ranks x 2 workers each (simulated)");
 
     // ---- Phase 1: token ring -----------------------------------------
     let hops = Arc::new(AtomicUsize::new(0));
-    fn hop(ctx: &mut WorkerCtx<'_>, remaining: usize, hops: Arc<AtomicUsize>) {
+    fn hop(ctx: &mut WorkerCtx<'_>, ranks: usize, remaining: usize, hops: Arc<AtomicUsize>) {
         hops.fetch_add(1, Ordering::Relaxed);
         if remaining > 0 {
-            let next = (ctx.rank() + 1) % RANKS;
+            let next = (ctx.rank() + 1) % ranks;
             let h = Arc::clone(&hops);
-            ctx.send_remote(next, 0, move |ctx| hop(ctx, remaining - 1, h));
+            ctx.send_remote(next, 0, move |ctx| hop(ctx, ranks, remaining - 1, h));
         }
     }
     let h = Arc::clone(&hops);
-    group.runtime(0).submit(0, move |ctx| hop(ctx, 2 * RANKS, h));
+    group
+        .runtime(0)
+        .submit(0, move |ctx| hop(ctx, ranks, 2 * ranks, h));
     group.wait();
     println!(
         "ring: token visited {} ranks (2 laps + seed)",
         hops.load(Ordering::Relaxed)
     );
-    assert_eq!(hops.load(Ordering::Relaxed), 2 * RANKS + 1);
+    assert_eq!(hops.load(Ordering::Relaxed), ring_expected(ranks));
 
-    // ---- Phase 2: scatter / compute / gather ---------------------------
+    // ---- Phase 2: scatter / compute / gather --------------------------
     let gathered = Arc::new(AtomicU64::new(0));
     let received = Arc::new(AtomicUsize::new(0));
     for item in 0..ITEMS as u64 {
-        let dst = (item as usize) % RANKS;
+        let dst = (item as usize) % ranks;
         let g = Arc::clone(&gathered);
         let r = Arc::clone(&received);
         group.runtime(0).send_remote(dst, 0, move |ctx| {
@@ -64,22 +134,141 @@ fn main() {
         });
     }
     group.wait();
-    let want: u64 = (0..ITEMS as u64).map(|i| i * i).sum();
     println!(
         "scatter/gather: {} results, sum of squares = {} (expected {})",
         received.load(Ordering::Relaxed),
         gathered.load(Ordering::Relaxed),
-        want
+        gather_expected()
     );
     assert_eq!(received.load(Ordering::Relaxed), ITEMS);
-    assert_eq!(gathered.load(Ordering::Relaxed), want);
+    assert_eq!(gathered.load(Ordering::Relaxed), gather_expected());
 
-    for rank in 0..RANKS {
+    for rank in 0..ranks {
         let s = group.runtime(rank).stats();
         println!(
-            "  rank {rank}: {} tasks executed, {} wave contributions",
-            s.tasks_executed, s.wave_contributions
+            "  rank {rank}: {} tasks executed, {} wave contributions, {} msgs sent",
+            s.tasks_executed, s.wave_contributions, s.messages_sent
         );
     }
     println!("global termination detected twice by the 4-counter wave — done.");
+}
+
+// ---- TCP mode (one OS process per rank, framed messages) ---------------
+
+/// Parent: re-execute this binary once per rank and await the job.
+fn spawn_tcp_job(ranks: usize, port: u16) {
+    let exe = std::env::current_exe().expect("current_exe");
+    println!("tcp job: spawning {ranks} rank processes on 127.0.0.1:{port}+");
+    let children: Vec<_> = (0..ranks)
+        .map(|rank| {
+            std::process::Command::new(&exe)
+                .env("TTG_NET_RANK", rank.to_string())
+                .env("TTG_NET_RANKS", ranks.to_string())
+                .env("TTG_NET_PORT", port.to_string())
+                .spawn()
+                .expect("spawn rank process")
+        })
+        .collect();
+    let mut failed = false;
+    for (rank, child) in children.into_iter().enumerate() {
+        let status = child.wait_with_output().expect("wait for rank");
+        if !status.status.success() {
+            eprintln!("rank {rank} exited with {:?}", status.status);
+            failed = true;
+        }
+    }
+    assert!(!failed, "one or more ranks failed");
+    println!("tcp job: all {ranks} ranks completed — done.");
+}
+
+/// Child: run one rank of the distributed job over real sockets.
+fn run_tcp_rank(rank: usize, nranks: usize, port: u16) {
+    let net = NetRuntime::connect_tcp(RuntimeConfig::optimized(2), rank, nranks, port)
+        .expect("connect TCP mesh");
+    let rt = net.runtime();
+    if rank == 0 {
+        println!("tcp mesh connected: {nranks} ranks x 2 workers each");
+    }
+
+    // SPMD handler registration: identical order on every rank.
+    // Handler 0 — ring hop: payload = [remaining u64][visited u64].
+    let ring_done = Arc::new(AtomicUsize::new(0));
+    let rd = Arc::clone(&ring_done);
+    let h_ring = rt.register_handler(move |ctx, payload| {
+        let remaining = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let visited = u64::from_le_bytes(payload[8..16].try_into().unwrap()) + 1;
+        if remaining > 0 {
+            let next = (ctx.rank() + 1) % nranks;
+            let mut p = (remaining - 1).to_le_bytes().to_vec();
+            p.extend_from_slice(&visited.to_le_bytes());
+            ctx.send_msg(next, 0, 0, p);
+        } else {
+            // The ring length is a multiple of nranks: the token ends
+            // where it started, on rank 0.
+            rd.store(visited as usize, Ordering::Relaxed);
+        }
+    });
+    // Handler 1 — scatter: payload = [item u64]; square it locally and
+    // send the result home.
+    let h_scatter = rt.register_handler(move |ctx, payload| {
+        let item = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        ctx.spawn(1, move |ctx| {
+            let result = item * item;
+            ctx.send_msg(0, 0, 2, result.to_le_bytes().to_vec());
+        });
+    });
+    // Handler 2 — gather (rank 0): accumulate results.
+    let gathered = Arc::new(AtomicU64::new(0));
+    let received = Arc::new(AtomicUsize::new(0));
+    let (g, r) = (Arc::clone(&gathered), Arc::clone(&received));
+    let h_gather = rt.register_handler(move |_ctx, payload| {
+        g.fetch_add(
+            u64::from_le_bytes(payload[..8].try_into().unwrap()),
+            Ordering::Relaxed,
+        );
+        r.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!((h_ring, h_scatter, h_gather), (0, 1, 2));
+
+    // ---- Phase 1: token ring (seeded by rank 0) ------------------------
+    if rank == 0 {
+        let mut p = (2 * nranks as u64).to_le_bytes().to_vec();
+        p.extend_from_slice(&0u64.to_le_bytes());
+        rt.send_msg(0, 0, h_ring, p); // local delivery seeds the ring
+    }
+    rt.wait();
+    if rank == 0 {
+        let hops = ring_done.load(Ordering::Relaxed);
+        println!("ring: token visited {hops} ranks (2 laps + seed)");
+        assert_eq!(hops, ring_expected(nranks));
+    }
+
+    // ---- Phase 2: scatter / compute / gather ---------------------------
+    if rank == 0 {
+        for item in 0..ITEMS as u64 {
+            let dst = (item as usize) % nranks;
+            rt.send_msg(dst, 0, h_scatter, item.to_le_bytes().to_vec());
+        }
+    }
+    rt.wait();
+    if rank == 0 {
+        println!(
+            "scatter/gather: {} results, sum of squares = {} (expected {})",
+            received.load(Ordering::Relaxed),
+            gathered.load(Ordering::Relaxed),
+            gather_expected()
+        );
+        assert_eq!(received.load(Ordering::Relaxed), ITEMS);
+        assert_eq!(gathered.load(Ordering::Relaxed), gather_expected());
+    }
+
+    let s = rt.stats();
+    println!(
+        "  rank {rank}: {} tasks executed, {} wave contributions, {} msgs sent, {} msgs recv, {} payload bytes on wire",
+        s.tasks_executed, s.wave_contributions, s.messages_sent, s.messages_received, s.bytes_on_wire
+    );
+    net.shutdown();
+    if rank == 0 {
+        println!("global termination detected twice by the 4-counter wave over TCP — done.");
+    }
 }

@@ -33,16 +33,17 @@ fn main() {
     // Template task #2: one input; fires once its datum arrives.
     let total = Arc::new(AtomicU64::new(0));
     let sum = Arc::clone(&total);
-    let _report = graph
-        .tt::<u64>("report")
-        .input::<u64>(&squares)
-        .build(move |key, inputs, _outputs| {
-            let sq = *inputs.get::<u64>(0);
-            sum.fetch_add(sq, Ordering::Relaxed);
-            if key % 25 == 0 {
-                println!("  square({key:>3}) = {sq}");
-            }
-        });
+    let _report =
+        graph
+            .tt::<u64>("report")
+            .input::<u64>(&squares)
+            .build(move |key, inputs, _outputs| {
+                let sq = *inputs.get::<u64>(0);
+                sum.fetch_add(sq, Ordering::Relaxed);
+                if key % 25 == 0 {
+                    println!("  square({key:>3}) = {sq}");
+                }
+            });
 
     // Unfold the graph: one `square` task per key; each discovers its
     // `report` successor dynamically by sending to it.
