@@ -106,6 +106,14 @@ impl Job for TcpJob {
     }
 }
 
+/// Collects per-rank [`RuntimeStats`](ttg_runtime::RuntimeStats) for a
+/// job and attaches them to the report under `label`. Only the `--json`
+/// emission carries them — the text table stays unchanged.
+fn attach_stats(report: &mut Report, job: &dyn Job, label: String) {
+    let stats: Vec<_> = (0..job.nranks()).map(|r| job.runtime(r).stats()).collect();
+    report.attach_stats(label, &stats);
+}
+
 /// Ping-pong between ranks 0 and 1: `pingpongs` round trips carrying
 /// `payload_len` bytes each way. Returns µs per one-way message.
 fn pingpong(job: &dyn Job, pingpongs: u64, payload_len: usize) -> f64 {
@@ -218,6 +226,7 @@ fn main() {
     for ranks in 1..=max_ranks {
         let group = NetGroup::local(ranks, |_| RuntimeConfig::optimized(1));
         let (rate, msgs, bytes) = throughput(&group, tasks);
+        attach_stats(&mut scaling, &group, format!("in-process, {ranks} ranks"));
         group.shutdown();
         local.push(ranks as f64, rate);
         comm_lines.push(format!(
@@ -225,6 +234,7 @@ fn main() {
         ));
         let job = TcpJob::connect(ranks, take_ports(ranks));
         let (rate, msgs, bytes) = throughput(&job, tasks);
+        attach_stats(&mut scaling, &job, format!("TCP loopback, {ranks} ranks"));
         job.shutdown();
         tcp.push(ranks as f64, rate);
         comm_lines.push(format!(

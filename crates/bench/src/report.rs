@@ -27,6 +27,18 @@ impl Series {
     }
 }
 
+/// A labelled blob of runtime statistics attached to a report — the
+/// JSON form of [`RuntimeStats`](../../runtime/stats/struct.RuntimeStats.html)
+/// or an obs metrics snapshot for the configuration the label names.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsAttachment {
+    /// Which measured configuration these stats describe
+    /// (e.g. "TCP loopback, 4 ranks").
+    pub label: String,
+    /// The stats themselves, as JSON.
+    pub value: serde_json::Value,
+}
+
 /// A figure's worth of series plus axis metadata.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
@@ -38,6 +50,9 @@ pub struct Report {
     pub y_label: String,
     /// The series.
     pub series: Vec<Series>,
+    /// Optional per-configuration runtime stats riding along with the
+    /// figure's JSON (empty unless the harness attaches any).
+    pub stats: Vec<StatsAttachment>,
 }
 
 impl Report {
@@ -52,12 +67,25 @@ impl Report {
             x_label: x_label.into(),
             y_label: y_label.into(),
             series: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
     /// Adds a series.
     pub fn add(&mut self, series: Series) {
         self.series.push(series);
+    }
+
+    /// Attaches runtime stats for one measured configuration. Anything
+    /// serializable works; benches typically pass `Runtime::stats()` or
+    /// a [`MetricsSnapshot`](../../obs/metrics/struct.MetricsSnapshot.html)
+    /// rendered via `to_value()`. The attachment only shows up in the
+    /// JSON emission, never in the text table.
+    pub fn attach_stats<T: Serialize>(&mut self, label: impl Into<String>, stats: &T) {
+        self.stats.push(StatsAttachment {
+            label: label.into(),
+            value: serde_json::to_value(stats).expect("stats serialization"),
+        });
     }
 
     /// Prints the aligned text table (x down the rows, series across).
@@ -129,5 +157,25 @@ mod tests {
         assert!(json.contains("contended"));
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed["series"][0]["points"][1][1], 50.0);
+    }
+
+    #[test]
+    fn stats_attachments_ride_in_json() {
+        #[derive(Serialize)]
+        struct Fake {
+            tasks_executed: u64,
+            bytes_on_wire: u64,
+        }
+        let mut r = Report::new("Figure Y", "ranks", "tasks/s");
+        r.attach_stats(
+            "TCP, 2 ranks",
+            &Fake {
+                tasks_executed: 42,
+                bytes_on_wire: 4096,
+            },
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(parsed["stats"][0]["label"], "TCP, 2 ranks");
+        assert_eq!(parsed["stats"][0]["value"]["tasks_executed"], 42.0);
     }
 }

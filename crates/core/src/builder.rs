@@ -241,6 +241,12 @@ impl<'g, K: Key> TtBuilder<'g, K> {
             bravo_slots: (threads + 8).next_power_of_two().max(64),
             ..HashTableOptions::default()
         });
+        let pool = FreeListPool::new(threads.max(1));
+        // Surface free-list refills (fresh allocations) on the runtime's
+        // trace timeline when tracing is enabled.
+        if let Some(hook) = runtime.pool_refill_hook() {
+            pool.set_refill_observer(hook);
+        }
         let inner = Arc::new(TtInner {
             name: self.name,
             inputs: self.inputs,
@@ -248,7 +254,7 @@ impl<'g, K: Key> TtBuilder<'g, K> {
             body: Box::new(body),
             priority: self.priority,
             table,
-            pool: FreeListPool::new(threads.max(1)),
+            pool,
             runtime,
             bypass,
             route: std::sync::OnceLock::new(),

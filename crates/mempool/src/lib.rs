@@ -32,8 +32,16 @@ use std::mem::MaybeUninit;
 use std::ops::{Deref, DerefMut};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use ttg_sync::counted::note_rmw;
 use ttg_sync::{thread_id, CachePadded};
+
+/// Callback invoked when an allocation misses every free list and falls
+/// through to the system allocator ("pool refill"); receives the number
+/// of fresh allocations (currently always 1 per call). Kept as a plain
+/// boxed closure so observability layers can hook refills without this
+/// crate knowing about them.
+pub type RefillObserver = Box<dyn Fn(usize) + Send + Sync>;
 
 /// A pooled node: the free-list link lives alongside the (possibly
 /// uninitialized) value.
@@ -83,6 +91,9 @@ pub struct FreeListPool<T> {
     reused: AtomicUsize,
     fresh: AtomicUsize,
     recycled: AtomicUsize,
+    /// Optional hook fired on the fresh-allocation slow path only, so
+    /// it costs nothing on the pooled fast path.
+    refill_observer: OnceLock<RefillObserver>,
 }
 
 // SAFETY: nodes only travel between threads through the atomic stacks;
@@ -109,7 +120,14 @@ impl<T> FreeListPool<T> {
             reused: AtomicUsize::new(0),
             fresh: AtomicUsize::new(0),
             recycled: AtomicUsize::new(0),
+            refill_observer: OnceLock::new(),
         }
+    }
+
+    /// Installs a refill observer (at most once; later calls are
+    /// ignored). Invoked whenever `alloc` misses the free lists.
+    pub fn set_refill_observer(&self, f: RefillObserver) {
+        let _ = self.refill_observer.set(f);
     }
 
     #[inline]
@@ -151,6 +169,9 @@ impl<T> FreeListPool<T> {
             }
             None => {
                 self.fresh.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.refill_observer.get() {
+                    obs(1);
+                }
                 Box::into_raw(Box::new(Node {
                     next: AtomicPtr::new(std::ptr::null_mut()),
                     origin,

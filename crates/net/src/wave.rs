@@ -359,6 +359,10 @@ impl TermWave for NetWave {
     fn fenced_protocol(&self) -> bool {
         true
     }
+
+    fn round(&self) -> u64 {
+        self.state.lock().last_round
+    }
 }
 
 impl std::fmt::Debug for NetWave {

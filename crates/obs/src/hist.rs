@@ -1,0 +1,269 @@
+//! Power-of-two-bucketed latency histograms.
+//!
+//! `record` is a handful of ns: one `leading_zeros`, three `Cell`
+//! bumps, no atomics (single-writer discipline, one histogram per
+//! worker). Bucket `i` holds values in `[2^i, 2^(i+1))` (bucket 0 also
+//! takes 0), so 64 buckets cover the full `u64` ns range — from
+//! sub-microsecond task bodies to multi-second stalls — with ≤ 2×
+//! relative error on quantiles.
+//!
+//! Snapshots are plain arrays that merge by elementwise addition, which
+//! is associative and commutative: merging per-worker histograms into a
+//! per-rank one and per-rank ones into a job-wide one gives the same
+//! result in any grouping, the property the multi-rank roll-up relies
+//! on (covered by `merge_is_associative` below).
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// Number of power-of-two buckets (full `u64` range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Bucket index for a value: `floor(log2(v))`, with 0 and 1 both in
+/// bucket 0.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// Single-writer recording side. Lives in worker-owned observability
+/// state; an aggregator snapshots it racily (stale/torn reads accepted,
+/// exact totals come from a post-fence snapshot).
+pub struct LatencyHistogram {
+    buckets: [Cell<u64>; HIST_BUCKETS],
+    sum: Cell<u64>,
+    max: Cell<u64>,
+}
+
+// SAFETY: one writer (the owning worker); concurrent snapshot reads may
+// be stale, accepted for monitoring just like `WorkerStatsCell`.
+unsafe impl Sync for LatencyHistogram {}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [const { Cell::new(0) }; HIST_BUCKETS],
+            sum: Cell::new(0),
+            max: Cell::new(0),
+        }
+    }
+
+    /// Records one value (ns). Owner thread only.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = &self.buckets[bucket_index(v)];
+        b.set(b.get() + 1);
+        self.sum.set(self.sum.get().wrapping_add(v));
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+    }
+
+    /// Copies the current counts into a mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, c) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = c.get();
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.get(),
+            max: self.max.get(),
+        }
+    }
+}
+
+/// Frozen histogram counts; mergeable across workers and ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts values in `[2^i, 2^(i+1))`.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Folds another snapshot in. Elementwise addition: associative and
+    /// commutative, so any merge tree over the same leaves agrees.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`); the recorded max caps the answer so p100
+    /// and high quantiles in the top bucket stay meaningful. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket-resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(9), 1023);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(100); // bucket 6, ub 127
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 13, ub 16383
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max, 10_000);
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p95(), 10_000); // capped by max below ub 16383
+        assert_eq!(s.quantile(1.0), 10_000);
+        assert!((s.mean() - (90.0 * 100.0 + 10.0 * 10_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 9, 1_000_000]);
+        let b = mk(&[2, 2, 2]);
+        let c = mk(&[77, 4096, u64::MAX / 2]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+        assert_eq!(left.count(), 10);
+
+        // Commutes too.
+        let mut ba = b;
+        ba.merge(&a);
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let h = LatencyHistogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,318 @@
+//! Metrics snapshot export: JSON and Prometheus text format, plus an
+//! optional periodic sampler thread.
+//!
+//! [`MetricsSnapshot`] is deliberately generic — labels, named
+//! counters, named histograms — so ttg-obs does not depend on
+//! ttg-runtime's stats types; the runtime flattens `RuntimeStats` into
+//! one when asked (`Runtime::metrics`). Snapshots from several ranks
+//! merge by counter addition and histogram merge.
+
+use crate::hist::{bucket_upper_bound, HistogramSnapshot, HIST_BUCKETS};
+use serde::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// One observation of a process's counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Static identity labels (e.g. `rank`), attached to every
+    /// Prometheus sample.
+    pub labels: Vec<(String, String)>,
+    /// Monotonic counters, name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Latency histograms, name → snapshot (values in ns).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot with identity labels.
+    pub fn with_labels(labels: Vec<(String, String)>) -> Self {
+        MetricsSnapshot {
+            labels,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Appends a counter sample.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// Appends a histogram sample.
+    pub fn histogram(&mut self, name: &str, snap: HistogramSnapshot) {
+        self.histograms.push((name.to_string(), snap));
+    }
+
+    /// Folds another snapshot in: counters with the same name add,
+    /// histograms with the same name merge, unknown names append.
+    /// Labels keep only the entries both sides agree on.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.labels.retain(|l| other.labels.contains(l));
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), *h)),
+            }
+        }
+    }
+
+    /// Renders as a JSON value tree: labels and counters as objects,
+    /// histograms with count/sum/max/mean and percentile summaries.
+    pub fn to_value(&self) -> Value {
+        let labels = Value::Object(
+            self.labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                .collect(),
+        );
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Value::Object(vec![
+                            ("count".to_string(), Value::UInt(h.count())),
+                            ("sum_ns".to_string(), Value::UInt(h.sum)),
+                            ("max_ns".to_string(), Value::UInt(h.max)),
+                            ("mean_ns".to_string(), Value::Float(h.mean())),
+                            ("p50_ns".to_string(), Value::UInt(h.p50())),
+                            ("p95_ns".to_string(), Value::UInt(h.p95())),
+                            ("p99_ns".to_string(), Value::UInt(h.p99())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("labels".to_string(), labels),
+            ("counters".to_string(), counters),
+            ("histograms".to_string(), histograms),
+        ])
+    }
+
+    /// Renders as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("metrics serialization cannot fail")
+    }
+
+    /// Renders in Prometheus text exposition format. Counters become
+    /// `<prefix>_<name>`; histograms become the conventional
+    /// `_bucket{le=...}` / `_sum` / `_count` triple with cumulative
+    /// power-of-two buckets (empty trailing buckets are elided, `+Inf`
+    /// always present). Histogram values are exported in seconds per
+    /// Prometheus convention.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        let base_labels = |extra: Option<(&str, String)>| -> String {
+            let mut parts: Vec<String> = self
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {prefix}_{name} counter\n"));
+            out.push_str(&format!("{prefix}_{name}{} {v}\n", base_labels(None)));
+        }
+        for (name, h) in &self.histograms {
+            let metric = format!("{prefix}_{name}_seconds");
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            let last_used = (0..HIST_BUCKETS)
+                .rev()
+                .find(|&i| h.buckets[i] != 0)
+                .unwrap_or(0);
+            let mut cumulative = 0u64;
+            for i in 0..=last_used {
+                cumulative += h.buckets[i];
+                let le = bucket_upper_bound(i) as f64 / 1e9;
+                out.push_str(&format!(
+                    "{metric}_bucket{} {cumulative}\n",
+                    base_labels(Some(("le", format!("{le:e}"))))
+                ));
+            }
+            out.push_str(&format!(
+                "{metric}_bucket{} {}\n",
+                base_labels(Some(("le", "+Inf".to_string()))),
+                h.count()
+            ));
+            out.push_str(&format!(
+                "{metric}_sum{} {}\n",
+                base_labels(None),
+                h.sum as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "{metric}_count{} {}\n",
+                base_labels(None),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+/// Background thread invoking a callback at a fixed interval — e.g. to
+/// append metrics snapshots to a file while a job runs. Stops (and
+/// joins) on drop.
+pub struct PeriodicSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl PeriodicSampler {
+    /// Spawns the sampler; `f` runs every `interval` until drop.
+    pub fn spawn<F: FnMut() + Send + 'static>(interval: Duration, mut f: F) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("ttg-obs-sampler".into())
+            .spawn(move || {
+                // Sleep in small slices so drop doesn't block a full
+                // interval.
+                let slice = Duration::from_millis(10).min(interval);
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        f();
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        PeriodicSampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for PeriodicSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use std::sync::atomic::AtomicUsize;
+
+    fn sample() -> MetricsSnapshot {
+        let h = LatencyHistogram::new();
+        h.record(100);
+        h.record(2_000);
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        m.counter("tasks_executed", 42);
+        m.histogram("task_duration", h.snapshot());
+        m
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let m = sample();
+        let v: Value = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("tasks_executed")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get("task_duration")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = sample().to_prometheus("ttg");
+        assert!(text.contains("# TYPE ttg_tasks_executed counter"));
+        assert!(text.contains("ttg_tasks_executed{rank=\"0\"} 42"));
+        assert!(text.contains("# TYPE ttg_task_duration_seconds histogram"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        assert!(text.contains("ttg_task_duration_seconds_count{rank=\"0\"} 2"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').unwrap();
+            assert!(!name_part.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "bad value in line: {line}"
+            );
+        }
+        // Bucket counts are cumulative and end at the total.
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bucket_counts.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counters[0].1, 84);
+        assert_eq!(a.histograms[0].1.count(), 4);
+    }
+
+    #[test]
+    fn sampler_fires_and_stops() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        let s = PeriodicSampler::spawn(Duration::from_millis(5), move || {
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        thread::sleep(Duration::from_millis(60));
+        drop(s);
+        let n = hits.load(Ordering::Relaxed);
+        assert!(n >= 2, "sampler fired only {n} times");
+        let frozen = hits.load(Ordering::Relaxed);
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(hits.load(Ordering::Relaxed), frozen);
+    }
+}

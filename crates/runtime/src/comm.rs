@@ -30,11 +30,18 @@ pub(crate) enum RemoteMsg {
     Closure {
         priority: Priority,
         job: Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>,
+        /// Local-clock ns when the message entered this inbox (for the
+        /// inbox-residence latency histogram). Always the *destination*
+        /// process's clock: in-memory senders share it, and network
+        /// frames are stamped on arrival in `deliver_frame`.
+        enqueued_ns: u64,
     },
     Framed {
         priority: Priority,
         handler: u32,
         payload: Vec<u8>,
+        /// See `Closure::enqueued_ns`.
+        enqueued_ns: u64,
     },
 }
 
@@ -68,7 +75,11 @@ pub(crate) fn send_remote_from(
         .messages_sent
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     peer.inbox_tx
-        .send(RemoteMsg::Closure { priority, job })
+        .send(RemoteMsg::Closure {
+            priority,
+            job,
+            enqueued_ns: ttg_sync::clock::now_ns(),
+        })
         .expect("peer inbox closed");
     peer.wake_sleepers();
 }
@@ -108,11 +119,22 @@ pub(crate) fn send_msg_from(
         peer.comm
             .bytes_received
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        // Flow events: the sender assigns the frame sequence and hands it
+        // to the receiver directly (shared address space), so send/recv
+        // pair up exactly in the merged trace.
+        let now = ttg_sync::clock::now_ns();
+        if let Some(obs) = src.obs.as_deref() {
+            let seq = obs.record_net_send(dst, payload.len(), now);
+            if let Some(peer_obs) = peer.obs.as_deref() {
+                peer_obs.record_net_recv_with_seq(src.rank, payload.len(), now, seq);
+            }
+        }
         peer.inbox_tx
             .send(RemoteMsg::Framed {
                 priority,
                 handler,
                 payload,
+                enqueued_ns: now,
             })
             .expect("peer inbox closed");
         peer.wake_sleepers();
@@ -123,6 +145,11 @@ pub(crate) fn send_msg_from(
         src.comm
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if let Some(obs) = src.obs.as_deref() {
+            // The receiving rank derives the matching sequence from
+            // per-peer arrival order (TCP delivers in order per peer).
+            obs.record_net_send(dst, payload.len(), ttg_sync::clock::now_ns());
+        }
         out.send_data(dst, handler, priority, payload)
             .expect("transport send failed");
     } else {

@@ -38,9 +38,13 @@ pub mod worker;
 
 pub use comm::ProcessGroup;
 pub use copy::DataCopy;
-pub use runtime::{FrameSender, Runtime, RuntimeConfig};
+pub use runtime::{FrameSender, Runtime, RuntimeConfig, DEFAULT_TRACE_CAPACITY};
 pub use stats::RuntimeStats;
+
+// Observability vocabulary (event kinds, metrics snapshots, trace
+// merging) re-exported so consumers need no direct ttg-obs dependency.
 pub use task::{RawTask, TaskHeader, TaskVTable};
+pub use ttg_obs as obs;
 pub use worker::WorkerCtx;
 
 // Re-export the configuration vocabulary so downstream crates configure

@@ -62,11 +62,24 @@ pub struct RuntimeConfig {
     /// priority fidelity and stealing opportunities. `None` (the
     /// paper's evaluated system) by default.
     pub inline_tasks: Option<usize>,
-    /// Record one trace event per executed task, retrievable via
-    /// [`Runtime::take_trace`] / renderable with
-    /// [`crate::trace::to_chrome_trace`]. Off by default.
+    /// Record timeline events (task executions, steals, parks, slow
+    /// pushes, wave contributions, pool refills, network frames) into
+    /// per-worker `ttg-obs` rings, retrievable via
+    /// [`Runtime::take_events`] / [`Runtime::take_trace`] and renderable
+    /// with [`Runtime::chrome_trace`]. Off by default.
     pub trace: bool,
+    /// Record latency histograms (task duration, ready-to-run delay,
+    /// message inbox residence), retrievable via [`Runtime::metrics`].
+    /// Off by default; independent of `trace`.
+    pub histograms: bool,
+    /// Per-worker event-ring capacity when `trace` is on. Overflow
+    /// overwrites the oldest events and is counted in
+    /// `RuntimeStats::trace_events_dropped`.
+    pub trace_capacity: usize,
 }
+
+/// Default per-worker event-ring capacity (events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 impl RuntimeConfig {
     /// The paper's optimized configuration with `threads` workers.
@@ -79,6 +92,8 @@ impl RuntimeConfig {
             ordering: OrderingPolicy::Relaxed,
             inline_tasks: None,
             trace: false,
+            histograms: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -92,6 +107,8 @@ impl RuntimeConfig {
             ordering: OrderingPolicy::SeqCst,
             inline_tasks: None,
             trace: false,
+            histograms: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -142,8 +159,9 @@ pub(crate) struct Inner {
     pub(crate) sleep_cv: Condvar,
     pub(crate) sleeper_count: AtomicUsize,
     pub(crate) worker_stats: Box<[CachePadded<WorkerStatsCell>]>,
-    /// Present iff `config.trace`.
-    pub(crate) tracer: Option<crate::trace::Tracer>,
+    /// Present iff `config.trace || config.histograms`. `None` keeps
+    /// every hook site at one pointer load and branch.
+    pub(crate) obs: Option<Arc<ttg_obs::Obs>>,
 }
 
 impl Inner {
@@ -176,6 +194,13 @@ impl Inner {
 
     /// Pushes an externally produced task into the injection queue.
     pub(crate) fn inject(&self, task: RawTask) {
+        if let Some(obs) = self.obs.as_deref() {
+            if obs.histograms_enabled() {
+                // SAFETY: the caller exclusively owns the task until the
+                // queue publication below.
+                unsafe { task.0.as_ref().stamp_ready(ttg_sync::clock::now_ns()) };
+            }
+        }
         self.maybe_new_session();
         self.injection.lock().push_back(task);
         self.injection_len.fetch_add(1, Ordering::Release);
@@ -274,7 +299,15 @@ impl Runtime {
             sleep_cv: Condvar::new(),
             sleeper_count: AtomicUsize::new(0),
             worker_stats: stats::new_cells(threads),
-            tracer: config.trace.then(|| crate::trace::Tracer::new(threads)),
+            obs: (config.trace || config.histograms).then(|| {
+                Arc::new(ttg_obs::Obs::new(ttg_obs::ObsConfig {
+                    rank,
+                    workers: threads,
+                    events: config.trace,
+                    histograms: config.histograms,
+                    ring_capacity: config.trace_capacity,
+                }))
+            }),
             config,
         });
         let workers = (0..threads)
@@ -386,13 +419,123 @@ impl Runtime {
         }
     }
 
+    /// Waits (bounded) for every worker to go idle with nothing queued,
+    /// so ring drains observe a consistent snapshot. Rings are
+    /// single-writer: draining while a worker still records would lose
+    /// whatever it writes after its ring was visited. Callers normally
+    /// drain right after [`Runtime::wait`], where this settles
+    /// immediately; the deadline only guards against draining a runtime
+    /// that is still executing (the drain then proceeds best-effort).
+    fn quiesce_for_drain(&self) {
+        let threads = self.inner.config.threads.max(1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while std::time::Instant::now() < deadline {
+            if self.inner.idle_count.load(Ordering::SeqCst) == threads && self.inner.truly_quiet() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Drains all recorded timeline events, sorted by timestamp (empty
+    /// unless `config.trace`). Fences on worker quiescence first — call
+    /// after [`Runtime::wait`] for a complete, loss-free drain.
+    pub fn take_events(&self) -> Vec<ttg_obs::Event> {
+        let Some(obs) = self.inner.obs.as_deref() else {
+            return Vec::new();
+        };
+        self.quiesce_for_drain();
+        obs.drain_events()
+    }
+
     /// Drains the recorded task trace (empty unless `config.trace`).
+    ///
+    /// Note: this drains *all* event rings (the non-task events are
+    /// discarded from the projection); use [`Runtime::take_events`] when
+    /// the full timeline is wanted.
     pub fn take_trace(&self) -> Vec<crate::trace::TaskEvent> {
-        self.inner
-            .tracer
-            .as_ref()
-            .map(|t| t.drain())
-            .unwrap_or_default()
+        crate::trace::task_events(&self.take_events())
+    }
+
+    /// Renders drained events as a single-rank Chrome trace JSON string
+    /// (`None` unless `config.trace`). Timestamps stay on this
+    /// process's own clock; for multi-rank merging use
+    /// [`Runtime::chrome_trace_with_base`] with a shared wall-clock
+    /// base on every rank.
+    pub fn chrome_trace(&self) -> Option<String> {
+        let base = self.trace_wall_anchor_ns()?;
+        self.chrome_trace_with_base(base)
+    }
+
+    /// Renders drained events as Chrome trace JSON with timestamps
+    /// shifted onto the shared timeline whose origin is `base_wall_ns`
+    /// (unix ns). Ranks exporting against the same base merge with
+    /// [`ttg_obs::merge_chrome_traces`] into one aligned multi-process
+    /// trace.
+    pub fn chrome_trace_with_base(&self, base_wall_ns: u64) -> Option<String> {
+        let obs = self.inner.obs.as_deref()?;
+        if !obs.events_enabled() {
+            return None;
+        }
+        self.quiesce_for_drain();
+        let events = obs.drain_events();
+        Some(obs.chrome_trace(&events, base_wall_ns))
+    }
+
+    /// Wall-clock unix ns of this process's trace-time origin (`None`
+    /// unless observability is on). Pass one rank's anchor to every
+    /// rank's [`Runtime::chrome_trace_with_base`] to align a job.
+    pub fn trace_wall_anchor_ns(&self) -> Option<u64> {
+        self.inner.obs.as_deref().map(|o| o.wall_anchor_ns())
+    }
+
+    /// Flattens [`Runtime::stats`] plus the latency histograms into a
+    /// generic metrics snapshot, renderable as JSON
+    /// ([`ttg_obs::MetricsSnapshot::to_json`]) or Prometheus text
+    /// ([`ttg_obs::MetricsSnapshot::to_prometheus`]) and mergeable
+    /// across ranks.
+    pub fn metrics(&self) -> ttg_obs::MetricsSnapshot {
+        let s = self.stats();
+        let mut m = ttg_obs::MetricsSnapshot::with_labels(vec![(
+            "rank".to_string(),
+            self.inner.rank.to_string(),
+        )]);
+        m.counter("tasks_executed", s.tasks_executed);
+        m.counter("parks", s.parks);
+        m.counter("wave_contributions", s.wave_contributions);
+        m.counter("injections_drained", s.injections_drained);
+        m.counter("inlined", s.inlined);
+        m.counter("messages_sent", s.messages_sent);
+        m.counter("messages_received", s.messages_received);
+        m.counter("bytes_sent", s.bytes_sent);
+        m.counter("bytes_received", s.bytes_received);
+        m.counter("queue_local_pops", s.queue.local_pops as u64);
+        m.counter("queue_steals", s.queue.steals as u64);
+        m.counter("queue_overflow", s.queue.overflow as u64);
+        m.counter("queue_slow_pushes", s.queue.slow_pushes as u64);
+        m.counter("trace_events_dropped", s.trace_events_dropped);
+        if let Some(obs) = self.inner.obs.as_deref() {
+            if obs.histograms_enabled() {
+                m.histogram("task_duration", obs.task_duration());
+                m.histogram("ready_delay", obs.ready_delay());
+                m.histogram("message_latency", obs.message_latency());
+            }
+        }
+        m
+    }
+
+    /// A mempool refill observer feeding this runtime's trace, or `None`
+    /// when tracing is off. The TTG frontend installs it on the task
+    /// pools it builds over this runtime, so free-list refills (fresh
+    /// allocations) show on the timeline.
+    pub fn pool_refill_hook(&self) -> Option<ttg_mempool::RefillObserver> {
+        let obs = Arc::clone(self.inner.obs.as_ref()?);
+        if !obs.events_enabled() {
+            return None;
+        }
+        Some(Box::new(move |count| {
+            obs.record_pool_refill(count as u64, ttg_sync::clock::now_ns());
+        }))
     }
 
     /// Aggregated statistics snapshot.
@@ -400,8 +543,15 @@ impl Runtime {
         let mut s = stats::aggregate(&self.inner.worker_stats, self.inner.sched.stats());
         s.messages_sent = self.inner.comm.messages_sent.load(Ordering::Relaxed);
         s.messages_received = self.inner.comm.messages_received.load(Ordering::Relaxed);
-        s.bytes_on_wire = self.inner.comm.bytes_sent.load(Ordering::Relaxed)
-            + self.inner.comm.bytes_received.load(Ordering::Relaxed);
+        s.bytes_sent = self.inner.comm.bytes_sent.load(Ordering::Relaxed);
+        s.bytes_received = self.inner.comm.bytes_received.load(Ordering::Relaxed);
+        s.bytes_on_wire = s.bytes_sent + s.bytes_received;
+        s.trace_events_dropped = self
+            .inner
+            .obs
+            .as_deref()
+            .map(|o| o.events_dropped())
+            .unwrap_or(0);
         s
     }
 
@@ -465,17 +615,23 @@ impl Runtime {
     /// `message_received` and schedules the handler at `priority` — the
     /// same path in-memory peer messages take.
     pub fn deliver_frame(&self, src: usize, handler: u32, priority: Priority, payload: Vec<u8>) {
-        let _ = src;
         self.inner
             .comm
             .bytes_received
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let now = ttg_sync::clock::now_ns();
+        if let Some(obs) = self.inner.obs.as_deref() {
+            // Sequence derived from per-peer arrival order, matching the
+            // sender's assignment (the transport is per-peer ordered).
+            obs.record_net_recv(src, payload.len(), now);
+        }
         self.inner
             .inbox_tx
             .send(RemoteMsg::Framed {
                 priority,
                 handler,
                 payload,
+                enqueued_ns: now,
             })
             .expect("own inbox closed");
         self.inner.wake_sleepers();

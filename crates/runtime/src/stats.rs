@@ -41,7 +41,7 @@ pub(crate) struct WorkerStatsCell {
 unsafe impl Sync for WorkerStatsCell {}
 
 /// Aggregated runtime statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RuntimeStats {
     /// Tasks executed across all workers.
     pub tasks_executed: u64,
@@ -58,10 +58,17 @@ pub struct RuntimeStats {
     pub messages_sent: u64,
     /// Active messages received from peer ranks.
     pub messages_received: u64,
-    /// Serialized payload bytes exchanged with peer ranks (sent +
-    /// received; zero for in-memory closure messages, which ship no
-    /// bytes).
+    /// Serialized payload bytes sent to peer ranks (framed messages
+    /// only; in-memory closure messages ship no bytes).
+    pub bytes_sent: u64,
+    /// Serialized payload bytes received from peer ranks.
+    pub bytes_received: u64,
+    /// Total serialized payload bytes exchanged with peer ranks
+    /// (`bytes_sent + bytes_received`), kept for backward compatibility.
     pub bytes_on_wire: u64,
+    /// Trace events lost to ring overwrite (non-zero means the
+    /// configured `trace_capacity` was too small for the run).
+    pub trace_events_dropped: u64,
     /// Scheduler behaviour counters.
     pub queue: QueueStats,
 }

@@ -40,6 +40,11 @@ pub struct TaskHeader {
     pub node: SchedNode,
     /// Dispatch table for this task's concrete type.
     pub vtable: &'static TaskVTable,
+    /// When the task became ready (was scheduled), monotonic ns; `0` if
+    /// never stamped (ready-delay histograms disabled). Written by the
+    /// scheduling thread before the task is published to a queue, read
+    /// by the executing worker — the queue hand-off orders the accesses.
+    ready_ns: std::cell::Cell<u64>,
 }
 
 impl TaskHeader {
@@ -48,7 +53,22 @@ impl TaskHeader {
         TaskHeader {
             node: SchedNode::new(priority),
             vtable,
+            ready_ns: std::cell::Cell::new(0),
         }
+    }
+
+    /// Stamps the moment the task became runnable (for the ready-delay
+    /// histogram). Called only while the stamper exclusively owns the
+    /// task, before queue publication.
+    #[inline]
+    pub fn stamp_ready(&self, now_ns: u64) {
+        self.ready_ns.set(now_ns);
+    }
+
+    /// The stamped ready time, or 0 if never stamped.
+    #[inline]
+    pub fn ready_ns(&self) -> u64 {
+        self.ready_ns.get()
     }
 
     /// The task's scheduling priority.

@@ -6,15 +6,18 @@
 //! vtable, worker as the thread id), dumpable as JSON loadable in
 //! `chrome://tracing` / Perfetto / Speedscope.
 //!
-//! Recording is off unless `RuntimeConfig::trace` is set. Events go to
-//! per-worker buffers (a short uncontended mutex each — workers never
-//! touch each other's buffer), so tracing perturbs scheduling as little
-//! as possible.
+//! Recording is off unless `RuntimeConfig::trace` is set. Since PR 2 the
+//! storage lives in `ttg-obs` event rings (worker-owned, plain `Cell`
+//! stores, no locks on the hot path); this module keeps the original
+//! task-centric [`TaskEvent`] view as a thin adapter over those rings.
+//! The full event stream — steals, parks, slow pushes, wave
+//! contributions, pool refills, network frames — is available via
+//! [`crate::Runtime::take_events`] and renders through
+//! [`crate::Runtime::chrome_trace`], which also emits counter tracks and
+//! cross-rank flow events.
 
-use parking_lot::Mutex;
 use serde::Serialize;
-use ttg_sync::clock::now_ns;
-use ttg_sync::CachePadded;
+use ttg_obs::{Event, EventKind};
 
 /// One recorded task execution.
 #[derive(Debug, Clone, Serialize)]
@@ -29,43 +32,20 @@ pub struct TaskEvent {
     pub dur_ns: u64,
 }
 
-/// Per-runtime trace storage.
-#[derive(Debug)]
-pub(crate) struct Tracer {
-    buffers: Box<[CachePadded<Mutex<Vec<TaskEvent>>>]>,
-}
-
-impl Tracer {
-    pub(crate) fn new(workers: usize) -> Self {
-        Tracer {
-            buffers: (0..workers.max(1))
-                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
-                .collect::<Vec<_>>()
-                .into_boxed_slice(),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn record(&self, worker: usize, name: &'static str, start_ns: u64) {
-        let dur_ns = now_ns().saturating_sub(start_ns);
-        self.buffers[worker].lock().push(TaskEvent {
-            name,
-            worker,
-            start_ns,
-            dur_ns,
-        });
-    }
-
-    /// Drains all recorded events (sorted by start time).
-    pub(crate) fn drain(&self) -> Vec<TaskEvent> {
-        let mut all: Vec<TaskEvent> = self
-            .buffers
-            .iter()
-            .flat_map(|b| b.lock().drain(..).collect::<Vec<_>>())
-            .collect();
-        all.sort_by_key(|e| e.start_ns);
-        all
-    }
+/// Projects the task-execution slices out of a full obs event stream
+/// (the other event kinds — steals, parks, net frames — have no
+/// [`TaskEvent`] shape and are skipped).
+pub fn task_events(events: &[Event]) -> Vec<TaskEvent> {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Task)
+        .map(|e| TaskEvent {
+            name: e.name,
+            worker: e.tid as usize,
+            start_ns: e.ts_ns,
+            dur_ns: e.dur_ns,
+        })
+        .collect()
 }
 
 /// Chrome trace-event JSON ("traceEvents" array of complete events).
@@ -87,7 +67,9 @@ struct ChromeTrace<'a> {
     trace_events: Vec<ChromeEvent<'a>>,
 }
 
-/// Renders events as a Chrome trace JSON string.
+/// Renders task events as a Chrome trace JSON string (tasks only; for
+/// the full timeline with counter tracks and flow events use
+/// [`crate::Runtime::chrome_trace`]).
 pub fn to_chrome_trace(events: &[TaskEvent], pid: u32) -> String {
     let trace = ChromeTrace {
         trace_events: events
@@ -111,16 +93,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tracer_records_and_drains_sorted() {
-        let t = Tracer::new(2);
-        let base = now_ns();
-        t.record(1, "b", base + 50);
-        t.record(0, "a", base);
-        let events = t.drain();
-        assert_eq!(events.len(), 2);
-        assert_eq!(events[0].name, "a");
-        assert_eq!(events[1].name, "b");
-        assert!(t.drain().is_empty(), "drain must consume");
+    fn task_events_projects_only_task_slices() {
+        let evs = vec![
+            Event {
+                kind: EventKind::Task,
+                name: "tt-shell",
+                tid: 1,
+                ts_ns: 100,
+                dur_ns: 50,
+                arg0: 0,
+                arg1: 0,
+            },
+            Event {
+                kind: EventKind::Steal,
+                name: "",
+                tid: 1,
+                ts_ns: 150,
+                dur_ns: 0,
+                arg0: 0,
+                arg1: 0,
+            },
+        ];
+        let tasks = task_events(&evs);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].name, "tt-shell");
+        assert_eq!(tasks[0].worker, 1);
+        assert_eq!(tasks[0].start_ns, 100);
+        assert_eq!(tasks[0].dur_ns, 50);
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl<'rt> WorkerCtx<'rt> {
             self.inline_remaining += 1;
             return;
         }
+        if let Some(obs) = self.inner.obs.as_deref() {
+            if obs.histograms_enabled() {
+                // SAFETY: we own the task until the bundle publishes it.
+                unsafe { task.0.as_ref().stamp_ready(ttg_sync::clock::now_ns()) };
+            }
+        }
         self.bundle.insert(TaskHeader::as_node(task.0));
     }
 
@@ -116,7 +122,12 @@ impl<'rt> WorkerCtx<'rt> {
     fn flush_bundle(&mut self) {
         if !self.bundle.is_empty() {
             let chain = std::mem::take(&mut self.bundle);
-            self.inner.sched.push_chain(self.id, chain);
+            let slow = self.inner.sched.push_chain(self.id, chain);
+            if slow {
+                if let Some(obs) = self.inner.obs.as_deref() {
+                    obs.record_slow_push(self.id, ttg_sync::clock::now_ns());
+                }
+            }
             self.inner.wake_sleepers();
         }
     }
@@ -124,15 +135,20 @@ impl<'rt> WorkerCtx<'rt> {
     /// Executes one task: body, release bundle, executed accounting.
     fn run_task(&mut self, task: RawTask) {
         self.inline_remaining = self.inner.config.inline_tasks.unwrap_or(0);
-        let traced = self.inner.tracer.as_ref().map(|_| {
+        let observed = self.inner.obs.as_deref().map(|obs| {
             // SAFETY: the task is live until execute consumes it.
-            let name = unsafe { task.0.as_ref().vtable.name };
-            (name, ttg_sync::clock::now_ns())
+            let header = unsafe { task.0.as_ref() };
+            (
+                obs,
+                header.vtable.name,
+                header.ready_ns(),
+                ttg_sync::clock::now_ns(),
+            )
         });
         // SAFETY: ownership of `task` came from the queue pop.
         unsafe { task.execute(self) };
-        if let (Some(tracer), Some((name, start))) = (self.inner.tracer.as_ref(), traced) {
-            tracer.record(self.id, name, start);
+        if let Some((obs, name, ready, start)) = observed {
+            obs.record_task(self.id, name, ready, start, ttg_sync::clock::now_ns());
         }
         self.flush_bundle();
         self.inner.term.task_executed(Some(self.id));
@@ -178,19 +194,35 @@ impl<'rt> WorkerCtx<'rt> {
                 .messages_received
                 .fetch_add(1, Ordering::Relaxed);
             self.inner.term.task_discovered(Some(self.id));
-            let task = match msg {
-                crate::comm::RemoteMsg::Closure { priority, job } => {
-                    ClosureTask::allocate(priority, job)
-                }
+            let (task, enqueued_ns) = match msg {
+                crate::comm::RemoteMsg::Closure {
+                    priority,
+                    job,
+                    enqueued_ns,
+                } => (ClosureTask::allocate(priority, job), enqueued_ns),
                 crate::comm::RemoteMsg::Framed {
                     priority,
                     handler,
                     payload,
+                    enqueued_ns,
                 } => {
                     let h = self.inner.handler(handler);
-                    ClosureTask::allocate(priority, move |ctx: &mut WorkerCtx<'_>| h(ctx, payload))
+                    (
+                        ClosureTask::allocate(priority, move |ctx: &mut WorkerCtx<'_>| {
+                            h(ctx, payload)
+                        }),
+                        enqueued_ns,
+                    )
                 }
             };
+            if let Some(obs) = self.inner.obs.as_deref() {
+                if obs.histograms_enabled() {
+                    let now = ttg_sync::clock::now_ns();
+                    obs.record_message_latency(self.id, now.saturating_sub(enqueued_ns));
+                    // SAFETY: freshly allocated, exclusively owned.
+                    unsafe { task.0.as_ref().stamp_ready(now) };
+                }
+            }
             self.bundle.insert(TaskHeader::as_node(task.0));
             got = true;
         }
@@ -206,19 +238,43 @@ const SPINS_BEFORE_PARK: u32 = 20;
 /// Park timeout so termination polling and shutdown checks keep running.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
+/// Records a steal event when a pop came from another worker's queue
+/// (no-op when tracing is off; source discrimination is free — the
+/// queue already knows where the node came from).
+#[inline]
+fn note_pop_source(inner: &Inner, id: usize, src: ttg_sched::PopSource) {
+    if let Some(obs) = inner.obs.as_deref() {
+        if let ttg_sched::PopSource::Steal(victim) = src {
+            obs.record_steal(id, victim, ttg_sync::clock::now_ns());
+        }
+    }
+}
+
 /// The worker thread body.
 pub(crate) fn worker_main(inner: &Inner, id: usize) {
     let nthreads = inner.config.threads.max(1);
     let mut ctx = WorkerCtx::new(inner, id);
     'outer: loop {
         // ---- busy phase -------------------------------------------------
-        while let Some(node) = inner.sched.pop(id) {
+        while let Some((node, src)) = inner.sched.pop_from(id) {
+            note_pop_source(inner, id, src);
             // SAFETY: nodes in the queue are task headers by contract.
             let task = RawTask(unsafe { TaskHeader::from_node(node) });
             ctx.run_task(task);
         }
         // ---- idle transition --------------------------------------------
         inner.term.flush(id);
+        // Counter tracks: sampled at the idle transition (change-only in
+        // the ring), where depth changes are most informative and the
+        // estimate's cost is off the task hot path.
+        if let Some(obs) = inner.obs.as_deref().filter(|o| o.events_enabled()) {
+            obs.sample_depths(
+                id,
+                inner.sched.pending_estimate() as u64,
+                inner.inbox_rx.len() as u64,
+                ttg_sync::clock::now_ns(),
+            );
+        }
         if ctx.drain_injection() | ctx.drain_inbox() {
             continue 'outer;
         }
@@ -232,8 +288,9 @@ pub(crate) fn worker_main(inner: &Inner, id: usize) {
                 inner.idle_count.fetch_sub(1, Ordering::SeqCst);
                 return;
             }
-            if let Some(node) = inner.sched.pop(id) {
+            if let Some((node, src)) = inner.sched.pop_from(id) {
                 inner.idle_count.fetch_sub(1, Ordering::SeqCst);
+                note_pop_source(inner, id, src);
                 // SAFETY: as above.
                 let task = RawTask(unsafe { TaskHeader::from_node(node) });
                 ctx.run_task(task);
@@ -251,6 +308,11 @@ pub(crate) fn worker_main(inner: &Inner, id: usize) {
                 let (sent, received) = inner.term.message_totals();
                 let cell = &inner.worker_stats[id];
                 cell.contributions.set(cell.contributions.get() + 1);
+                if let Some(obs) = inner.obs.as_deref() {
+                    // One ring event per wave round (deduplicated inside),
+                    // not one per idle-loop spin.
+                    obs.record_contribution(id, inner.wave.round(), ttg_sync::clock::now_ns());
+                }
                 if inner.wave.try_contribute(inner.rank, sent, received) {
                     inner.announce_termination();
                 }
@@ -262,6 +324,11 @@ pub(crate) fn worker_main(inner: &Inner, id: usize) {
             } else {
                 let cell = &inner.worker_stats[id];
                 cell.parks.set(cell.parks.get() + 1);
+                let park_start = inner
+                    .obs
+                    .as_deref()
+                    .filter(|o| o.events_enabled())
+                    .map(|_| ttg_sync::clock::now_ns());
                 inner.sleeper_count.fetch_add(1, Ordering::SeqCst);
                 let mut guard = inner.sleep_lock.lock();
                 // Re-check wakeup conditions under the lock to avoid a
@@ -275,6 +342,11 @@ pub(crate) fn worker_main(inner: &Inner, id: usize) {
                 }
                 drop(guard);
                 inner.sleeper_count.fetch_sub(1, Ordering::SeqCst);
+                if let (Some(obs), Some(start)) = (inner.obs.as_deref(), park_start) {
+                    // Consecutive park timeouts coalesce into one event.
+                    let now = ttg_sync::clock::now_ns();
+                    obs.record_park(id, start, now.saturating_sub(start));
+                }
             }
         }
     }

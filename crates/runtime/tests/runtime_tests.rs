@@ -276,3 +276,89 @@ fn tracing_disabled_is_empty() {
     rt.wait();
     assert!(rt.take_trace().is_empty());
 }
+
+#[test]
+fn ring_overflow_is_accounted_in_stats() {
+    // A deliberately tiny ring must overwrite its oldest events and
+    // surface the loss in RuntimeStats rather than silently truncating.
+    let mut config = RuntimeConfig::optimized(1);
+    config.trace = true;
+    config.trace_capacity = 16;
+    let rt = Runtime::new(config);
+    rt.submit(0, |ctx| {
+        for _ in 0..500 {
+            ctx.spawn(0, |_| {});
+        }
+    });
+    rt.wait();
+    let stats = rt.stats();
+    assert!(
+        stats.trace_events_dropped > 0,
+        "501 tasks through a 16-slot ring must drop events \
+         (dropped = {})",
+        stats.trace_events_dropped
+    );
+    // What survives is bounded by the rings (one per worker plus the
+    // shared non-worker lane), and is the newest slice of the timeline.
+    let events = rt.take_events();
+    assert!(!events.is_empty());
+    assert!(events.len() <= 2 * 16, "kept {} events", events.len());
+    // Drained exactly once.
+    assert!(rt.take_events().is_empty());
+    assert_eq!(rt.stats().trace_events_dropped, stats.trace_events_dropped);
+}
+
+#[test]
+fn multi_worker_trace_records_steals_and_parks_with_worker_ids() {
+    use ttg_runtime::obs::EventKind;
+    const WORKERS: u32 = 4;
+    let mut config = RuntimeConfig::optimized(WORKERS as usize);
+    config.trace = true;
+    let rt = Runtime::new(config);
+    // Two sessions: the gap between them parks every worker, and the
+    // single-seed fan-out of sleepy tasks forces the idle workers to
+    // steal from the seeding worker's queue.
+    for _ in 0..2 {
+        rt.submit(0, |ctx| {
+            for _ in 0..64 {
+                ctx.spawn(0, |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                });
+            }
+        });
+        rt.wait();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let events = rt.take_events();
+    assert!(events.iter().any(|e| matches!(e.kind, EventKind::Task)));
+
+    let steals: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Steal))
+        .collect();
+    assert!(
+        !steals.is_empty(),
+        "4 workers draining a single-seed fan-out must steal"
+    );
+    for s in &steals {
+        assert!(s.tid < WORKERS, "steal by out-of-range worker {}", s.tid);
+        let victim = s.arg0 as u32;
+        assert!(victim < WORKERS, "steal from out-of-range victim {victim}");
+        assert_ne!(victim, s.tid, "a worker cannot steal from itself");
+    }
+
+    let parks: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Park))
+        .collect();
+    assert!(!parks.is_empty(), "inter-session gaps must park workers");
+    for p in &parks {
+        assert!(p.tid < WORKERS, "park by out-of-range worker {}", p.tid);
+        assert!(p.dur_ns > 0, "parks carry their duration");
+    }
+
+    // Every worker that executed a task identifies itself correctly.
+    for e in events.iter().filter(|e| matches!(e.kind, EventKind::Task)) {
+        assert!(e.tid < WORKERS);
+    }
+}

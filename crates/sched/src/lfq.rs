@@ -260,17 +260,20 @@ unsafe impl TaskQueue for Lfq {
         }
     }
 
-    fn push_chain(&self, worker: usize, mut chain: SortedChain) {
+    fn push_chain(&self, worker: usize, mut chain: SortedChain) -> bool {
         // LFQ has no chain concept; PaRSEC pushes elements individually.
+        // Report "slow" if any element crossed the global overflow FIFO.
+        let overflow_before = self.overflow.load(Ordering::Relaxed);
         while let Some(node) = chain.pop_front() {
             self.push(worker, node);
         }
+        self.overflow.load(Ordering::Relaxed) != overflow_before
     }
 
-    fn pop(&self, worker: usize) -> Option<NonNull<SchedNode>> {
+    fn pop_from(&self, worker: usize) -> Option<(NonNull<SchedNode>, crate::PopSource)> {
         if let Some(n) = self.buffers[worker].take_best() {
             self.local_pops.fetch_add(1, Ordering::Relaxed);
-            return Some(n);
+            return Some((n, crate::PopSource::Local));
         }
         // Steal from the bounded buffers of other workers, nearest
         // domain first ("any thread in the same domain of the cache and
@@ -278,11 +281,11 @@ unsafe impl TaskQueue for Lfq {
         for victim in self.victims(worker) {
             if let Some(n) = self.buffers[victim].take_best() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(n);
+                return Some((n, crate::PopSource::Steal(victim)));
             }
         }
         // Finally the global FIFO.
-        self.pop_overflow()
+        self.pop_overflow().map(|n| (n, crate::PopSource::Overflow))
     }
 
     fn workers(&self) -> usize {

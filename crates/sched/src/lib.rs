@@ -112,8 +112,21 @@ impl Default for SchedNode {
     }
 }
 
+/// Where a popped task came from, reported by [`TaskQueue::pop_from`]
+/// so observability layers can attribute work movement without the
+/// queue knowing anything about tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopSource {
+    /// The worker's own queue/buffer.
+    Local,
+    /// Stolen from the given victim worker's queue.
+    Steal(usize),
+    /// Taken from a shared overflow structure (LFQ's global FIFO).
+    Overflow,
+}
+
 /// Statistics a queue keeps about its own behaviour (all relaxed).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct QueueStats {
     /// Tasks taken from the caller's own queue/buffer.
     pub local_pops: usize,
@@ -139,12 +152,20 @@ pub unsafe trait TaskQueue: Send + Sync {
     fn push(&self, worker: usize, node: NonNull<SchedNode>);
 
     /// Pushes a pre-sorted bundle of tasks in one pass (the paper's
-    /// mitigation for O(N) ordered insertion).
-    fn push_chain(&self, worker: usize, chain: SortedChain);
+    /// mitigation for O(N) ordered insertion). Returns `true` when the
+    /// push took a contended slow path (LLP's detach-merge-reattach),
+    /// `false` on the one-CAS fast path — a tracing hint only.
+    fn push_chain(&self, worker: usize, chain: SortedChain) -> bool;
 
     /// Takes the best eligible task for `worker`: its own queue first,
-    /// then stealing, then any shared overflow.
-    fn pop(&self, worker: usize) -> Option<NonNull<SchedNode>>;
+    /// then stealing, then any shared overflow. Reports where the task
+    /// came from so callers can trace steals.
+    fn pop_from(&self, worker: usize) -> Option<(NonNull<SchedNode>, PopSource)>;
+
+    /// [`Self::pop_from`] without the provenance.
+    fn pop(&self, worker: usize) -> Option<NonNull<SchedNode>> {
+        self.pop_from(worker).map(|(node, _)| node)
+    }
 
     /// Number of worker queues.
     fn workers(&self) -> usize;

@@ -116,21 +116,23 @@ unsafe impl TaskQueue for Ll {
         self.prepend_list(worker, node.as_ptr(), node.as_ptr());
     }
 
-    fn push_chain(&self, worker: usize, chain: SortedChain) {
+    fn push_chain(&self, worker: usize, chain: SortedChain) -> bool {
         if chain.is_empty() {
-            return;
+            return false;
         }
         let (head, tail, _len) = chain.into_raw();
         self.prepend_list(worker, head, tail);
+        // LL has no detach-merge slow path; prepending is always flat.
+        false
     }
 
-    fn pop(&self, worker: usize) -> Option<NonNull<SchedNode>> {
+    fn pop_from(&self, worker: usize) -> Option<(NonNull<SchedNode>, crate::PopSource)> {
         if let Some(head) = self.try_detach(worker) {
             let first = self.split_first_deposit_rest(worker, head);
             self.queues[worker]
                 .local_pops
                 .fetch_add(1, Ordering::Relaxed);
-            return Some(first);
+            return Some((first, crate::PopSource::Local));
         }
         let n = self.queues.len();
         for i in 1..n {
@@ -141,7 +143,7 @@ unsafe impl TaskQueue for Ll {
                 // blind-store fast path.
                 let first = self.split_first_deposit_rest(worker, head);
                 self.queues[worker].steals.fetch_add(1, Ordering::Relaxed);
-                return Some(first);
+                return Some((first, crate::PopSource::Steal(victim)));
             }
         }
         None

@@ -180,9 +180,9 @@ unsafe impl TaskQueue for Llp {
         }
     }
 
-    fn push_chain(&self, worker: usize, chain: SortedChain) {
+    fn push_chain(&self, worker: usize, chain: SortedChain) -> bool {
         if chain.is_empty() {
-            return;
+            return false;
         }
         let q = &self.queues[worker];
         let h = q.head.load(Ordering::Acquire);
@@ -199,7 +199,7 @@ unsafe impl TaskQueue for Llp {
                 .is_ok()
             {
                 q.head_prio.store(new_prio, Ordering::Relaxed);
-                return;
+                return false;
             }
             // Lost the race; rebuild the chain and take the slow path.
             // SAFETY: tail.next currently dangles into the old head `h`;
@@ -210,9 +210,10 @@ unsafe impl TaskQueue for Llp {
         } else {
             self.push_slow(worker, chain);
         }
+        true
     }
 
-    fn pop(&self, worker: usize) -> Option<NonNull<SchedNode>> {
+    fn pop_from(&self, worker: usize) -> Option<(NonNull<SchedNode>, crate::PopSource)> {
         let q = &self.queues[worker];
         // Local queue first.
         if let Some(head) = q.try_detach() {
@@ -223,7 +224,7 @@ unsafe impl TaskQueue for Llp {
                 q.reattach(chain);
             }
             q.local_pops.fetch_add(1, Ordering::Relaxed);
-            return Some(first);
+            return Some((first, crate::PopSource::Local));
         }
         // Steal: scan other workers starting after us.
         let n = self.queues.len();
@@ -239,7 +240,7 @@ unsafe impl TaskQueue for Llp {
                     self.push_chain(worker, chain);
                 }
                 q.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(first);
+                return Some((first, crate::PopSource::Steal(victim)));
             }
         }
         None

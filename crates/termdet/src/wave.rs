@@ -54,6 +54,14 @@ pub trait TermWave: Send + Sync {
     /// every rank has finished submitting its session's work.
     fn enter_fence(&self) {}
 
+    /// Current reduction round, for diagnostics/tracing (e.g. a tracer
+    /// recording one contribution event per round instead of one per
+    /// idle-loop spin). Implementations without a meaningful round
+    /// counter may leave the default `0`.
+    fn round(&self) -> u64 {
+        0
+    }
+
     /// Whether this wave runs the fenced epoch protocol. If `true`,
     /// a latched termination is authoritative for the epoch the caller
     /// fenced into — `Runtime::wait` may return even if messages of the
@@ -158,6 +166,10 @@ impl TermWave for WaveBoard {
 
     fn reset(&self) {
         WaveBoard::reset(self)
+    }
+
+    fn round(&self) -> u64 {
+        WaveBoard::round(self)
     }
 }
 

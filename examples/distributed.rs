@@ -14,11 +14,24 @@
 //! ```text
 //! cargo run --release -p ttg-examples --bin distributed
 //! cargo run --release -p ttg-examples --bin distributed -- --tcp --ranks 4
+//! cargo run --release -p ttg-examples --bin distributed -- --tcp --ranks 3 \
+//!     --trace trace.json --metrics metrics.prom --stats-json stats.json
 //! ```
+//!
+//! Observability flags (both modes):
+//!
+//! * `--stats-json <path>` — per-rank [`ttg_runtime::RuntimeStats`] as a
+//!   JSON array.
+//! * `--trace <path>` — merged Chrome/Perfetto trace: one `pid` per
+//!   rank on a shared wall-clock-aligned timeline; in TCP mode frame
+//!   sends/receives are linked by flow arrows across ranks.
+//! * `--metrics <path>` — merged Prometheus text exposition (enables
+//!   latency histograms).
 //!
 //! `--tcp` re-executes this binary once per rank (environment variables
 //! `TTG_NET_RANK` / `TTG_NET_RANKS` / `TTG_NET_PORT` select the child
-//! role) and waits for all ranks to exit successfully.
+//! role) and waits for all ranks to exit successfully. Each child then
+//! writes `<path>.rank<N>` partial outputs which the parent merges.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -28,6 +41,34 @@ use ttg_runtime::{ProcessGroup, RuntimeConfig, WorkerCtx};
 const DEFAULT_RANKS: usize = 4;
 const ITEMS: usize = 64;
 const DEFAULT_PORT: u16 = 43117;
+
+/// Where to write the optional observability outputs.
+#[derive(Clone, Default)]
+struct ObsArgs {
+    stats_json: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl ObsArgs {
+    /// Child-role arguments, relayed through the environment by the
+    /// `--tcp` parent (paths already rank-qualified).
+    fn from_env() -> ObsArgs {
+        ObsArgs {
+            stats_json: std::env::var("TTG_NET_STATS_OUT").ok(),
+            trace: std::env::var("TTG_NET_TRACE_OUT").ok(),
+            metrics: std::env::var("TTG_NET_METRICS_OUT").ok(),
+        }
+    }
+
+    /// Applies the flags to a runtime configuration: events for the
+    /// trace, histograms for the metrics percentiles.
+    fn configure(&self, mut config: RuntimeConfig) -> RuntimeConfig {
+        config.trace = self.trace.is_some();
+        config.histograms = self.metrics.is_some();
+        config
+    }
+}
 
 fn main() {
     // Child role: selected via environment by the `--tcp` parent.
@@ -41,7 +82,7 @@ fn main() {
             .expect("TTG_NET_PORT")
             .parse()
             .expect("TTG_NET_PORT");
-        run_tcp_rank(rank, nranks, port);
+        run_tcp_rank(rank, nranks, port, &ObsArgs::from_env());
         return;
     }
 
@@ -49,6 +90,7 @@ fn main() {
     let mut tcp = false;
     let mut ranks = DEFAULT_RANKS;
     let mut port = DEFAULT_PORT;
+    let mut obs = ObsArgs::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,16 +103,72 @@ fn main() {
                 i += 1;
                 port = args[i].parse().expect("--port-base P");
             }
+            "--stats-json" => {
+                i += 1;
+                obs.stats_json = Some(args[i].clone());
+            }
+            "--trace" => {
+                i += 1;
+                obs.trace = Some(args[i].clone());
+            }
+            "--metrics" => {
+                i += 1;
+                obs.metrics = Some(args[i].clone());
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
 
     if tcp {
-        spawn_tcp_job(ranks, port);
+        spawn_tcp_job(ranks, port, &obs);
     } else {
-        run_simulated(ranks);
+        run_simulated(ranks, &obs);
     }
+}
+
+// ---- observability export helpers --------------------------------------
+
+/// Merges per-rank Prometheus text expositions into one: every `# TYPE`
+/// line appears once, followed by that family's samples from all ranks
+/// (distinguished by their `rank` label).
+fn merge_prometheus(parts: &[String]) -> String {
+    let sample_name =
+        |line: &str| -> String { line.split(['{', ' ']).next().unwrap_or("").to_string() };
+    let mut families: Vec<(String, String)> = Vec::new(); // (name, TYPE line)
+    for part in parts {
+        for line in part.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap_or("").to_string();
+                if !families.iter().any(|(n, _)| *n == name) {
+                    families.push((name, line.to_string()));
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (family, type_line) in &families {
+        out.push_str(type_line);
+        out.push('\n');
+        for part in parts {
+            for line in part.lines().filter(|l| !l.starts_with('#')) {
+                let name = sample_name(line);
+                let belongs = name == *family
+                    || (name.strip_prefix(family.as_str()))
+                        .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count"));
+                if belongs {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+fn write_file(path: &str, contents: &str, what: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {what} to {path}: {e}"));
+    println!("wrote {what} to {path}");
 }
 
 // ---- the workload (used by both modes) ---------------------------------
@@ -87,8 +185,8 @@ fn gather_expected() -> u64 {
 
 // ---- simulated mode (in-process ProcessGroup, closure messages) --------
 
-fn run_simulated(ranks: usize) {
-    let group = ProcessGroup::new(ranks, |_rank| RuntimeConfig::optimized(2));
+fn run_simulated(ranks: usize, obs: &ObsArgs) {
+    let group = ProcessGroup::new(ranks, |_rank| obs.configure(RuntimeConfig::optimized(2)));
     println!("process group: {ranks} ranks x 2 workers each (simulated)");
 
     // ---- Phase 1: token ring -----------------------------------------
@@ -150,23 +248,71 @@ fn run_simulated(ranks: usize) {
             s.tasks_executed, s.wave_contributions, s.messages_sent
         );
     }
+
+    // ---- optional observability exports -------------------------------
+    if let Some(path) = &obs.stats_json {
+        let all: Vec<ttg_runtime::RuntimeStats> =
+            (0..ranks).map(|r| group.runtime(r).stats()).collect();
+        let json = serde_json::to_string_pretty(&all).expect("stats serialization");
+        write_file(path, &json, "stats JSON");
+    }
+    if let Some(path) = &obs.trace {
+        // All ranks share this process's clock: rank 0's wall anchor
+        // serves as the common timeline origin.
+        let base = group
+            .runtime(0)
+            .trace_wall_anchor_ns()
+            .expect("tracing enabled");
+        let parts: Vec<String> = (0..ranks)
+            .filter_map(|r| group.runtime(r).chrome_trace_with_base(base))
+            .collect();
+        write_file(
+            path,
+            &ttg_runtime::obs::merge_chrome_traces(&parts),
+            "Chrome trace",
+        );
+    }
+    if let Some(path) = &obs.metrics {
+        let parts: Vec<String> = (0..ranks)
+            .map(|r| group.runtime(r).metrics().to_prometheus("ttg"))
+            .collect();
+        write_file(path, &merge_prometheus(&parts), "Prometheus metrics");
+    }
     println!("global termination detected twice by the 4-counter wave — done.");
 }
 
 // ---- TCP mode (one OS process per rank, framed messages) ---------------
 
-/// Parent: re-execute this binary once per rank and await the job.
-fn spawn_tcp_job(ranks: usize, port: u16) {
+/// Parent: re-execute this binary once per rank, await the job, then
+/// merge the per-rank observability partials into the requested files.
+fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs) {
     let exe = std::env::current_exe().expect("current_exe");
     println!("tcp job: spawning {ranks} rank processes on 127.0.0.1:{port}+");
+    // One wall-clock trace epoch for the whole job: every rank shifts
+    // its monotonic timestamps onto this shared origin, so the merged
+    // trace lines the processes up on one timeline.
+    let trace_epoch_ns = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let rank_path = |base: &str, rank: usize| format!("{base}.rank{rank}");
     let children: Vec<_> = (0..ranks)
         .map(|rank| {
-            std::process::Command::new(&exe)
-                .env("TTG_NET_RANK", rank.to_string())
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.env("TTG_NET_RANK", rank.to_string())
                 .env("TTG_NET_RANKS", ranks.to_string())
-                .env("TTG_NET_PORT", port.to_string())
-                .spawn()
-                .expect("spawn rank process")
+                .env("TTG_NET_PORT", port.to_string());
+            if let Some(p) = &obs.trace {
+                cmd.env("TTG_NET_TRACE_OUT", rank_path(p, rank))
+                    .env("TTG_NET_TRACE_EPOCH", trace_epoch_ns.to_string());
+            }
+            if let Some(p) = &obs.stats_json {
+                cmd.env("TTG_NET_STATS_OUT", rank_path(p, rank));
+            }
+            if let Some(p) = &obs.metrics {
+                cmd.env("TTG_NET_METRICS_OUT", rank_path(p, rank));
+            }
+            cmd.spawn().expect("spawn rank process")
         })
         .collect();
     let mut failed = false;
@@ -178,13 +324,53 @@ fn spawn_tcp_job(ranks: usize, port: u16) {
         }
     }
     assert!(!failed, "one or more ranks failed");
+
+    // Merge the partials the children wrote (and clean them up).
+    let collect = |base: &str, what: &str| -> Vec<String> {
+        (0..ranks)
+            .map(|rank| {
+                let p = rank_path(base, rank);
+                let s = std::fs::read_to_string(&p)
+                    .unwrap_or_else(|e| panic!("read {what} partial {p}: {e}"));
+                let _ = std::fs::remove_file(&p);
+                s
+            })
+            .collect()
+    };
+    if let Some(path) = &obs.trace {
+        let parts = collect(path, "trace");
+        write_file(
+            path,
+            &ttg_runtime::obs::merge_chrome_traces(&parts),
+            "Chrome trace",
+        );
+    }
+    if let Some(path) = &obs.stats_json {
+        let parts = collect(path, "stats");
+        let values: Vec<serde_json::Value> = parts
+            .iter()
+            .map(|s| serde_json::from_str(s).expect("rank stats JSON"))
+            .collect();
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(values))
+            .expect("stats serialization");
+        write_file(path, &json, "stats JSON");
+    }
+    if let Some(path) = &obs.metrics {
+        let parts = collect(path, "metrics");
+        write_file(path, &merge_prometheus(&parts), "Prometheus metrics");
+    }
     println!("tcp job: all {ranks} ranks completed — done.");
 }
 
 /// Child: run one rank of the distributed job over real sockets.
-fn run_tcp_rank(rank: usize, nranks: usize, port: u16) {
-    let net = NetRuntime::connect_tcp(RuntimeConfig::optimized(2), rank, nranks, port)
-        .expect("connect TCP mesh");
+fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
+    let net = NetRuntime::connect_tcp(
+        obs.configure(RuntimeConfig::optimized(2)),
+        rank,
+        nranks,
+        port,
+    )
+    .expect("connect TCP mesh");
     let rt = net.runtime();
     if rank == 0 {
         println!("tcp mesh connected: {nranks} ranks x 2 workers each");
@@ -267,6 +453,25 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16) {
         "  rank {rank}: {} tasks executed, {} wave contributions, {} msgs sent, {} msgs recv, {} payload bytes on wire",
         s.tasks_executed, s.wave_contributions, s.messages_sent, s.messages_received, s.bytes_on_wire
     );
+
+    // ---- per-rank observability partials (parent merges) --------------
+    if let Some(path) = &obs.trace {
+        let epoch: u64 = std::env::var("TTG_NET_TRACE_EPOCH")
+            .expect("TTG_NET_TRACE_EPOCH")
+            .parse()
+            .expect("TTG_NET_TRACE_EPOCH");
+        let json = rt
+            .chrome_trace_with_base(epoch)
+            .expect("tracing enabled for this rank");
+        std::fs::write(path, json).expect("write trace partial");
+    }
+    if let Some(path) = &obs.stats_json {
+        let json = serde_json::to_string_pretty(&s).expect("stats serialization");
+        std::fs::write(path, json).expect("write stats partial");
+    }
+    if let Some(path) = &obs.metrics {
+        std::fs::write(path, rt.metrics().to_prometheus("ttg")).expect("write metrics partial");
+    }
     net.shutdown();
     if rank == 0 {
         println!("global termination detected twice by the 4-counter wave over TCP — done.");
