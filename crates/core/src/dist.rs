@@ -126,13 +126,17 @@ pub(crate) fn encode_spmd(idx: u32, key_bytes: &[u8], val_bytes: &[u8]) -> Vec<u
     payload
 }
 
-/// Splits an SPMD payload into `(idx, key_bytes, val_bytes)`.
-fn decode_spmd(payload: &[u8]) -> (u32, &[u8], &[u8]) {
-    assert!(payload.len() >= 8, "truncated SPMD message header");
-    let idx = u32::from_le_bytes(payload[..4].try_into().unwrap());
-    let key_len = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
-    assert!(payload.len() >= 8 + key_len, "truncated SPMD message key");
-    (idx, &payload[8..8 + key_len], &payload[8 + key_len..])
+/// Splits an SPMD payload into `(idx, key_bytes, val_bytes)`. The
+/// payload arrived over the wire, so truncation is a peer's bug (or a
+/// fault injector's doing), not grounds to kill this process: `None`.
+fn decode_spmd(payload: &[u8]) -> Option<(u32, &[u8], &[u8])> {
+    let idx_bytes = payload.get(..4)?;
+    let len_bytes = payload.get(4..8)?;
+    let idx = u32::from_le_bytes(idx_bytes.try_into().ok()?);
+    let key_len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+    let key = payload.get(8..8 + key_len)?;
+    let val = payload.get(8 + key_len..)?;
+    Some((idx, key, val))
 }
 
 /// Wires the per-rank instances of one template task into a distributed
@@ -208,24 +212,47 @@ where
         .inner
         .runtime
         .register_handler(move |ctx, payload: Vec<u8>| {
-            let inner = weak.upgrade().expect("SPMD message for a torn-down TT");
-            let route = inner.route.get().expect("SPMD message before link_spmd");
-            let (idx, key_bytes, val_bytes) = decode_spmd(&payload);
+            // Arrival order is remote-controlled: a message racing graph
+            // teardown or linking is dropped, not a panic.
+            let Some(inner) = weak.upgrade() else {
+                eprintln!("ttg-core: dropping SPMD message for a torn-down TT");
+                return;
+            };
+            let Some(route) = inner.route.get() else {
+                eprintln!("ttg-core: dropping SPMD message that arrived before link_spmd");
+                return;
+            };
+            let Some((idx, key_bytes, val_bytes)) = decode_spmd(&payload) else {
+                eprintln!(
+                    "ttg-core: dropping truncated SPMD message for '{}' ({} bytes)",
+                    inner.name,
+                    payload.len()
+                );
+                return;
+            };
             let key: K = (route.key_from_bytes)(key_bytes);
             let mut d = crate::io::Dispatch::Worker(ctx);
             if idx == INVOKE_IDX {
                 inner.invoke_now(&mut d, key);
             } else {
-                let hooks = inner.inputs[idx as usize]
-                    .serde
-                    .as_ref()
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "input {idx} of '{}' received a cross-rank datum but was not \
+                // The index came off the wire: out of range is a peer's
+                // corruption, dropped; an in-range input that was not
+                // declared remote-capable is *this* program's bug and
+                // stays a loud panic.
+                let Some(input) = inner.inputs.get(idx as usize) else {
+                    eprintln!(
+                        "ttg-core: dropping SPMD message for '{}' with bad input index {idx}",
+                        inner.name
+                    );
+                    return;
+                };
+                let hooks = input.serde.as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "input {idx} of '{}' received a cross-rank datum but was not \
                          declared with input_remote()/input_aggregator_remote()",
-                            inner.name
-                        )
-                    });
+                        inner.name
+                    )
+                });
                 let copy = (hooks.from_bytes)(val_bytes, d.ordering());
                 inner.deliver_input(&mut d, idx as usize, &key, copy);
             }

@@ -1,0 +1,122 @@
+//! Resilience knobs for the transport and the termination wave.
+//!
+//! Every field has an environment override so deployed jobs (and CI)
+//! can tune deadlines without a rebuild:
+//!
+//! | field                | env                           | default  |
+//! |----------------------|-------------------------------|----------|
+//! | `connect_deadline`   | `TTG_NET_CONNECT_DEADLINE_MS` | 20000 ms |
+//! | `heartbeat_interval` | `TTG_NET_HEARTBEAT_MS`        | 500 ms   |
+//! | `peer_dead_after`    | `TTG_NET_PEER_DEAD_MS`        | 5000 ms  |
+//! | `stall_timeout`      | `TTG_NET_STALL_MS`            | off (0)  |
+//!
+//! The stall timeout is opt-in because a genuinely lost *data* frame is
+//! indistinguishable from a long-running remote task without
+//! application knowledge; when set, a fenced epoch making no wave
+//! progress for that long aborts with a diagnostic instead of hanging.
+
+use std::time::Duration;
+
+/// Callback invoked once per failed dial attempt: `(peer, attempt,
+/// elapsed)`. Installed by the obs layer so flaky CI connects show up
+/// as counter events in traces.
+pub type RetryObserver = std::sync::Arc<dyn Fn(usize, u64, Duration) + Send + Sync>;
+
+/// Liveness and deadline configuration for one transport endpoint.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Give up dialing a peer after this long (initial connect and
+    /// reconnect alike).
+    pub connect_deadline: Duration,
+    /// Send a payload-free heartbeat to a peer whose link has been
+    /// send-idle this long.
+    pub heartbeat_interval: Duration,
+    /// Declare a peer dead when nothing (not even a heartbeat) arrived
+    /// for this long, or a dropped connection was not re-established
+    /// within it.
+    pub peer_dead_after: Duration,
+    /// Abort a fenced epoch whose termination wave makes no progress
+    /// for this long (`None` = wait forever; the default).
+    pub stall_timeout: Option<Duration>,
+    /// Per-dial-retry hook (`None` = silent).
+    pub retry_observer: Option<RetryObserver>,
+}
+
+impl std::fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("connect_deadline", &self.connect_deadline)
+            .field("heartbeat_interval", &self.heartbeat_interval)
+            .field("peer_dead_after", &self.peer_dead_after)
+            .field("stall_timeout", &self.stall_timeout)
+            .field("retry_observer", &self.retry_observer.is_some())
+            .finish()
+    }
+}
+
+fn env_ms(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl NetConfig {
+    /// The built-in defaults (20s connect, 500ms heartbeat, 5s dead,
+    /// no stall deadline), ignoring the environment.
+    pub fn builtin() -> NetConfig {
+        NetConfig {
+            connect_deadline: Duration::from_secs(20),
+            heartbeat_interval: Duration::from_millis(500),
+            peer_dead_after: Duration::from_secs(5),
+            stall_timeout: None,
+            retry_observer: None,
+        }
+    }
+
+    /// Defaults with environment overrides applied (the configuration
+    /// every constructor uses unless handed an explicit one).
+    pub fn from_env() -> NetConfig {
+        let mut cfg = Self::builtin();
+        if let Some(ms) = env_ms("TTG_NET_CONNECT_DEADLINE_MS") {
+            cfg.connect_deadline = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_ms("TTG_NET_HEARTBEAT_MS") {
+            cfg.heartbeat_interval = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = env_ms("TTG_NET_PEER_DEAD_MS") {
+            cfg.peer_dead_after = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = env_ms("TTG_NET_STALL_MS") {
+            cfg.stall_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        cfg
+    }
+
+    /// Builder-style stall deadline.
+    pub fn with_stall_timeout(mut self, timeout: Option<Duration>) -> NetConfig {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Builder-style retry observer.
+    pub fn with_retry_observer(mut self, obs: RetryObserver) -> NetConfig {
+        self.retry_observer = Some(obs);
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_defaults_are_sane() {
+        let c = NetConfig::builtin();
+        assert!(c.heartbeat_interval < c.peer_dead_after);
+        assert!(c.stall_timeout.is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Typed error taxonomy for the transport layer.
+//!
+//! Every failure the mesh can observe maps to one [`NetError`] variant,
+//! replacing the ad-hoc `io::Error` strings (and the reader-thread
+//! panic) of the first transport cut. The variants mirror the failure
+//! model in DESIGN.md §8: what is *detected* (connect timeout, peer
+//! close, frame corruption, heartbeat loss) and what is *reported*
+//! upward (epoch abort). Remote-peer-controlled data must never panic
+//! this process; it surfaces here instead.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// Result alias for transport operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// A typed transport-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Dialing a peer did not succeed within the connect deadline
+    /// (`TTG_NET_CONNECT_DEADLINE_MS`).
+    ConnectTimeout {
+        /// Rank that could not be reached.
+        rank: usize,
+        /// How long we kept retrying.
+        waited: Duration,
+        /// Number of dial attempts made.
+        attempts: u64,
+        /// The last OS-level error observed.
+        last: String,
+    },
+    /// The connection to a peer closed (EOF or write failure) and was
+    /// not re-established before `peer_dead_after`.
+    PeerClosed {
+        /// The peer whose connection is gone.
+        rank: usize,
+        /// What the transport was doing when it noticed.
+        during: &'static str,
+    },
+    /// A frame failed its CRC32 integrity check (or carried a malformed
+    /// header). The stream can no longer be trusted: the peer link is
+    /// declared lost.
+    FrameCorrupt {
+        /// The peer the corrupt frame arrived from (or was addressed
+        /// to, for send-side detection).
+        rank: usize,
+        /// Decoder diagnostic (bad CRC, bad kind byte, bad length...).
+        detail: String,
+    },
+    /// Nothing arrived from a connected peer (not even a heartbeat) for
+    /// longer than `peer_dead_after`.
+    HeartbeatLost {
+        /// The silent peer.
+        rank: usize,
+        /// How long the silence lasted.
+        silent_for: Duration,
+    },
+    /// The termination wave aborted an epoch instead of announcing it
+    /// (peer loss mid-wave, or a configured stall deadline expired).
+    EpochAborted {
+        /// The epoch that was given up on.
+        epoch: u64,
+        /// Human-readable diagnostic carried with the abort.
+        reason: String,
+    },
+    /// The endpoint is shut down (or was never connected to `rank`).
+    NotConnected {
+        /// The unreachable rank.
+        rank: usize,
+    },
+    /// Any other I/O failure, stringified (kept last-resort; prefer a
+    /// typed variant).
+    Io {
+        /// `io::ErrorKind` of the underlying error.
+        kind: io::ErrorKind,
+        /// Stringified error message.
+        msg: String,
+    },
+}
+
+impl NetError {
+    /// Wraps an arbitrary `io::Error`.
+    pub fn io(e: &io::Error) -> NetError {
+        NetError::Io {
+            kind: e.kind(),
+            msg: e.to_string(),
+        }
+    }
+
+    /// The peer rank this error is about, when it is about one.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            NetError::ConnectTimeout { rank, .. }
+            | NetError::PeerClosed { rank, .. }
+            | NetError::FrameCorrupt { rank, .. }
+            | NetError::HeartbeatLost { rank, .. }
+            | NetError::NotConnected { rank } => Some(*rank),
+            NetError::EpochAborted { .. } | NetError::Io { .. } => None,
+        }
+    }
+
+    /// Converts into an `io::Error` (for the `FrameSender` boundary,
+    /// which predates the taxonomy). The display string round-trips the
+    /// diagnostic.
+    pub fn into_io(self) -> io::Error {
+        let kind = match &self {
+            NetError::ConnectTimeout { .. } => io::ErrorKind::TimedOut,
+            NetError::PeerClosed { .. } => io::ErrorKind::ConnectionReset,
+            NetError::FrameCorrupt { .. } => io::ErrorKind::InvalidData,
+            NetError::HeartbeatLost { .. } => io::ErrorKind::TimedOut,
+            NetError::EpochAborted { .. } => io::ErrorKind::Interrupted,
+            NetError::NotConnected { .. } => io::ErrorKind::NotConnected,
+            NetError::Io { kind, .. } => *kind,
+        };
+        io::Error::new(kind, self.to_string())
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ConnectTimeout {
+                rank,
+                waited,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "connect to rank {rank} timed out after {waited:?} ({attempts} attempts): {last}"
+            ),
+            NetError::PeerClosed { rank, during } => {
+                write!(f, "connection to rank {rank} closed ({during})")
+            }
+            NetError::FrameCorrupt { rank, detail } => {
+                write!(f, "corrupt frame on link to rank {rank}: {detail}")
+            }
+            NetError::HeartbeatLost { rank, silent_for } => {
+                write!(f, "rank {rank} silent for {silent_for:?} (heartbeat lost)")
+            }
+            NetError::EpochAborted { epoch, reason } => {
+                write!(f, "epoch {epoch} aborted: {reason}")
+            }
+            NetError::NotConnected { rank } => write!(f, "not connected to rank {rank}"),
+            NetError::Io { kind, msg } => write!(f, "io error ({kind:?}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::io(&e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_attributed() {
+        assert_eq!(
+            NetError::PeerClosed {
+                rank: 3,
+                during: "read",
+            }
+            .rank(),
+            Some(3)
+        );
+        assert_eq!(
+            NetError::EpochAborted {
+                epoch: 1,
+                reason: "x".into(),
+            }
+            .rank(),
+            None
+        );
+    }
+
+    #[test]
+    fn io_round_trip_keeps_kind_and_message() {
+        let e = NetError::FrameCorrupt {
+            rank: 1,
+            detail: "crc mismatch".into(),
+        };
+        let io = e.clone().into_io();
+        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+        assert!(io.to_string().contains("crc mismatch"));
+        let back = NetError::from(io);
+        assert!(matches!(back, NetError::Io { .. }));
+    }
+}

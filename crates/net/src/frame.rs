@@ -1,16 +1,26 @@
 //! Wire format for active messages and termination control traffic.
 //!
-//! Every frame is length-prefixed so a receiver thread can read from a
-//! byte stream without knowing handler payload layouts:
+//! Every frame is length-prefixed and integrity-checked so a receiver
+//! thread can read from a byte stream without knowing handler payload
+//! layouts, and a flipped bit anywhere in the body is detected rather
+//! than executed:
 //!
 //! ```text
-//! [u32 body_len (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [payload ...]
+//! [u32 body_len (LE)] [u32 crc32 (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [payload ...]
 //! ```
 //!
-//! `body_len` counts everything after the length word. Data frames carry
+//! `body_len` counts everything after the CRC word; `crc32` is the
+//! IEEE/zlib CRC over exactly those `body_len` bytes. Data frames carry
 //! a registered handler id plus an opaque payload; control frames reuse
 //! the same layout with `handler`/`priority` reinterpreted per kind (see
 //! [`FrameKind`]), which keeps the codec to a single code path.
+//!
+//! Decoding distinguishes three outcomes ([`Decoded`]): a frame, a
+//! clean EOF at a frame boundary, and a *corrupt* frame (bad CRC, bad
+//! kind byte, implausible length). Corruption is not an `io::Error`:
+//! the caller counts it and decides the link's fate (the TCP transport
+//! declares the peer lost — once framing is untrustworthy, skipping a
+//! frame would silently unbalance the termination wave).
 
 use std::io::{self, Read, Write};
 
@@ -20,7 +30,8 @@ use std::io::{self, Read, Write};
 pub enum FrameKind {
     /// Active message for a registered handler; scheduled at `priority`.
     Data = 0,
-    /// Peer handshake: payload-free, `handler` = sender's rank.
+    /// Peer handshake: `handler` = sender's rank; payload byte 0 is 1
+    /// when this connection replaces a dropped one (reconnect).
     Hello = 1,
     /// Rank tells the coordinator it entered a termination fence:
     /// `handler` = rank, payload = u64 epoch.
@@ -35,11 +46,17 @@ pub enum FrameKind {
     Terminated = 5,
     /// Orderly connection shutdown after an epoch completes.
     Goodbye = 6,
+    /// Payload-free liveness probe sent on idle links; consumed by the
+    /// transport, never delivered to the sink.
+    Heartbeat = 7,
+    /// A rank aborts a wave epoch: `handler` = origin rank, payload =
+    /// u64 epoch followed by a UTF-8 diagnostic.
+    Abort = 8,
 }
 
 impl FrameKind {
-    fn from_u8(v: u8) -> io::Result<Self> {
-        Ok(match v {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
             0 => FrameKind::Data,
             1 => FrameKind::Hello,
             2 => FrameKind::EnterFence,
@@ -47,12 +64,9 @@ impl FrameKind {
             4 => FrameKind::Contribute,
             5 => FrameKind::Terminated,
             6 => FrameKind::Goodbye,
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown frame kind {other}"),
-                ))
-            }
+            7 => FrameKind::Heartbeat,
+            8 => FrameKind::Abort,
+            _ => return None,
         })
     }
 }
@@ -70,12 +84,69 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-/// Fixed bytes after the length prefix: kind + priority + handler.
+/// Outcome of reading one frame off a stream.
+#[derive(Debug)]
+pub enum Decoded {
+    /// A well-formed, integrity-checked frame.
+    Frame(Frame),
+    /// Clean EOF at a frame boundary (peer closed without Goodbye).
+    Eof,
+    /// The stream delivered bytes that are not a valid frame; `detail`
+    /// says what failed (CRC, kind byte, length bounds). The stream
+    /// position is undefined afterwards — resynchronization is not
+    /// attempted.
+    Corrupt {
+        /// What the decoder rejected.
+        detail: String,
+    },
+}
+
+/// Fixed bytes after the CRC word: kind + priority + handler.
 const HEADER_LEN: usize = 1 + 4 + 4;
 
 /// Refuse frames larger than this (corrupt length words otherwise turn
 /// into multi-gigabyte allocations).
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+// ---- CRC32 (IEEE 802.3 / zlib polynomial), hand-rolled -----------------
+// No new dependencies: a 256-entry table computed at compile time. This
+// is the reflected algorithm with polynomial 0xEDB88320.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed chunks with `state` starting at `!0` and
+/// finish with `^ !0` (what [`crc32`] does in one call).
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC32_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
 
 impl Frame {
     /// Builds a data frame for a registered handler.
@@ -112,23 +183,30 @@ impl Frame {
         }
     }
 
-    /// Reads the payload back as u64 words (for control frames).
+    /// Reads the payload back as u64 words (for control frames). A
+    /// trailing partial word — impossible for frames we encode, but the
+    /// payload is remote-controlled — is ignored rather than panicking.
     pub fn words(&self) -> Vec<u64> {
         self.payload
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
             .collect()
     }
 
-    /// Serialized size including the length prefix.
+    /// Serialized size including the length prefix and CRC word.
     pub fn encoded_len(&self) -> usize {
-        4 + HEADER_LEN + self.payload.len()
+        4 + 4 + HEADER_LEN + self.payload.len()
     }
 
     /// Appends the encoded frame to `buf`.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let body_len = (HEADER_LEN + self.payload.len()) as u32;
         buf.extend_from_slice(&body_len.to_le_bytes());
+        let mut crc = crc32_update(0xFFFF_FFFF, &[self.kind as u8]);
+        crc = crc32_update(crc, &self.priority.to_le_bytes());
+        crc = crc32_update(crc, &self.handler.to_le_bytes());
+        crc = crc32_update(crc, &self.payload) ^ 0xFFFF_FFFF;
+        buf.extend_from_slice(&crc.to_le_bytes());
         buf.push(self.kind as u8);
         buf.extend_from_slice(&self.priority.to_le_bytes());
         buf.extend_from_slice(&self.handler.to_le_bytes());
@@ -142,33 +220,47 @@ impl Frame {
         w.write_all(&buf)
     }
 
-    /// Reads one frame from a stream. Returns `Ok(None)` on clean EOF at
-    /// a frame boundary.
-    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    /// Reads one frame from a stream. `Err` is reserved for genuine I/O
+    /// failures (including EOF *inside* a frame — a truncated stream);
+    /// malformed bytes come back as [`Decoded::Corrupt`] so the caller
+    /// can count them, and a clean EOF at a frame boundary as
+    /// [`Decoded::Eof`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Decoded> {
         let mut len_bytes = [0u8; 4];
         if !read_exact_or_eof(r, &mut len_bytes)? {
-            return Ok(None);
+            return Ok(Decoded::Eof);
         }
         let body_len = u32::from_le_bytes(len_bytes) as usize;
         if body_len < HEADER_LEN {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame body too short: {body_len}"),
-            ));
+            return Ok(Decoded::Corrupt {
+                detail: format!("frame body too short: {body_len}"),
+            });
         }
         if body_len > MAX_FRAME_LEN {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame body too long: {body_len}"),
-            ));
+            return Ok(Decoded::Corrupt {
+                detail: format!("frame body too long: {body_len}"),
+            });
         }
+        let mut crc_bytes = [0u8; 4];
+        r.read_exact(&mut crc_bytes)?;
+        let want_crc = u32::from_le_bytes(crc_bytes);
         let mut body = vec![0u8; body_len];
         r.read_exact(&mut body)?;
-        let kind = FrameKind::from_u8(body[0])?;
-        let priority = i32::from_le_bytes(body[1..5].try_into().unwrap());
-        let handler = u32::from_le_bytes(body[5..9].try_into().unwrap());
+        let got_crc = crc32(&body);
+        if got_crc != want_crc {
+            return Ok(Decoded::Corrupt {
+                detail: format!("crc mismatch: want {want_crc:#010x}, got {got_crc:#010x}"),
+            });
+        }
+        let Some(kind) = FrameKind::from_u8(body[0]) else {
+            return Ok(Decoded::Corrupt {
+                detail: format!("unknown frame kind {}", body[0]),
+            });
+        };
+        let priority = i32::from_le_bytes(body[1..5].try_into().expect("4 bytes"));
+        let handler = u32::from_le_bytes(body[5..9].try_into().expect("4 bytes"));
         let payload = body[HEADER_LEN..].to_vec();
-        Ok(Some(Frame {
+        Ok(Decoded::Frame(Frame {
             kind,
             priority,
             handler,
@@ -203,13 +295,32 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn read_one(buf: &[u8]) -> io::Result<Decoded> {
+        Frame::read_from(&mut Cursor::new(buf))
+    }
+
+    fn expect_frame(d: Decoded) -> Frame {
+        match d {
+            Decoded::Frame(f) => f,
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
     #[test]
     fn roundtrip_data_frame() {
         let f = Frame::data(7, -3, vec![1, 2, 3, 4, 5]);
         let mut buf = Vec::new();
         f.encode_into(&mut buf);
         assert_eq!(buf.len(), f.encoded_len());
-        let got = Frame::read_from(&mut Cursor::new(&buf)).unwrap().unwrap();
+        let got = expect_frame(read_one(&buf).unwrap());
         assert_eq!(got, f);
     }
 
@@ -218,7 +329,7 @@ mod tests {
         let f = Frame::control_with_words(FrameKind::Contribute, 2, &[9, 100, 99]);
         let mut buf = Vec::new();
         f.encode_into(&mut buf);
-        let got = Frame::read_from(&mut Cursor::new(&buf)).unwrap().unwrap();
+        let got = expect_frame(read_one(&buf).unwrap());
         assert_eq!(got.kind, FrameKind::Contribute);
         assert_eq!(got.handler, 2);
         assert_eq!(got.words(), vec![9, 100, 99]);
@@ -230,32 +341,136 @@ mod tests {
         Frame::control(FrameKind::Hello, 3).encode_into(&mut buf);
         Frame::data(1, 5, b"xyz".to_vec()).encode_into(&mut buf);
         let mut cur = Cursor::new(&buf);
-        let a = Frame::read_from(&mut cur).unwrap().unwrap();
-        let b = Frame::read_from(&mut cur).unwrap().unwrap();
+        let a = expect_frame(Frame::read_from(&mut cur).unwrap());
+        let b = expect_frame(Frame::read_from(&mut cur).unwrap());
         assert_eq!(a.kind, FrameKind::Hello);
         assert_eq!(b.payload, b"xyz");
-        assert!(Frame::read_from(&mut cur).unwrap().is_none());
+        assert!(matches!(Frame::read_from(&mut cur).unwrap(), Decoded::Eof));
     }
 
     #[test]
-    fn truncated_frame_is_an_error() {
-        let mut buf = Vec::new();
-        Frame::data(1, 0, vec![0; 16]).encode_into(&mut buf);
-        buf.truncate(buf.len() - 4);
-        let mut cur = Cursor::new(&buf);
-        assert!(Frame::read_from(&mut cur).is_err());
+    fn every_bit_flip_in_the_body_is_detected() {
+        // The tentpole integrity property: flip any single bit of the
+        // CRC-covered region and decoding must refuse the frame (as
+        // Corrupt, never a panic and never a silently wrong frame).
+        let f = Frame::data(3, -1, b"integrity".to_vec());
+        let mut clean = Vec::new();
+        f.encode_into(&mut clean);
+        for byte in 4..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                match read_one(&buf) {
+                    Ok(Decoded::Corrupt { .. }) => {}
+                    Ok(Decoded::Frame(got)) => {
+                        panic!("bit flip at byte {byte} bit {bit} went undetected: {got:?}")
+                    }
+                    // Flips inside the length word (not CRC-covered)
+                    // are caught by bounds or surface as a truncated
+                    // read — also acceptable, also never a panic.
+                    Ok(Decoded::Eof) | Err(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Satellite: fuzz-style table of malformed inputs. Every case must
+    /// decode to `Corrupt`/`Eof`/`Err` — never panic, never a frame.
+    #[test]
+    fn malformed_input_table() {
+        let mut valid = Vec::new();
+        Frame::data(1, 0, vec![0xAB; 16]).encode_into(&mut valid);
+
+        let truncated_mid_body = &valid[..valid.len() - 4];
+        let truncated_mid_header = &valid[..6];
+        let truncated_mid_len = &valid[..2];
+        let zero_len = {
+            let mut b = 0u32.to_le_bytes().to_vec(); // body_len = 0 < HEADER_LEN
+            b.extend_from_slice(&[0u8; 16]);
+            b
+        };
+        let short_len = {
+            let mut b = 5u32.to_le_bytes().to_vec(); // 0 < body_len < HEADER_LEN
+            b.extend_from_slice(&[0u8; 16]);
+            b
+        };
+        let oversized = {
+            let mut b = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+            b.extend_from_slice(&[0u8; 16]);
+            b
+        };
+        let bad_kind = {
+            // Re-encode with kind byte 200 and a *matching* CRC, so only
+            // the kind check can reject it.
+            let mut body = vec![200u8];
+            body.extend_from_slice(&0i32.to_le_bytes());
+            body.extend_from_slice(&0u32.to_le_bytes());
+            let mut b = (body.len() as u32).to_le_bytes().to_vec();
+            b.extend_from_slice(&crc32(&body).to_le_bytes());
+            b.extend_from_slice(&body);
+            b
+        };
+        let bad_crc = {
+            let mut b = valid.clone();
+            b[4] ^= 0xFF; // corrupt the CRC word itself
+            b
+        };
+        let garbage = vec![0xFFu8; 64];
+
+        let cases: Vec<(&str, &[u8])> = vec![
+            ("truncated mid-body", truncated_mid_body),
+            ("truncated mid-header", truncated_mid_header),
+            ("truncated mid-length", truncated_mid_len),
+            ("zero-length body", &zero_len),
+            ("sub-header body", &short_len),
+            ("oversized length", &oversized),
+            ("unknown kind, valid crc", &bad_kind),
+            ("flipped crc word", &bad_crc),
+            ("garbage", &garbage),
+            ("empty", &[]),
+        ];
+        for (name, bytes) in cases {
+            match read_one(bytes) {
+                Ok(Decoded::Frame(f)) => panic!("case '{name}' decoded to a frame: {f:?}"),
+                Ok(Decoded::Eof) => assert_eq!(name, "empty", "only empty input is clean EOF"),
+                Ok(Decoded::Corrupt { .. }) | Err(_) => {}
+            }
+        }
     }
 
     #[test]
-    fn rejects_bad_kind_and_oversize() {
-        // kind byte 200 is invalid.
+    fn heartbeat_and_abort_kinds_roundtrip() {
+        let hb = Frame::control(FrameKind::Heartbeat, 2);
         let mut buf = Vec::new();
-        Frame::data(0, 0, vec![]).encode_into(&mut buf);
-        buf[4] = 200;
-        assert!(Frame::read_from(&mut Cursor::new(&buf)).is_err());
-        // Oversized length word.
-        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
-        buf.extend_from_slice(&[0; 16]);
-        assert!(Frame::read_from(&mut Cursor::new(&buf)).is_err());
+        hb.encode_into(&mut buf);
+        assert_eq!(
+            expect_frame(read_one(&buf).unwrap()).kind,
+            FrameKind::Heartbeat
+        );
+
+        let mut payload = 7u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"peer 2 died");
+        let ab = Frame {
+            kind: FrameKind::Abort,
+            priority: 0,
+            handler: 1,
+            payload,
+        };
+        let mut buf = Vec::new();
+        ab.encode_into(&mut buf);
+        let got = expect_frame(read_one(&buf).unwrap());
+        assert_eq!(got.kind, FrameKind::Abort);
+        assert_eq!(&got.payload[8..], b"peer 2 died");
+    }
+
+    #[test]
+    fn words_tolerates_partial_trailing_word() {
+        let f = Frame {
+            kind: FrameKind::Contribute,
+            priority: 0,
+            handler: 0,
+            payload: vec![1, 2, 3], // not a multiple of 8
+        };
+        assert!(f.words().is_empty());
     }
 }

@@ -4,18 +4,29 @@
 //! [`LocalTransport`] (the same protocol stack the TCP mode uses, minus
 //! the sockets — invaluable for tests and for apples-to-apples
 //! comparisons against real-socket runs).
+//!
+//! Failures surface as typed values, not panics or hangs: a transport
+//! that declares a peer dead poisons the wave and records a
+//! [`RunError::PeerLost`] on the runtime, so [`NetRuntime::run`] (and
+//! [`NetGroup::try_wait`]) return the diagnostic instead of waiting on
+//! control frames that will never arrive.
 
+use crate::config::NetConfig;
+use crate::error::{NetError, NetResult};
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::frame::{Frame, FrameKind};
 use crate::transport::{FrameSink, LocalTransport, Transport};
 use crate::wave::NetWave;
 use std::io;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use ttg_runtime::{FrameSender, Runtime, RuntimeConfig};
+use ttg_runtime::{FrameSender, NetStats, RunError, Runtime, RuntimeConfig};
 use ttg_termdet::TermWave;
 
 /// Adapts the runtime + wave pair into the transport's frame ingestion
 /// point: data frames enter the runtime's inbox, control frames drive
-/// the wave protocol.
+/// the wave protocol, and a lost peer poisons the wave and records the
+/// typed error `Runtime::run` will return.
 struct RuntimeSink {
     rt: Arc<Runtime>,
     wave: Arc<NetWave>,
@@ -28,12 +39,23 @@ impl FrameSink for RuntimeSink {
                 self.rt
                     .deliver_frame(src, frame.handler, frame.priority, frame.payload)
             }
-            // Handshake/teardown frames are transport-level concerns; a
-            // LocalTransport never produces them and the TCP reader
-            // consumes them before the sink.
-            FrameKind::Hello | FrameKind::Goodbye => {}
+            // Handshake/teardown/liveness frames are transport-level
+            // concerns; a LocalTransport never produces them and the
+            // TCP reader consumes them before the sink. Seeing one here
+            // (e.g. a fault injector duplicating traffic) is harmless.
+            FrameKind::Hello | FrameKind::Goodbye | FrameKind::Heartbeat => {}
             _ => self.wave.on_control(src, frame),
         }
+    }
+
+    fn peer_lost(&self, peer: usize, error: &NetError) {
+        self.rt.record_run_error(RunError::PeerLost {
+            rank: peer,
+            during: error.to_string(),
+        });
+        // Poison (not a one-epoch abort): the peer is not coming back,
+        // so every future fence must fail fast too.
+        self.wave.poison(&format!("peer rank {peer} lost: {error}"));
     }
 }
 
@@ -48,7 +70,9 @@ impl FrameSender for TransportSender {
         priority: i32,
         payload: Vec<u8>,
     ) -> io::Result<()> {
-        self.0.send(dst, Frame::data(handler, priority, payload))
+        self.0
+            .send(dst, Frame::data(handler, priority, payload))
+            .map_err(|e| e.into_io())
     }
 }
 
@@ -62,20 +86,31 @@ pub struct NetRuntime {
 }
 
 impl NetRuntime {
-    /// Assembles a rank over an arbitrary transport. `make_transport`
-    /// receives the frame sink and must return the connected endpoint
-    /// for (`rank`, `nranks`) — for TCP this is where the mesh dial
-    /// happens, so the call may block until all peers are up.
-    pub fn over_transport<T, E>(
+    /// Assembles a rank over an arbitrary transport with the
+    /// environment-driven [`NetConfig`]. `make_transport` receives the
+    /// frame sink and must return the connected endpoint for (`rank`,
+    /// `nranks`) — for TCP this is where the mesh dial happens, so the
+    /// call may block until all peers are up.
+    pub fn over_transport<E>(
         config: RuntimeConfig,
         rank: usize,
         nranks: usize,
-        make_transport: impl FnOnce(Arc<dyn FrameSink>) -> Result<Arc<T>, E>,
-    ) -> Result<NetRuntime, E>
-    where
-        T: Transport + 'static,
-    {
-        let wave = NetWave::new(rank, nranks);
+        make_transport: impl FnOnce(Arc<dyn FrameSink>) -> Result<Arc<dyn Transport>, E>,
+    ) -> Result<NetRuntime, E> {
+        Self::over_transport_with(config, &NetConfig::default(), rank, nranks, make_transport)
+    }
+
+    /// [`NetRuntime::over_transport`] with an explicit [`NetConfig`]
+    /// (the wave picks up `net_cfg.stall_timeout`; transports built
+    /// inside `make_transport` configure themselves).
+    pub fn over_transport_with<E>(
+        config: RuntimeConfig,
+        net_cfg: &NetConfig,
+        rank: usize,
+        nranks: usize,
+        make_transport: impl FnOnce(Arc<dyn FrameSink>) -> Result<Arc<dyn Transport>, E>,
+    ) -> Result<NetRuntime, E> {
+        let wave = NetWave::with_stall(rank, nranks, net_cfg.stall_timeout);
         let rt = Arc::new(Runtime::with_termination(
             config,
             Arc::clone(&wave) as Arc<dyn ttg_termdet::TermWave>,
@@ -88,6 +123,18 @@ impl NetRuntime {
         let transport: Arc<dyn Transport> = make_transport(sink)?;
         wave.bind_transport(Arc::clone(&transport));
         rt.set_frame_sender(Arc::new(TransportSender(Arc::clone(&transport))));
+        if transport.counters().is_some() {
+            let t = Arc::clone(&transport);
+            rt.set_net_stats_source(Arc::new(move || match t.counters() {
+                Some(c) => NetStats {
+                    frames_corrupt: c.frames_corrupt.load(Ordering::Relaxed),
+                    heartbeats_sent: c.heartbeats_sent.load(Ordering::Relaxed),
+                    peers_lost: c.peers_lost.load(Ordering::Relaxed),
+                    reconnects: c.reconnects.load(Ordering::Relaxed),
+                },
+                None => NetStats::default(),
+            }));
+        }
         Ok(NetRuntime {
             rt,
             wave,
@@ -97,20 +144,37 @@ impl NetRuntime {
 
     /// Connects this process as rank `rank` of an `nranks` TCP mesh on
     /// `127.0.0.1` ports `base_port..base_port + nranks`. Blocks until
-    /// the mesh is fully connected.
+    /// the mesh is fully connected. Uses the environment-driven
+    /// [`NetConfig`]; see [`NetRuntime::connect_tcp_with`] for an
+    /// explicit one and for the typed error.
     pub fn connect_tcp(
         config: RuntimeConfig,
         rank: usize,
         nranks: usize,
         base_port: u16,
     ) -> io::Result<NetRuntime> {
-        Self::over_transport(config, rank, nranks, |sink| {
-            crate::tcp::TcpTransport::connect_mesh(rank, nranks, base_port, sink)
+        Self::connect_tcp_with(config, NetConfig::default(), rank, nranks, base_port)
+            .map_err(|e| e.into_io())
+    }
+
+    /// [`NetRuntime::connect_tcp`] with an explicit [`NetConfig`] and a
+    /// typed [`NetError`] on failure.
+    pub fn connect_tcp_with(
+        config: RuntimeConfig,
+        net_cfg: NetConfig,
+        rank: usize,
+        nranks: usize,
+        base_port: u16,
+    ) -> NetResult<NetRuntime> {
+        let tcp_cfg = net_cfg.clone();
+        Self::over_transport_with(config, &net_cfg, rank, nranks, |sink| {
+            crate::tcp::TcpTransport::connect_mesh_cfg(rank, nranks, base_port, sink, tcp_cfg)
+                .map(|t| t as Arc<dyn Transport>)
         })
     }
 
     /// The rank's runtime (submit work, register handlers, send
-    /// messages, `wait()` for the fenced global termination).
+    /// messages, `wait()`/`run()` for the fenced global termination).
     pub fn runtime(&self) -> &Runtime {
         &self.rt
     }
@@ -139,9 +203,19 @@ impl NetRuntime {
     }
 
     /// Blocks until global termination of the current session
-    /// (equivalent to `runtime().wait()`).
+    /// (equivalent to `runtime().wait()`), discarding any failure
+    /// diagnostic. Prefer [`NetRuntime::run`].
     pub fn wait(&self) {
         self.rt.wait();
+    }
+
+    /// Blocks until the current session ends: `Ok(())` on clean global
+    /// termination, or the typed reason the epoch was given up on —
+    /// [`RunError::PeerLost`] when the transport declared a peer dead,
+    /// [`RunError::Aborted`] for wave-level failures (stall, lost
+    /// control traffic, a peer's broadcast abort).
+    pub fn run(&self) -> Result<(), RunError> {
+        self.rt.run()
     }
 
     /// Tears down the transport. Call after the final `wait()`.
@@ -169,18 +243,42 @@ pub struct NetGroup {
 impl NetGroup {
     /// Spawns `nranks` runtimes configured by `config_for(rank)`.
     pub fn local(nranks: usize, config_for: impl Fn(usize) -> RuntimeConfig) -> NetGroup {
+        Self::local_faulty(
+            nranks,
+            &NetConfig::default(),
+            &FaultPlan::none(),
+            config_for,
+        )
+    }
+
+    /// [`NetGroup::local`] with an explicit [`NetConfig`] and a
+    /// [`FaultPlan`] executed on every rank's outgoing frames — the
+    /// harness the chaos soak test drives: deterministic faults over
+    /// the full protocol stack, in one process.
+    pub fn local_faulty(
+        nranks: usize,
+        net_cfg: &NetConfig,
+        plan: &FaultPlan,
+        config_for: impl Fn(usize) -> RuntimeConfig,
+    ) -> NetGroup {
         let nranks = nranks.max(1);
         let members = LocalTransport::mesh(nranks)
             .into_iter()
             .enumerate()
             .map(|(rank, transport)| {
-                NetRuntime::over_transport::<_, std::convert::Infallible>(
+                NetRuntime::over_transport_with(
                     config_for(rank),
+                    net_cfg,
                     rank,
                     nranks,
-                    |sink| {
+                    |sink| -> Result<Arc<dyn Transport>, std::convert::Infallible> {
                         transport.bind_sink(sink);
-                        Ok(Arc::new(transport))
+                        let inner: Arc<dyn Transport> = Arc::new(transport);
+                        Ok(if plan.is_empty() {
+                            inner
+                        } else {
+                            FaultyTransport::new(inner, plan) as Arc<dyn Transport>
+                        })
                     },
                 )
                 .unwrap()
@@ -209,17 +307,33 @@ impl NetGroup {
         self.members[rank].runtime_arc()
     }
 
-    /// Blocks until global termination. All ranks must enter the fence
-    /// **before** any of them is waited on: the coordinator only opens
-    /// reduction rounds once every rank has fenced, so waiting rank 0
-    /// to completion first would deadlock against ranks that have not
-    /// announced fence entry yet.
+    /// Blocks until global termination, discarding any failure
+    /// diagnostics (prefer [`NetGroup::try_wait`]). All ranks must
+    /// enter the fence **before** any of them is waited on: the
+    /// coordinator only opens reduction rounds once every rank has
+    /// fenced, so waiting rank 0 to completion first would deadlock
+    /// against ranks that have not announced fence entry yet.
     pub fn wait(&self) {
+        let _ = self.try_wait();
+    }
+
+    /// Blocks until every rank's session ends, returning the first
+    /// rank's typed error if any epoch was aborted rather than cleanly
+    /// terminated. Every rank is always driven to completion (each must
+    /// consume its epoch turnover), even after an error.
+    pub fn try_wait(&self) -> Result<(), RunError> {
         for m in &self.members {
             m.fence();
         }
+        let mut first = None;
         for m in &self.members {
-            m.wait();
+            if let Err(e) = m.run() {
+                first.get_or_insert(e);
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -295,7 +409,7 @@ mod tests {
         assert_eq!(ids, vec![0, 0]);
         group.runtime(0).send_msg(1, 0, 0, vec![9, 9]);
         group.runtime(1).send_msg(0, 0, 0, vec![9, 9]);
-        group.wait();
+        group.try_wait().expect("clean run");
         assert_eq!(hits.load(Ordering::Relaxed), 3); // ranks 0 and 1 hit once each
         let s0 = group.runtime(0).stats();
         assert_eq!(s0.messages_sent, 1);
@@ -364,5 +478,48 @@ mod tests {
             let want: u64 = (1..=phase as u64).sum();
             assert_eq!(sum.load(Ordering::Relaxed), want, "phase {phase}");
         }
+    }
+
+    #[test]
+    fn severed_link_surfaces_a_typed_error_not_a_hang() {
+        // Rank 0's very first frame to rank 1 hits a fault-injected
+        // sever: the send fails, the epoch aborts, and try_wait returns
+        // the typed diagnostic on every rank instead of hanging.
+        let plan = FaultPlan::parse("0:sever@1->1").unwrap();
+        let cfg =
+            NetConfig::builtin().with_stall_timeout(Some(std::time::Duration::from_millis(500)));
+        let group = NetGroup::local_faulty(2, &cfg, &plan, |_| RuntimeConfig::optimized(1));
+        for r in 0..2 {
+            group.runtime(r).register_handler(|_ctx, _payload| {});
+        }
+        group.runtime(0).send_msg(1, 0, 0, vec![1]);
+        let err = group.try_wait().expect_err("sever must fail the epoch");
+        match err {
+            RunError::PeerLost { rank, .. } => assert_eq!(rank, 1),
+            RunError::Aborted { ref reason } => {
+                assert!(
+                    reason.contains("sever") || reason.contains("failed"),
+                    "{reason}"
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn net_counters_flow_into_runtime_stats() {
+        // A corrupt@-injected frame is rejected by CRC on delivery; the
+        // counter must surface in RuntimeStats via the stats source, and
+        // the lost frame must trip the stall detector (typed abort).
+        let plan = FaultPlan::parse("0:corrupt@1->1").unwrap();
+        let cfg =
+            NetConfig::builtin().with_stall_timeout(Some(std::time::Duration::from_millis(300)));
+        let group = NetGroup::local_faulty(2, &cfg, &plan, |_| RuntimeConfig::optimized(1));
+        for r in 0..2 {
+            group.runtime(r).register_handler(|_ctx, _payload| {});
+        }
+        group.runtime(0).send_msg(1, 0, 0, vec![7; 16]);
+        let err = group.try_wait();
+        assert!(err.is_err(), "a swallowed data frame must abort the epoch");
+        assert_eq!(group.runtime(0).stats().frames_corrupt, 1);
     }
 }

@@ -26,12 +26,18 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
+pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod group;
 pub mod tcp;
 pub mod transport;
 pub mod wave;
 
+pub use config::NetConfig;
+pub use error::{NetError, NetResult};
+pub use fault::{FaultPlan, FaultyTransport};
 pub use frame::{Frame, FrameKind};
 pub use group::{NetGroup, NetRuntime};
 pub use tcp::TcpTransport;

@@ -5,62 +5,407 @@
 //! rank binds its listener **first** (port = base + rank when using
 //! [`TcpTransport::connect_mesh`]), then dials every lower rank with
 //! exponential-backoff retry (the peer may not have bound yet) and
-//! accepts one connection from every higher rank. A payload-free
-//! `Hello` frame carrying the dialer's rank is the handshake that tells
-//! the acceptor who is on the other end.
+//! accepts one connection from every higher rank. A `Hello` frame
+//! carrying the dialer's rank is the handshake that tells the acceptor
+//! who is on the other end; its one-byte payload distinguishes a fresh
+//! connect from a reconnect after a drop.
 //!
 //! One reader thread per peer socket decodes frames and hands them to
 //! the bound [`FrameSink`]; writers are per-peer mutex-guarded streams
 //! (frame writes are a single `write_all`, so per-peer ordering — which
 //! the wave protocol relies on — is the TCP stream's own ordering).
+//!
+//! # Failure handling (DESIGN.md §8)
+//!
+//! Nothing a remote peer does can panic this process. Each peer link is
+//! a small state machine (`Connected` → `Reconnecting` → `Connected` |
+//! `Dead`, or → `Closed` on an orderly Goodbye) driven by three
+//! transport-internal threads:
+//!
+//! * the per-peer **reader** decodes frames; a clean EOF without a
+//!   Goodbye starts a reconnect, a CRC/framing failure declares the
+//!   peer dead outright (once framing is untrustworthy, skipping frames
+//!   would silently unbalance the termination wave);
+//! * the **acceptor** keeps the listener alive for the whole run so a
+//!   higher-ranked peer can dial back in after a drop;
+//! * the **monitor** sends payload-free heartbeats on send-idle links,
+//!   declares a peer dead after `peer_dead_after` of total silence, and
+//!   bounds how long a link may sit in `Reconnecting`.
+//!
+//! Reconnect keeps the original dial direction (lower rank dials) and
+//! is bounded by `peer_dead_after`. A send that hits a broken socket
+//! parks until the link is re-established and then resends — the peer's
+//! reader discarded the partial frame along with the dead socket, so
+//! delivery stays exactly-once. When a peer is declared dead the sink
+//! hears about it exactly once via [`FrameSink::peer_lost`] and every
+//! subsequent send returns the same typed [`NetError`].
+//!
+//! Heartbeats are consumed by the transport and counted separately
+//! (`heartbeats_sent`/`heartbeats_received`); they do not perturb the
+//! `frames_sent`/`bytes_sent` ledger the stats layer reconciles.
 
-use crate::frame::{Frame, FrameKind};
+use crate::config::NetConfig;
+use crate::error::{NetError, NetResult};
+use crate::frame::{Decoded, Frame, FrameKind};
 use crate::transport::{FrameSink, Transport, TransportCounters};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long to keep retrying a dial before giving up.
-const CONNECT_DEADLINE: Duration = Duration::from_secs(20);
 /// First retry delay; doubles up to [`CONNECT_RETRY_MAX`].
 const CONNECT_RETRY_START: Duration = Duration::from_millis(5);
 const CONNECT_RETRY_MAX: Duration = Duration::from_millis(250);
 
-/// A connected TCP endpoint of the rank mesh.
-pub struct TcpTransport {
+/// Lifecycle of one peer link.
+enum PeerState {
+    /// Live socket; reader running.
+    Connected,
+    /// Socket lost; a reconnect is in flight (we re-dial lower ranks,
+    /// higher ranks re-dial us). The monitor bounds this state by
+    /// `peer_dead_after`.
+    Reconnecting { since: Instant },
+    /// Orderly Goodbye (or local shutdown): gone, but not a failure.
+    Closed,
+    /// Declared lost; the error every subsequent send returns.
+    Dead(NetError),
+}
+
+struct PeerSlot {
+    state: Mutex<PeerState>,
+    state_changed: Condvar,
+    /// Write half of the live socket (`None` while not connected).
+    writer: Mutex<Option<TcpStream>>,
+    /// Milliseconds since `Shared::start` of the last byte received /
+    /// frame sent, for the monitor's idle and silence timers.
+    last_recv_ms: AtomicU64,
+    last_send_ms: AtomicU64,
+    /// Bumped on every (re)install and on death; readers carry the
+    /// generation they were spawned for so a stale reader's loss report
+    /// cannot tear down its successor connection.
+    generation: AtomicU64,
+}
+
+impl PeerSlot {
+    fn new() -> Self {
+        PeerSlot {
+            state: Mutex::new(PeerState::Reconnecting {
+                since: Instant::now(),
+            }),
+            state_changed: Condvar::new(),
+            writer: Mutex::new(None),
+            last_recv_ms: AtomicU64::new(0),
+            last_send_ms: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Everything the transport's threads share. `TcpTransport` is a thin
+/// handle so reader/monitor/acceptor threads can hold the state without
+/// keeping the public endpoint alive.
+struct Shared {
     rank: usize,
     nranks: usize,
-    /// Write half per peer (`None` at our own index).
-    writers: Vec<Option<Mutex<TcpStream>>>,
-    /// Shared with reader threads (which must NOT hold the transport
-    /// itself, or the last reader to exit would self-join in `Drop`).
-    counters: Arc<TransportCounters>,
-    down: Arc<AtomicBool>,
-    readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    cfg: NetConfig,
+    addrs: Vec<SocketAddr>,
+    local_addr: SocketAddr,
+    /// `None` at our own index.
+    peers: Vec<Option<PeerSlot>>,
+    counters: TransportCounters,
+    sink: Arc<dyn FrameSink>,
+    down: AtomicBool,
+    start: Instant,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn slot(&self, peer: usize) -> Option<&PeerSlot> {
+        self.peers.get(peer).and_then(|s| s.as_ref())
+    }
+
+    fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) -> bool {
+        match std::thread::Builder::new().name(name).spawn(f) {
+            Ok(h) => {
+                self.threads.lock().push(h);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Installs a freshly handshaken socket for `peer` and spawns its
+    /// reader. Returns false (dropping the socket) if the peer is
+    /// already dead/closed or the endpoint is shutting down.
+    fn install_connection(
+        self: &Arc<Self>,
+        peer: usize,
+        stream: TcpStream,
+        reconnect: bool,
+    ) -> bool {
+        let Some(slot) = self.slot(peer) else {
+            return false;
+        };
+        if stream.set_nodelay(true).is_err() {
+            return false;
+        }
+        let Ok(reader_stream) = stream.try_clone() else {
+            return false;
+        };
+        let generation = {
+            let mut state = slot.state.lock();
+            if self.down.load(Ordering::Acquire) {
+                return false;
+            }
+            match *state {
+                PeerState::Dead(_) | PeerState::Closed => return false,
+                PeerState::Connected | PeerState::Reconnecting { .. } => {}
+            }
+            let generation = slot.generation.load(Ordering::Relaxed) + 1;
+            slot.generation.store(generation, Ordering::Relaxed);
+            // Writer must be in place before the state flips to
+            // Connected: a sender that observes Connected may lock the
+            // writer immediately.
+            *slot.writer.lock() = Some(stream);
+            let now = self.now_ms();
+            slot.last_recv_ms.store(now, Ordering::Relaxed);
+            slot.last_send_ms.store(now, Ordering::Relaxed);
+            *state = PeerState::Connected;
+            slot.state_changed.notify_all();
+            generation
+        };
+        if reconnect {
+            self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        let shared = Arc::clone(self);
+        let name = format!("ttg-net-{}<-{}", self.rank, peer);
+        if !self.spawn(name, move || {
+            reader_loop(&shared, peer, reader_stream, generation)
+        }) {
+            self.declare_dead(
+                peer,
+                NetError::Io {
+                    kind: io::ErrorKind::Other,
+                    msg: "could not spawn reader thread".into(),
+                },
+            );
+            return false;
+        }
+        true
+    }
+
+    /// A live connection broke (EOF without Goodbye, or a read/write
+    /// error). Starts the bounded reconnect dance; `generation` guards
+    /// against a stale reader tearing down a newer connection.
+    fn connection_lost(self: &Arc<Self>, peer: usize, generation: u64) {
+        if self.down.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(slot) = self.slot(peer) else {
+            return;
+        };
+        {
+            let mut state = slot.state.lock();
+            if slot.generation.load(Ordering::Relaxed) != generation {
+                return; // about a connection that was already replaced
+            }
+            match *state {
+                PeerState::Connected => {}
+                _ => return, // loss already being handled
+            }
+            *state = PeerState::Reconnecting {
+                since: Instant::now(),
+            };
+            slot.state_changed.notify_all();
+        }
+        if let Some(stream) = slot.writer.lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Dial direction is preserved: we re-dial lower ranks, higher
+        // ranks re-dial our (still listening) acceptor.
+        if peer < self.rank {
+            let shared = Arc::clone(self);
+            let name = format!("ttg-net-{}-redial-{}", self.rank, peer);
+            if !self.spawn(name, move || reconnector(&shared, peer)) {
+                self.declare_dead(
+                    peer,
+                    NetError::PeerClosed {
+                        rank: peer,
+                        during: "reconnect (thread spawn failed)",
+                    },
+                );
+            }
+        }
+    }
+
+    /// Irrevocably marks `peer` lost: latches the typed error for
+    /// future sends, counts it, and tells the sink exactly once.
+    fn declare_dead(self: &Arc<Self>, peer: usize, err: NetError) {
+        let Some(slot) = self.slot(peer) else {
+            return;
+        };
+        {
+            let mut state = slot.state.lock();
+            match *state {
+                PeerState::Dead(_) | PeerState::Closed => return,
+                PeerState::Connected | PeerState::Reconnecting { .. } => {}
+            }
+            let generation = slot.generation.load(Ordering::Relaxed) + 1;
+            slot.generation.store(generation, Ordering::Relaxed);
+            *state = PeerState::Dead(err.clone());
+            slot.state_changed.notify_all();
+        }
+        if let Some(stream) = slot.writer.lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.counters.peers_lost.fetch_add(1, Ordering::Relaxed);
+        self.sink.peer_lost(peer, &err);
+    }
+
+    /// The peer said Goodbye: the link is gone on purpose. Not a
+    /// failure, so no `peers_lost`, no `peer_lost` callback.
+    fn peer_said_goodbye(&self, peer: usize, generation: u64) {
+        let Some(slot) = self.slot(peer) else {
+            return;
+        };
+        {
+            let mut state = slot.state.lock();
+            if slot.generation.load(Ordering::Relaxed) != generation {
+                return;
+            }
+            match *state {
+                PeerState::Dead(_) | PeerState::Closed => return,
+                PeerState::Connected | PeerState::Reconnecting { .. } => {}
+            }
+            *state = PeerState::Closed;
+            slot.state_changed.notify_all();
+        }
+        if let Some(stream) = slot.writer.lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Sends pre-encoded frame bytes to `dst`, parking through a
+    /// reconnect and resending on the fresh socket if the first write
+    /// hit a broken one. Counts the frame exactly once, on success.
+    fn send_encoded(self: &Arc<Self>, dst: usize, bytes: &[u8]) -> NetResult<()> {
+        if self.down.load(Ordering::Acquire) {
+            return Err(NetError::NotConnected { rank: dst });
+        }
+        let Some(slot) = self.slot(dst) else {
+            return Err(NetError::NotConnected { rank: dst });
+        };
+        // The monitor turns a lingering Reconnecting into Dead within
+        // peer_dead_after; this is a backstop so send() can never park
+        // forever even if the monitor thread itself died.
+        let give_up = Instant::now() + self.cfg.peer_dead_after * 3 + Duration::from_secs(1);
+        loop {
+            let generation = {
+                let mut state = slot.state.lock();
+                match &*state {
+                    PeerState::Dead(e) => return Err(e.clone()),
+                    PeerState::Closed => {
+                        return Err(NetError::PeerClosed {
+                            rank: dst,
+                            during: "send to a closed peer",
+                        })
+                    }
+                    PeerState::Reconnecting { .. } => {
+                        if self.down.load(Ordering::Acquire) {
+                            return Err(NetError::NotConnected { rank: dst });
+                        }
+                        if Instant::now() >= give_up {
+                            return Err(NetError::PeerClosed {
+                                rank: dst,
+                                during: "send timed out awaiting reconnect",
+                            });
+                        }
+                        slot.state_changed
+                            .wait_for(&mut state, Duration::from_millis(50));
+                        continue;
+                    }
+                    PeerState::Connected => slot.generation.load(Ordering::Relaxed),
+                }
+            };
+            let mut writer = slot.writer.lock();
+            match writer.as_mut() {
+                None => {
+                    // Transient: a state transition is mid-flight.
+                    drop(writer);
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                Some(stream) => match io::Write::write_all(stream, bytes) {
+                    Ok(()) => {
+                        drop(writer);
+                        slot.last_send_ms.store(self.now_ms(), Ordering::Relaxed);
+                        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .bytes_sent
+                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Err(_) => {
+                        drop(writer);
+                        // The peer's reader discards the partial frame
+                        // together with the dead socket, so resending
+                        // on the fresh one is exactly-once.
+                        self.connection_lost(dst, generation);
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Unblocks the acceptor's `accept()` so it can observe `down`.
+    fn poke_acceptor(&self) {
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A connected TCP endpoint of the rank mesh.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
 }
 
 impl TcpTransport {
     /// Connects rank `rank` of an `nranks` mesh on `127.0.0.1` with
     /// contiguous ports `base_port + rank`. Blocks until the mesh is
-    /// fully connected; incoming frames go to `sink`.
+    /// fully connected; incoming frames go to `sink`. Resilience knobs
+    /// come from the environment (see [`NetConfig::from_env`]).
     pub fn connect_mesh(
         rank: usize,
         nranks: usize,
         base_port: u16,
         sink: Arc<dyn FrameSink>,
-    ) -> io::Result<Arc<TcpTransport>> {
+    ) -> NetResult<Arc<TcpTransport>> {
+        Self::connect_mesh_cfg(rank, nranks, base_port, sink, NetConfig::default())
+    }
+
+    /// [`TcpTransport::connect_mesh`] with an explicit configuration.
+    pub fn connect_mesh_cfg(
+        rank: usize,
+        nranks: usize,
+        base_port: u16,
+        sink: Arc<dyn FrameSink>,
+        cfg: NetConfig,
+    ) -> NetResult<Arc<TcpTransport>> {
         let addrs: Vec<SocketAddr> = (0..nranks)
             .map(|r| {
                 format!("127.0.0.1:{}", base_port + r as u16)
                     .parse()
-                    .unwrap()
+                    .expect("loopback address is well-formed")
             })
             .collect();
-        let listener = TcpListener::bind(addrs[rank])?;
-        Self::with_listener(rank, listener, &addrs, sink)
+        let listener = TcpListener::bind(addrs[rank]).map_err(|e| NetError::io(&e))?;
+        Self::with_listener_cfg(rank, listener, &addrs, sink, cfg)
     }
 
     /// Connects using an already-bound listener for this rank and an
@@ -71,91 +416,219 @@ impl TcpTransport {
         listener: TcpListener,
         addrs: &[SocketAddr],
         sink: Arc<dyn FrameSink>,
-    ) -> io::Result<Arc<TcpTransport>> {
+    ) -> NetResult<Arc<TcpTransport>> {
+        Self::with_listener_cfg(rank, listener, addrs, sink, NetConfig::default())
+    }
+
+    /// [`TcpTransport::with_listener`] with an explicit configuration.
+    pub fn with_listener_cfg(
+        rank: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        sink: Arc<dyn FrameSink>,
+        cfg: NetConfig,
+    ) -> NetResult<Arc<TcpTransport>> {
         let nranks = addrs.len();
         assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
-        let mut streams: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
-        // Dial every lower rank (its listener is bound or will be soon).
-        for peer in 0..rank {
-            let stream = dial_with_retry(addrs[peer])?;
-            stream.set_nodelay(true)?;
-            let mut hello = stream.try_clone()?;
-            Frame::control(FrameKind::Hello, rank as u32).write_to(&mut hello)?;
-            streams[peer] = Some(stream);
-        }
-        // Accept one connection from every higher rank; the Hello frame
-        // identifies which one just arrived.
-        for _ in rank + 1..nranks {
-            let (stream, _) = listener.accept()?;
-            stream.set_nodelay(true)?;
-            let mut reader = stream.try_clone()?;
-            let frame = Frame::read_from(&mut reader)?.ok_or_else(|| {
-                io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before Hello")
-            })?;
-            if frame.kind != FrameKind::Hello {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("expected Hello, got {:?}", frame.kind),
-                ));
-            }
-            let peer = frame.handler as usize;
-            if peer <= rank || peer >= nranks || streams[peer].is_some() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad Hello rank {peer}"),
-                ));
-            }
-            streams[peer] = Some(stream);
-        }
-        drop(listener);
-        let counters = Arc::new(TransportCounters::default());
-        let down = Arc::new(AtomicBool::new(false));
-        let handles: Vec<_> = streams
-            .iter()
-            .enumerate()
-            .filter_map(|(peer, s)| {
-                s.as_ref()
-                    .map(|s| (peer, s.try_clone().expect("clone read half")))
-            })
-            .map(|(peer, stream)| {
-                let counters = Arc::clone(&counters);
-                let down = Arc::clone(&down);
-                let sink = Arc::clone(&sink);
-                std::thread::Builder::new()
-                    .name(format!("ttg-net-{rank}<-{peer}"))
-                    .spawn(move || reader_loop(rank, peer, stream, &*sink, &counters, &down))
-                    .expect("spawn reader thread")
-            })
-            .collect();
-        Ok(Arc::new(TcpTransport {
+        let local_addr = listener.local_addr().map_err(|e| NetError::io(&e))?;
+        let shared = Arc::new(Shared {
             rank,
             nranks,
-            writers: streams.into_iter().map(|s| s.map(Mutex::new)).collect(),
-            counters,
-            down,
-            readers: Mutex::new(handles),
-        }))
+            cfg,
+            addrs: addrs.to_vec(),
+            local_addr,
+            peers: (0..nranks)
+                .map(|p| (p != rank).then(PeerSlot::new))
+                .collect(),
+            counters: TransportCounters::default(),
+            sink,
+            down: AtomicBool::new(false),
+            start: Instant::now(),
+            threads: Mutex::new(Vec::new()),
+        });
+
+        // The acceptor owns the listener for the whole run: it takes
+        // the initial connections from higher ranks AND any later
+        // re-dials after a drop.
+        {
+            let s = Arc::clone(&shared);
+            if !shared.spawn(format!("ttg-net-{rank}-accept"), move || {
+                acceptor_loop(&s, listener)
+            }) {
+                return Err(NetError::Io {
+                    kind: io::ErrorKind::Other,
+                    msg: "could not spawn acceptor thread".into(),
+                });
+            }
+        }
+
+        let started = Instant::now();
+        let deadline = started + shared.cfg.connect_deadline;
+
+        // Dial every lower rank (its listener is bound or will be soon).
+        for peer in 0..rank {
+            let stream = match dial_with_retry(&shared, peer, deadline) {
+                Ok(s) => s,
+                Err(e) => {
+                    fail_startup(&shared);
+                    return Err(e);
+                }
+            };
+            let mut hello = Frame::control(FrameKind::Hello, rank as u32);
+            hello.payload = vec![0];
+            let mut w = match stream.try_clone() {
+                Ok(w) => w,
+                Err(e) => {
+                    fail_startup(&shared);
+                    return Err(NetError::io(&e));
+                }
+            };
+            if let Err(e) = hello.write_to(&mut w) {
+                fail_startup(&shared);
+                return Err(NetError::io(&e));
+            }
+            if !shared.install_connection(peer, stream, false) {
+                fail_startup(&shared);
+                return Err(NetError::NotConnected { rank: peer });
+            }
+        }
+
+        // Wait until the acceptor has installed every higher rank.
+        for peer in rank + 1..nranks {
+            let slot = shared.slot(peer).expect("peer slot exists");
+            let mut state = slot.state.lock();
+            loop {
+                match &*state {
+                    PeerState::Connected => break,
+                    PeerState::Dead(e) => {
+                        let e = e.clone();
+                        drop(state);
+                        fail_startup(&shared);
+                        return Err(e);
+                    }
+                    PeerState::Closed => {
+                        drop(state);
+                        fail_startup(&shared);
+                        return Err(NetError::PeerClosed {
+                            rank: peer,
+                            during: "initial handshake",
+                        });
+                    }
+                    PeerState::Reconnecting { .. } => {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero()
+                            || slot
+                                .state_changed
+                                .wait_for(&mut state, remaining)
+                                .timed_out()
+                        {
+                            drop(state);
+                            fail_startup(&shared);
+                            return Err(NetError::ConnectTimeout {
+                                rank: peer,
+                                waited: started.elapsed(),
+                                attempts: 0,
+                                last: "no Hello from peer".into(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Mesh formed: start the liveness monitor.
+        {
+            let s = Arc::clone(&shared);
+            shared.spawn(format!("ttg-net-{rank}-monitor"), move || monitor_loop(&s));
+        }
+        Ok(Arc::new(TcpTransport { shared }))
     }
 
     /// Per-endpoint traffic counters.
     pub fn counters(&self) -> &TransportCounters {
-        &self.counters
+        &self.shared.counters
+    }
+
+    /// Severs every socket abruptly — no Goodbye, listener torn down —
+    /// as if this process had been killed. Test hook for exercising the
+    /// survivors' dead-peer detection in-process.
+    #[doc(hidden)]
+    pub fn kill_connections(&self) {
+        let shared = &self.shared;
+        if shared.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for peer in 0..shared.nranks {
+            if let Some(slot) = shared.slot(peer) {
+                if let Some(stream) = slot.writer.lock().take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                let mut state = slot.state.lock();
+                if !matches!(*state, PeerState::Dead(_)) {
+                    *state = PeerState::Closed;
+                }
+                slot.state_changed.notify_all();
+            }
+        }
+        shared.poke_acceptor();
+        join_all(shared);
     }
 }
 
-fn dial_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
-    let deadline = Instant::now() + CONNECT_DEADLINE;
-    let mut delay = CONNECT_RETRY_START;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
-            Err(e) if Instant::now() >= deadline => {
-                return Err(io::Error::new(
-                    e.kind(),
-                    format!("connecting to {addr} timed out after {CONNECT_DEADLINE:?}: {e}"),
-                ))
+fn fail_startup(shared: &Arc<Shared>) {
+    shared.down.store(true, Ordering::Release);
+    for peer in 0..shared.nranks {
+        if let Some(slot) = shared.slot(peer) {
+            if let Some(stream) = slot.writer.lock().take() {
+                let _ = stream.shutdown(Shutdown::Both);
             }
-            Err(_) => {
+        }
+    }
+    shared.poke_acceptor();
+    join_all(shared);
+}
+
+fn join_all(shared: &Shared) {
+    loop {
+        let handles: Vec<_> = shared.threads.lock().drain(..).collect();
+        if handles.is_empty() {
+            return;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Dials `peer` with exponential backoff until `deadline`, counting
+/// every failed attempt and reporting it to the configured observer.
+fn dial_with_retry(shared: &Arc<Shared>, peer: usize, deadline: Instant) -> NetResult<TcpStream> {
+    let started = Instant::now();
+    let mut delay = CONNECT_RETRY_START;
+    let mut attempts: u64 = 0;
+    loop {
+        if shared.down.load(Ordering::Acquire) {
+            return Err(NetError::NotConnected { rank: peer });
+        }
+        match TcpStream::connect(shared.addrs[peer]) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                attempts += 1;
+                shared
+                    .counters
+                    .connect_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &shared.cfg.retry_observer {
+                    obs(peer, attempts, started.elapsed());
+                }
+                if Instant::now() >= deadline {
+                    return Err(NetError::ConnectTimeout {
+                        rank: peer,
+                        waited: started.elapsed(),
+                        attempts,
+                        last: e.to_string(),
+                    });
+                }
                 std::thread::sleep(delay);
                 delay = (delay * 2).min(CONNECT_RETRY_MAX);
             }
@@ -163,80 +636,258 @@ fn dial_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
     }
 }
 
-fn reader_loop(
-    rank: usize,
-    peer: usize,
-    mut stream: TcpStream,
-    sink: &dyn FrameSink,
-    counters: &TransportCounters,
-    down: &AtomicBool,
-) {
+/// Re-dials a lower-ranked peer after a drop, bounded by
+/// `peer_dead_after`; gives up by declaring the peer dead.
+fn reconnector(shared: &Arc<Shared>, peer: usize) {
+    let deadline = Instant::now() + shared.cfg.peer_dead_after;
+    match dial_with_retry(shared, peer, deadline) {
+        Ok(stream) => {
+            let mut hello = Frame::control(FrameKind::Hello, shared.rank as u32);
+            hello.payload = vec![1];
+            let ok = stream
+                .try_clone()
+                .map(|mut w| hello.write_to(&mut w).is_ok())
+                .unwrap_or(false);
+            if !ok || !shared.install_connection(peer, stream, true) {
+                shared.declare_dead(
+                    peer,
+                    NetError::PeerClosed {
+                        rank: peer,
+                        during: "reconnect handshake",
+                    },
+                );
+            }
+        }
+        Err(NetError::NotConnected { .. }) => {} // local shutdown raced us
+        Err(e) => shared.declare_dead(peer, e),
+    }
+}
+
+/// Accepts connections for the whole run: the initial higher-rank
+/// connects and any re-dial after a drop. Unblocked at shutdown by a
+/// self-connect ([`Shared::poke_acceptor`]).
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
     loop {
-        match Frame::read_from(&mut stream) {
-            Ok(Some(frame)) => {
-                if frame.kind == FrameKind::Goodbye {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.down.load(Ordering::Acquire) {
+                    return; // drops the listener: future dials are refused
+                }
+                handle_incoming(shared, stream);
+            }
+            Err(_) => {
+                if shared.down.load(Ordering::Acquire) {
                     return;
                 }
-                counters.frames_received.fetch_add(1, Ordering::Relaxed);
-                counters
-                    .bytes_received
-                    .fetch_add(frame.encoded_len() as u64, Ordering::Relaxed);
-                sink.deliver(peer, frame);
+                std::thread::sleep(Duration::from_millis(5));
             }
-            Ok(None) => return, // peer closed cleanly
-            Err(_) if down.load(Ordering::Acquire) => return,
-            Err(e) => panic!("rank {rank}: connection to rank {peer} failed: {e}"),
         }
+    }
+}
+
+/// Reads the Hello off a freshly accepted socket and installs it. A
+/// malformed or missing Hello just drops the connection — an unknown
+/// dialer must not be able to wedge the acceptor or kill the process.
+fn handle_incoming(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.peer_dead_after));
+    let hello = match Frame::read_from(&mut stream) {
+        Ok(Decoded::Frame(f)) if f.kind == FrameKind::Hello => f,
+        _ => return,
+    };
+    let peer = hello.handler as usize;
+    if peer == shared.rank || peer >= shared.nranks {
+        return;
+    }
+    let reconnect = hello.payload.first() == Some(&1);
+    if stream.set_read_timeout(None).is_err() {
+        return;
+    }
+    shared.install_connection(peer, stream, reconnect);
+}
+
+/// Decodes frames from one peer socket until it dies, closes, or the
+/// stream proves corrupt. Never panics: every failure routes into the
+/// link state machine.
+fn reader_loop(shared: &Arc<Shared>, peer: usize, mut stream: TcpStream, generation: u64) {
+    let touch = |slot: &PeerSlot| slot.last_recv_ms.store(shared.now_ms(), Ordering::Relaxed);
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Decoded::Frame(frame)) => {
+                let Some(slot) = shared.slot(peer) else {
+                    return;
+                };
+                touch(slot);
+                match frame.kind {
+                    FrameKind::Goodbye => {
+                        shared.peer_said_goodbye(peer, generation);
+                        return;
+                    }
+                    FrameKind::Heartbeat => {
+                        shared
+                            .counters
+                            .heartbeats_received
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        shared
+                            .counters
+                            .frames_received
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .bytes_received
+                            .fetch_add(frame.encoded_len() as u64, Ordering::Relaxed);
+                        shared.sink.deliver(peer, frame);
+                    }
+                }
+            }
+            Ok(Decoded::Eof) => {
+                // Clean EOF but no Goodbye: the peer process vanished or
+                // the connection dropped. Transient until proven fatal.
+                shared.connection_lost(peer, generation);
+                return;
+            }
+            Ok(Decoded::Corrupt { detail }) => {
+                shared
+                    .counters
+                    .frames_corrupt
+                    .fetch_add(1, Ordering::Relaxed);
+                // Framing is untrustworthy; resynchronizing could drop
+                // or invent frames and silently unbalance the wave.
+                shared.declare_dead(peer, NetError::FrameCorrupt { rank: peer, detail });
+                return;
+            }
+            Err(_) if shared.down.load(Ordering::Acquire) => return,
+            Err(_) => {
+                shared.connection_lost(peer, generation);
+                return;
+            }
+        }
+    }
+}
+
+/// Liveness: heartbeats on idle links, silence and reconnect-window
+/// deadlines.
+fn monitor_loop(shared: &Arc<Shared>) {
+    let hb_ms = shared.cfg.heartbeat_interval.as_millis() as u64;
+    let dead_ms = shared.cfg.peer_dead_after.as_millis() as u64;
+    let tick = (shared.cfg.heartbeat_interval / 4)
+        .clamp(Duration::from_millis(1), Duration::from_millis(100));
+    let mut heartbeat = Vec::new();
+    Frame::control(FrameKind::Heartbeat, shared.rank as u32).encode_into(&mut heartbeat);
+    loop {
+        if shared.down.load(Ordering::Acquire) {
+            return;
+        }
+        for peer in 0..shared.nranks {
+            let Some(slot) = shared.slot(peer) else {
+                continue;
+            };
+            let verdict = {
+                let state = slot.state.lock();
+                match &*state {
+                    PeerState::Connected => {
+                        let now = shared.now_ms();
+                        let silent = now.saturating_sub(slot.last_recv_ms.load(Ordering::Relaxed));
+                        let idle = now.saturating_sub(slot.last_send_ms.load(Ordering::Relaxed));
+                        if silent > dead_ms {
+                            Some(Err(NetError::HeartbeatLost {
+                                rank: peer,
+                                silent_for: Duration::from_millis(silent),
+                            }))
+                        } else if idle >= hb_ms {
+                            Some(Ok(slot.generation.load(Ordering::Relaxed)))
+                        } else {
+                            None
+                        }
+                    }
+                    PeerState::Reconnecting { since }
+                        if since.elapsed() > shared.cfg.peer_dead_after =>
+                    {
+                        Some(Err(NetError::PeerClosed {
+                            rank: peer,
+                            during: "reconnect window expired",
+                        }))
+                    }
+                    _ => None,
+                }
+            };
+            match verdict {
+                Some(Err(err)) => shared.declare_dead(peer, err),
+                Some(Ok(generation)) => {
+                    let failed = {
+                        let mut writer = slot.writer.lock();
+                        match writer.as_mut() {
+                            Some(stream) => io::Write::write_all(stream, &heartbeat).is_err(),
+                            None => false,
+                        }
+                    };
+                    if failed {
+                        shared.connection_lost(peer, generation);
+                    } else {
+                        slot.last_send_ms.store(shared.now_ms(), Ordering::Relaxed);
+                        shared
+                            .counters
+                            .heartbeats_sent
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => {}
+            }
+        }
+        std::thread::sleep(tick);
     }
 }
 
 impl Transport for TcpTransport {
     fn rank(&self) -> usize {
-        self.rank
+        self.shared.rank
     }
 
     fn nranks(&self) -> usize {
-        self.nranks
+        self.shared.nranks
     }
 
-    fn send(&self, dst: usize, frame: Frame) -> io::Result<()> {
-        if self.down.load(Ordering::Acquire) {
-            return Err(io::Error::new(
-                io::ErrorKind::NotConnected,
-                "transport is shut down",
-            ));
-        }
-        let writer = self.writers[dst].as_ref().ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("no connection to rank {dst}"),
-            )
-        })?;
-        let len = frame.encoded_len() as u64;
-        let mut stream = writer.lock();
-        frame.write_to(&mut *stream)?;
-        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
-        Ok(())
+    fn send(&self, dst: usize, frame: Frame) -> NetResult<()> {
+        let mut bytes = Vec::with_capacity(frame.encoded_len());
+        frame.encode_into(&mut bytes);
+        self.shared.send_encoded(dst, &bytes)
+    }
+
+    fn send_raw(&self, dst: usize, bytes: Vec<u8>) -> NetResult<()> {
+        self.shared.send_encoded(dst, &bytes)
     }
 
     fn shutdown(&self) {
-        if self.down.swap(true, Ordering::AcqRel) {
+        let shared = &self.shared;
+        if shared.down.swap(true, Ordering::AcqRel) {
             return;
         }
-        for writer in self.writers.iter().flatten() {
-            let mut stream = writer.lock();
-            let _ = Frame::control(FrameKind::Goodbye, self.rank as u32).write_to(&mut *stream);
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+        let mut goodbye = Vec::new();
+        Frame::control(FrameKind::Goodbye, shared.rank as u32).encode_into(&mut goodbye);
+        for peer in 0..shared.nranks {
+            if let Some(slot) = shared.slot(peer) {
+                if let Some(mut stream) = slot.writer.lock().take() {
+                    let _ = io::Write::write_all(&mut stream, &goodbye);
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                let mut state = slot.state.lock();
+                if !matches!(*state, PeerState::Dead(_)) {
+                    *state = PeerState::Closed;
+                }
+                slot.state_changed.notify_all();
+            }
         }
-        let handles: Vec<_> = self.readers.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
-        }
+        shared.poke_acceptor();
+        join_all(shared);
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.counters.bytes_sent.load(Ordering::Relaxed)
+        self.shared.counters.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    fn counters(&self) -> Option<&TransportCounters> {
+        Some(&self.shared.counters)
     }
 }
 
@@ -249,8 +900,8 @@ impl Drop for TcpTransport {
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
-            .field("rank", &self.rank)
-            .field("nranks", &self.nranks)
+            .field("rank", &self.shared.rank)
+            .field("nranks", &self.shared.nranks)
             .finish_non_exhaustive()
     }
 }
@@ -276,9 +927,7 @@ mod tests {
 
     type FrameRx = mpsc::Receiver<(usize, Frame)>;
 
-    /// Full mesh over ephemeral ports; returns transports plus a frame
-    /// receiver per rank.
-    fn tcp_mesh(n: usize) -> (Vec<Arc<TcpTransport>>, Vec<FrameRx>) {
+    fn tcp_mesh_cfg(n: usize, cfg: NetConfig) -> (Vec<Arc<TcpTransport>>, Vec<FrameRx>) {
         let (listeners, addrs) = ephemeral_listeners(n).unwrap();
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel()).unzip();
         let handles: Vec<_> = listeners
@@ -287,16 +936,23 @@ mod tests {
             .enumerate()
             .map(|(rank, (listener, tx))| {
                 let addrs = addrs.clone();
+                let cfg = cfg.clone();
                 std::thread::spawn(move || {
                     let sink = Arc::new(FnSink(move |src, frame| {
-                        tx.send((src, frame)).unwrap();
+                        let _ = tx.send((src, frame));
                     }));
-                    TcpTransport::with_listener(rank, listener, &addrs, sink).unwrap()
+                    TcpTransport::with_listener_cfg(rank, listener, &addrs, sink, cfg).unwrap()
                 })
             })
             .collect();
         let transports = handles.into_iter().map(|h| h.join().unwrap()).collect();
         (transports, rxs)
+    }
+
+    /// Full mesh over ephemeral ports; returns transports plus a frame
+    /// receiver per rank.
+    fn tcp_mesh(n: usize) -> (Vec<Arc<TcpTransport>>, Vec<FrameRx>) {
+        tcp_mesh_cfg(n, NetConfig::builtin())
     }
 
     #[test]
@@ -361,5 +1017,150 @@ mod tests {
             .send(1, Frame::control(FrameKind::Hello, 0))
             .is_err());
         transports[1].shutdown();
+    }
+
+    #[test]
+    fn heartbeats_flow_on_idle_links_without_false_positives() {
+        let cfg = NetConfig::builtin()
+            .tap(|c| c.heartbeat_interval = Duration::from_millis(20))
+            .tap(|c| c.peer_dead_after = Duration::from_millis(400));
+        let (transports, _rxs) = tcp_mesh_cfg(2, cfg);
+        std::thread::sleep(Duration::from_millis(250));
+        // Idle link: heartbeats were exchanged, nobody was declared dead.
+        for t in &transports {
+            let c = t.counters();
+            assert!(
+                c.heartbeats_sent.load(Ordering::Relaxed) > 0,
+                "no heartbeats sent"
+            );
+            assert!(
+                c.heartbeats_received.load(Ordering::Relaxed) > 0,
+                "no heartbeats received"
+            );
+            assert_eq!(c.peers_lost.load(Ordering::Relaxed), 0);
+            // Heartbeats stay out of the data-frame ledger.
+            assert_eq!(c.frames_sent.load(Ordering::Relaxed), 0);
+        }
+        for t in &transports {
+            t.shutdown();
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_declares_the_peer_dead_with_a_typed_error() {
+        use parking_lot::Mutex as PlMutex;
+        struct LossSink {
+            tx: PlMutex<mpsc::Sender<(usize, NetError)>>,
+        }
+        impl FrameSink for LossSink {
+            fn deliver(&self, _src: usize, _frame: Frame) {}
+            fn peer_lost(&self, peer: usize, error: &NetError) {
+                let _ = self.tx.lock().send((peer, error.clone()));
+            }
+        }
+
+        let (listeners, addrs) = ephemeral_listeners(2).unwrap();
+        let (loss_tx, loss_rx) = mpsc::channel();
+        let mut joins = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let loss_tx = loss_tx.clone();
+            joins.push(std::thread::spawn(move || {
+                let sink = Arc::new(LossSink {
+                    tx: PlMutex::new(loss_tx),
+                });
+                TcpTransport::with_listener_cfg(rank, listener, &addrs, sink, NetConfig::builtin())
+                    .unwrap()
+            }));
+        }
+        let transports: Vec<_> = joins.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Put deliberately corrupt bytes on the wire from rank 0.
+        let mut bytes = Vec::new();
+        Frame::data(1, 0, b"soon to be garbage".to_vec()).encode_into(&mut bytes);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        transports[0].send_raw(1, bytes).unwrap();
+
+        // Rank 1's reader must reject the frame, count it, and declare
+        // rank 0 dead with FrameCorrupt — not panic.
+        let (peer, err) = loss_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(peer, 0);
+        assert!(
+            matches!(err, NetError::FrameCorrupt { rank: 0, .. }),
+            "got {err}"
+        );
+        assert_eq!(
+            transports[1]
+                .counters()
+                .frames_corrupt
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            transports[1].counters().peers_lost.load(Ordering::Relaxed),
+            1
+        );
+        for t in &transports {
+            t.shutdown();
+        }
+    }
+
+    #[test]
+    fn killed_peer_is_detected_and_sends_fail_typed() {
+        use parking_lot::Mutex as PlMutex;
+        struct LossSink {
+            tx: PlMutex<mpsc::Sender<(usize, NetError)>>,
+        }
+        impl FrameSink for LossSink {
+            fn deliver(&self, _src: usize, _frame: Frame) {}
+            fn peer_lost(&self, peer: usize, error: &NetError) {
+                let _ = self.tx.lock().send((peer, error.clone()));
+            }
+        }
+
+        let cfg = NetConfig::builtin()
+            .tap(|c| c.heartbeat_interval = Duration::from_millis(20))
+            .tap(|c| c.peer_dead_after = Duration::from_millis(200));
+        let (listeners, addrs) = ephemeral_listeners(2).unwrap();
+        let (loss_tx, loss_rx) = mpsc::channel();
+        let mut joins = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let cfg = cfg.clone();
+            let loss_tx = loss_tx.clone();
+            joins.push(std::thread::spawn(move || {
+                let sink = Arc::new(LossSink {
+                    tx: PlMutex::new(loss_tx),
+                });
+                TcpTransport::with_listener_cfg(rank, listener, &addrs, sink, cfg).unwrap()
+            }));
+        }
+        let transports: Vec<_> = joins.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Rank 1 "dies": sockets severed with no Goodbye, listener gone.
+        transports[1].kill_connections();
+
+        // Rank 0 (the acceptor — rank 1 dialed it) waits for a re-dial
+        // that never comes and, within the reconnect window, declares
+        // rank 1 dead.
+        let (peer, _err) = loss_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(peer, 1);
+        let err = transports[0]
+            .send(1, Frame::data(1, 0, vec![0]))
+            .unwrap_err();
+        assert_eq!(err.rank(), Some(1));
+        transports[0].shutdown();
+    }
+
+    /// Test-local helper: builder-style mutation for NetConfig.
+    trait Tap: Sized {
+        fn tap(self, f: impl FnOnce(&mut Self)) -> Self;
+    }
+    impl Tap for NetConfig {
+        fn tap(mut self, f: impl FnOnce(&mut Self)) -> Self {
+            f(&mut self);
+            self
+        }
     }
 }

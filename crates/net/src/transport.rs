@@ -6,9 +6,15 @@
 //! Keeping both as object-safe traits lets the same program run over
 //! in-process delivery ([`LocalTransport`]) or real sockets
 //! ([`crate::tcp::TcpTransport`]) without touching graph code.
+//!
+//! Failures are typed ([`NetError`]) rather than stringly `io::Error`s,
+//! and a sink learns about a lost peer through [`FrameSink::peer_lost`]
+//! so the runtime can abort its termination wave instead of waiting on
+//! control frames that will never arrive.
 
-use crate::frame::{Frame, FrameKind};
-use std::io;
+use crate::error::{NetError, NetResult};
+use crate::frame::{Decoded, Frame, FrameKind};
+use std::io::Cursor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -18,6 +24,13 @@ pub trait FrameSink: Send + Sync {
     /// (local transport) or a receiver thread (TCP), never from a worker
     /// of the destination runtime.
     fn deliver(&self, src: usize, frame: Frame);
+
+    /// The transport declared `peer` dead (`error` says why: heartbeat
+    /// loss, corrupt stream, reconnect deadline...). Called at most once
+    /// per peer, from a transport-internal thread. Default: ignore.
+    fn peer_lost(&self, peer: usize, error: &NetError) {
+        let _ = (peer, error);
+    }
 }
 
 /// Moves frames between ranks.
@@ -29,8 +42,21 @@ pub trait Transport: Send + Sync {
     fn nranks(&self) -> usize;
 
     /// Sends one frame to `dst`. Delivery is reliable and per-peer
-    /// ordered; the call may block but must not drop frames.
-    fn send(&self, dst: usize, frame: Frame) -> io::Result<()>;
+    /// ordered; the call may block (e.g. riding out a reconnect) but
+    /// must not silently drop frames — failure is a typed error.
+    fn send(&self, dst: usize, frame: Frame) -> NetResult<()>;
+
+    /// Sends pre-encoded frame bytes verbatim, *without* re-encoding —
+    /// the escape hatch fault injection uses to put deliberately
+    /// corrupt bytes on the wire. Transports that never expose raw
+    /// bytes may refuse.
+    fn send_raw(&self, dst: usize, bytes: Vec<u8>) -> NetResult<()> {
+        let _ = (dst, bytes);
+        Err(NetError::Io {
+            kind: std::io::ErrorKind::Unsupported,
+            msg: "transport does not support raw frame injection".into(),
+        })
+    }
 
     /// Tears the endpoint down (joins receiver threads, closes sockets).
     /// Idempotent.
@@ -40,6 +66,11 @@ pub trait Transport: Send + Sync {
     /// in-process fast path where nothing is encoded).
     fn bytes_sent(&self) -> u64 {
         0
+    }
+
+    /// The endpoint's traffic/resilience counters, when it keeps them.
+    fn counters(&self) -> Option<&TransportCounters> {
+        None
     }
 }
 
@@ -54,6 +85,18 @@ pub struct TransportCounters {
     pub bytes_sent: AtomicU64,
     /// Encoded bytes received.
     pub bytes_received: AtomicU64,
+    /// Frames rejected by the integrity check (CRC/kind/length).
+    pub frames_corrupt: AtomicU64,
+    /// Liveness probes sent on idle links.
+    pub heartbeats_sent: AtomicU64,
+    /// Liveness probes received (consumed by the transport).
+    pub heartbeats_received: AtomicU64,
+    /// Peers declared dead by this endpoint.
+    pub peers_lost: AtomicU64,
+    /// Connections successfully re-established after a drop.
+    pub reconnects: AtomicU64,
+    /// Failed dial attempts across all connects and reconnects.
+    pub connect_retries: AtomicU64,
 }
 
 /// In-process transport: every rank lives in the same address space and
@@ -98,6 +141,16 @@ impl LocalTransport {
     pub fn counters(&self) -> &TransportCounters {
         &self.counters
     }
+
+    fn sink_for(&self, dst: usize) -> NetResult<&Arc<dyn FrameSink>> {
+        if self.down.load(Ordering::Acquire) {
+            return Err(NetError::NotConnected { rank: dst });
+        }
+        self.sinks
+            .get(dst)
+            .and_then(|s| s.get())
+            .ok_or(NetError::NotConnected { rank: dst })
+    }
 }
 
 impl Transport for LocalTransport {
@@ -109,24 +162,35 @@ impl Transport for LocalTransport {
         self.sinks.len()
     }
 
-    fn send(&self, dst: usize, frame: Frame) -> io::Result<()> {
-        if self.down.load(Ordering::Acquire) {
-            return Err(io::Error::new(
-                io::ErrorKind::NotConnected,
-                "transport is shut down",
-            ));
-        }
-        let sink = self.sinks[dst].get().ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotConnected,
-                format!("no sink bound for rank {dst}"),
-            )
-        })?;
+    fn send(&self, dst: usize, frame: Frame) -> NetResult<()> {
+        let sink = self.sink_for(dst)?;
         let len = frame.encoded_len() as u64;
         self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
         sink.deliver(self.rank, frame);
         Ok(())
+    }
+
+    /// Raw injection runs the bytes through the real decoder, so a
+    /// corrupt frame is *detected* exactly as it would be on a socket:
+    /// counted in `frames_corrupt` (on this, the sending, endpoint —
+    /// local delivery has no receiving half) and dropped.
+    fn send_raw(&self, dst: usize, bytes: Vec<u8>) -> NetResult<()> {
+        let sink = self.sink_for(dst)?;
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        match Frame::read_from(&mut Cursor::new(&bytes)) {
+            Ok(Decoded::Frame(frame)) => {
+                sink.deliver(self.rank, frame);
+                Ok(())
+            }
+            Ok(Decoded::Corrupt { .. }) | Ok(Decoded::Eof) | Err(_) => {
+                self.counters.frames_corrupt.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
     }
 
     fn shutdown(&self) {
@@ -135,6 +199,10 @@ impl Transport for LocalTransport {
 
     fn bytes_sent(&self) -> u64 {
         self.counters.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    fn counters(&self) -> Option<&TransportCounters> {
+        Some(&self.counters)
     }
 }
 
@@ -182,9 +250,10 @@ mod tests {
     #[test]
     fn unbound_sink_errors_and_shutdown_blocks_sends() {
         let mesh = LocalTransport::mesh(2);
-        assert!(mesh[0]
-            .send(1, Frame::control(FrameKind::Hello, 0))
-            .is_err());
+        assert_eq!(
+            mesh[0].send(1, Frame::control(FrameKind::Hello, 0)),
+            Err(NetError::NotConnected { rank: 1 })
+        );
         mesh[1].bind_sink(Arc::new(NullSink));
         mesh[0]
             .send(1, Frame::control(FrameKind::Hello, 0))
@@ -193,5 +262,27 @@ mod tests {
         assert!(mesh[0]
             .send(1, Frame::control(FrameKind::Hello, 0))
             .is_err());
+    }
+
+    #[test]
+    fn raw_injection_decodes_and_counts_corruption() {
+        let mesh = LocalTransport::mesh(2);
+        let seen: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        mesh[1].bind_sink(Arc::new(FnSink(move |_src, f: Frame| {
+            seen2.lock().unwrap().push(f.handler);
+        })));
+
+        let mut good = Vec::new();
+        Frame::data(9, 0, vec![1, 2, 3]).encode_into(&mut good);
+        mesh[0].send_raw(1, good.clone()).unwrap();
+
+        let mut bad = good;
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // payload bit flip → CRC mismatch
+        mesh[0].send_raw(1, bad).unwrap();
+
+        assert_eq!(*seen.lock().unwrap(), vec![9]); // corrupt frame dropped
+        assert_eq!(mesh[0].counters().frames_corrupt.load(Ordering::Relaxed), 1);
     }
 }

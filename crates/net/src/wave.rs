@@ -22,6 +22,28 @@
 //! still tearing down epoch *e* are simply early work for the next
 //! session — they can never corrupt the already-announced reduction.
 //!
+//! # Aborts (DESIGN.md §8)
+//!
+//! The wave can *give up* on an epoch instead of spinning forever on
+//! control frames that will never arrive:
+//!
+//! * a failed control send aborts the epoch on the spot (the link is
+//!   gone; waiting cannot help);
+//! * [`NetWave::poison`] — called when the transport declares a peer
+//!   dead — aborts the current epoch *and* every future one, so a
+//!   poisoned mesh fails fast instead of fencing into a hang;
+//! * an optional **stall timeout** (`TTG_NET_STALL_MS`) catches the
+//!   cases connection state cannot: a lost data frame leaves the
+//!   counters permanently unbalanced (coordinator detects unchanged
+//!   unbalanced totals), a lost round-begin leaves a fenced client
+//!   permanently idle (client detects wave silence).
+//!
+//! An abort latches the terminated flag — so workers drain and the
+//! fence completes — and records a diagnostic that
+//! `Runtime::run` surfaces as `RunError::Aborted`. Rank aborts are
+//! broadcast as [`FrameKind::Abort`] control frames; receivers latch
+//! without re-broadcasting, so there is no abort storm.
+//!
 //! Lock discipline: the client and coordinator states are separate
 //! mutexes and **no send (or cross-state call) happens while either is
 //! held** — decisions are computed under the lock, transmissions happen
@@ -34,6 +56,7 @@ use crate::transport::Transport;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 use ttg_termdet::TermWave;
 
 /// Per-rank state of the wave client.
@@ -48,6 +71,9 @@ struct ClientState {
     pending_round: Option<u64>,
     /// Highest round seen this epoch (drops reordered `RoundBegin`s).
     last_round: u64,
+    /// Last time the wave showed signs of life (fence entry, round
+    /// begin, contribution, termination) — the client-side stall timer.
+    last_activity: Instant,
 }
 
 /// Coordinator state (lives on rank 0 only).
@@ -64,6 +90,10 @@ struct CoordState {
     contributions: Vec<Option<(u64, u64)>>,
     /// Totals of the previous completed round.
     prev_totals: Option<(u64, u64)>,
+    /// Unbalanced totals repeating verbatim since this instant — the
+    /// coordinator-side stall timer (a permanently lost data frame
+    /// cycles rounds forever with identical unbalanced sums).
+    stagnant: Option<(u64, u64, Instant)>,
 }
 
 /// What the coordinator decided to broadcast (computed under its lock,
@@ -74,6 +104,8 @@ enum Verdict {
     Round(u64, u64),
     /// Epoch `.0` is globally terminated.
     Done(u64),
+    /// Epoch `.0` is hopeless; give up with a diagnostic.
+    Abort(u64, String),
 }
 
 /// A [`TermWave`] implementation that reduces counters over a
@@ -86,6 +118,13 @@ pub struct NetWave {
     state: Mutex<ClientState>,
     coord: Option<Mutex<CoordState>>,
     terminated: AtomicBool,
+    /// Diagnostic of the abort that ended the current epoch, if any.
+    /// Locked after `state` when both are held.
+    abort_reason: Mutex<Option<String>>,
+    /// A dead peer poisons every epoch, current and future.
+    poison_reason: Mutex<Option<String>>,
+    /// Opt-in wave-progress deadline (`TTG_NET_STALL_MS`).
+    stall: Option<Duration>,
 }
 
 impl NetWave {
@@ -93,6 +132,12 @@ impl NetWave {
     /// must be bound with [`NetWave::bind_transport`] before the first
     /// `wait` (control frames spin briefly waiting for it otherwise).
     pub fn new(rank: usize, nranks: usize) -> Arc<NetWave> {
+        Self::with_stall(rank, nranks, None)
+    }
+
+    /// [`NetWave::new`] with a wave-progress deadline: a fenced epoch
+    /// making no progress for `stall` aborts instead of hanging.
+    pub fn with_stall(rank: usize, nranks: usize, stall: Option<Duration>) -> Arc<NetWave> {
         assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
         Arc::new(NetWave {
             rank,
@@ -103,6 +148,7 @@ impl NetWave {
                 entered: false,
                 pending_round: None,
                 last_round: 0,
+                last_activity: Instant::now(),
             }),
             coord: (rank == 0).then(|| {
                 Mutex::new(CoordState {
@@ -111,9 +157,13 @@ impl NetWave {
                     round: 0,
                     contributions: vec![None; nranks],
                     prev_totals: None,
+                    stagnant: None,
                 })
             }),
             terminated: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
+            poison_reason: Mutex::new(None),
+            stall,
         })
     }
 
@@ -153,37 +203,107 @@ impl NetWave {
     }
 
     /// Ingestion point for control frames arriving over the transport.
+    /// The payload is remote-controlled: every parse is guarded, and a
+    /// malformed or unexpected frame is dropped, never a panic.
     pub fn on_control(&self, src: usize, frame: Frame) {
+        let _ = src;
         match frame.kind {
             FrameKind::EnterFence => {
-                let words = frame.words();
-                self.coord_enter_fence(frame.handler as usize, words[0]);
+                let rank = frame.handler as usize;
+                if let (Some(&epoch), true) = (frame.words().first(), rank < self.nranks) {
+                    self.coord_enter_fence(rank, epoch);
+                }
             }
             FrameKind::Contribute => {
+                let rank = frame.handler as usize;
                 let words = frame.words();
-                self.coord_contribute(
-                    frame.handler as usize,
-                    words[0],
-                    words[1],
-                    (words[2], words[3]),
-                );
+                if let (&[epoch, round, sent, received], true) = (&words[..], rank < self.nranks) {
+                    self.coord_contribute(rank, epoch, round, (sent, received));
+                }
             }
             FrameKind::RoundBegin => {
-                let words = frame.words();
-                self.client_round_begin(words[0], frame.handler as u64);
+                if let Some(&epoch) = frame.words().first() {
+                    self.client_round_begin(epoch, frame.handler as u64);
+                }
             }
             FrameKind::Terminated => {
-                let words = frame.words();
-                self.client_terminated(words[0]);
+                if let Some(&epoch) = frame.words().first() {
+                    self.client_terminated(epoch);
+                }
             }
-            other => panic!("unexpected control frame {other:?} from rank {src}"),
+            FrameKind::Abort => {
+                if frame.payload.len() >= 8 {
+                    let epoch =
+                        u64::from_le_bytes(frame.payload[..8].try_into().expect("sliced 8 bytes"));
+                    let reason = String::from_utf8_lossy(&frame.payload[8..]).into_owned();
+                    // Latch, don't re-broadcast: the originator already
+                    // told everyone.
+                    self.abort_epoch(epoch, &reason, false);
+                }
+            }
+            // Data/handshake/liveness traffic is not wave business; a
+            // peer sending it here is confused, not lethal.
+            FrameKind::Data | FrameKind::Hello | FrameKind::Goodbye | FrameKind::Heartbeat => {}
         }
+    }
+
+    // ---- abort path ------------------------------------------------------
+
+    /// Gives up on `epoch`: latches termination (so workers drain and
+    /// the fence completes) with a diagnostic instead of an
+    /// announcement. `broadcast` sends the abort to every peer —
+    /// best-effort, failures ignored (we are already aborting; the
+    /// latch is set first, so there is no recursion).
+    pub fn abort_epoch(&self, epoch: u64, reason: &str, broadcast: bool) {
+        {
+            let st = self.state.lock();
+            if st.epoch != epoch {
+                return; // stale abort for an epoch already turned over
+            }
+            let mut ab = self.abort_reason.lock();
+            if ab.is_some() {
+                return; // already aborted; first diagnostic wins
+            }
+            *ab = Some(reason.to_string());
+            self.terminated.store(true, Ordering::Release);
+        }
+        if broadcast {
+            let mut payload = epoch.to_le_bytes().to_vec();
+            payload.extend_from_slice(reason.as_bytes());
+            let frame = Frame {
+                kind: FrameKind::Abort,
+                priority: 0,
+                handler: self.rank as u32,
+                payload,
+            };
+            let out = self.transport();
+            for dst in 0..self.nranks {
+                if dst != self.rank {
+                    let _ = out.send(dst, frame.clone());
+                }
+            }
+        }
+    }
+
+    /// A peer is gone for good: abort the current epoch and every
+    /// future one (each `enter_fence` re-aborts), so the mesh fails
+    /// fast with the original diagnostic instead of hanging later.
+    pub fn poison(&self, reason: &str) {
+        {
+            let mut poisoned = self.poison_reason.lock();
+            if poisoned.is_none() {
+                *poisoned = Some(reason.to_string());
+            }
+        }
+        let epoch = self.state.lock().epoch;
+        self.abort_epoch(epoch, reason, true);
     }
 
     // ---- client side ----------------------------------------------------
 
     fn client_round_begin(&self, epoch: u64, round: u64) {
         let mut st = self.state.lock();
+        st.last_activity = Instant::now();
         if st.epoch == epoch && round > st.last_round {
             st.last_round = round;
             st.pending_round = Some(round);
@@ -191,7 +311,8 @@ impl NetWave {
     }
 
     fn client_terminated(&self, epoch: u64) {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
+        st.last_activity = Instant::now();
         if st.epoch == epoch {
             self.terminated.store(true, Ordering::Release);
         }
@@ -199,15 +320,12 @@ impl NetWave {
 
     // ---- coordinator side (rank 0) --------------------------------------
 
-    fn coord(&self) -> &Mutex<CoordState> {
-        self.coord
-            .as_ref()
-            .expect("coordinator control frame reached a non-zero rank")
-    }
-
     fn coord_enter_fence(&self, rank: usize, epoch: u64) {
+        // A coordinator frame reaching a non-zero rank means the peer is
+        // confused; dropping it is safe, killing the process is not.
+        let Some(coord) = &self.coord else { return };
         let verdict = {
-            let mut st = self.coord().lock();
+            let mut st = coord.lock();
             st.fenced[rank] = st.fenced[rank].max(epoch + 1);
             Self::maybe_open_first_round(&mut st)
         };
@@ -215,8 +333,9 @@ impl NetWave {
     }
 
     fn coord_contribute(&self, rank: usize, epoch: u64, round: u64, totals: (u64, u64)) {
+        let Some(coord) = &self.coord else { return };
         let verdict = {
-            let mut st = self.coord().lock();
+            let mut st = coord.lock();
             if epoch != st.epoch || round != st.round {
                 return; // stale (an earlier round's late contribution)
             }
@@ -227,7 +346,7 @@ impl NetWave {
             let sums = st
                 .contributions
                 .iter()
-                .map(|c| c.unwrap())
+                .map(|c| c.expect("all contributions present"))
                 .fold((0u64, 0u64), |a, c| (a.0 + c.0, a.1 + c.1));
             st.contributions.iter_mut().for_each(|c| *c = None);
             if sums.0 == sums.1 && st.prev_totals == Some(sums) {
@@ -236,11 +355,40 @@ impl NetWave {
                 st.epoch += 1;
                 st.round = 0;
                 st.prev_totals = None;
+                st.stagnant = None;
                 Verdict::Done(done)
             } else {
-                st.prev_totals = Some(sums);
-                st.round += 1;
-                Verdict::Round(st.epoch, st.round)
+                // Stall detection: identical *unbalanced* totals round
+                // after round mean a message is never going to arrive.
+                let mut verdict = None;
+                if sums.0 != sums.1 {
+                    match st.stagnant {
+                        Some((s, r, since)) if (s, r) == sums => {
+                            if let Some(stall) = self.stall {
+                                if since.elapsed() > stall {
+                                    verdict = Some(Verdict::Abort(
+                                        st.epoch,
+                                        format!(
+                                            "wave stalled: totals sent={} received={} \
+                                             unchanged for {:?} (a data frame was lost)",
+                                            sums.0,
+                                            sums.1,
+                                            since.elapsed()
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                        _ => st.stagnant = Some((sums.0, sums.1, Instant::now())),
+                    }
+                } else {
+                    st.stagnant = None;
+                }
+                verdict.unwrap_or_else(|| {
+                    st.prev_totals = Some(sums);
+                    st.round += 1;
+                    Verdict::Round(st.epoch, st.round)
+                })
             }
         };
         self.broadcast(verdict);
@@ -254,6 +402,7 @@ impl NetWave {
             st.round = 1;
             st.contributions.iter_mut().for_each(|c| *c = None);
             st.prev_totals = None;
+            st.stagnant = None;
             Verdict::Round(epoch, 1)
         } else {
             Verdict::None
@@ -268,34 +417,51 @@ impl NetWave {
             Verdict::Round(epoch, round) => {
                 let frame =
                     Frame::control_with_words(FrameKind::RoundBegin, round as u32, &[epoch]);
-                self.fan_out(frame);
+                if let Some(err) = self.fan_out(frame) {
+                    // A round that cannot reach every rank can never
+                    // complete; waiting on it would hang.
+                    self.abort_epoch(epoch, &format!("round broadcast failed: {err}"), true);
+                    return;
+                }
                 self.client_round_begin(epoch, round);
             }
             Verdict::Done(epoch) => {
                 let frame = Frame::control_with_words(FrameKind::Terminated, 0, &[epoch]);
-                self.fan_out(frame);
+                // Best-effort: the reduction already proved global
+                // quiescence, so local termination stands even if a
+                // peer's link died in the meantime.
+                let _ = self.fan_out(frame);
                 self.client_terminated(epoch);
             }
+            Verdict::Abort(epoch, reason) => self.abort_epoch(epoch, &reason, true),
         }
     }
 
-    fn fan_out(&self, frame: Frame) {
+    /// Fans a control frame out to every other rank; returns the first
+    /// send error instead of panicking.
+    fn fan_out(&self, frame: Frame) -> Option<crate::error::NetError> {
         let out = self.transport();
+        let mut first_err = None;
         for dst in 1..self.nranks {
-            out.send(dst, frame.clone())
-                .expect("wave control send failed");
+            if let Err(e) = out.send(dst, frame.clone()) {
+                first_err.get_or_insert(e);
+            }
         }
+        first_err
     }
 
     /// Sends a client control frame to the coordinator (direct call when
-    /// we *are* rank 0).
-    fn to_coordinator(&self, frame: Frame) {
+    /// we *are* rank 0). A failed send aborts `epoch`: the coordinator
+    /// link is gone and the wave cannot complete without us.
+    fn to_coordinator(&self, epoch: u64, frame: Frame) {
         if self.rank == 0 {
             self.on_control(0, frame);
-        } else {
-            self.transport()
-                .send(0, frame)
-                .expect("wave control send failed");
+        } else if let Err(e) = self.transport().send(0, frame) {
+            self.abort_epoch(
+                epoch,
+                &format!("control send to coordinator failed: {e}"),
+                true,
+            );
         }
     }
 }
@@ -306,16 +472,35 @@ impl TermWave for NetWave {
         if self.terminated.load(Ordering::Acquire) {
             return true;
         }
-        let pending = {
+        let (pending, stalled) = {
             let mut st = self.state.lock();
-            st.pending_round.take().map(|round| (st.epoch, round))
+            let pending = st.pending_round.take().map(|round| (st.epoch, round));
+            let stalled = match (pending.is_none() && st.entered, self.stall) {
+                (true, Some(stall)) if st.last_activity.elapsed() > stall => Some((
+                    st.epoch,
+                    format!(
+                        "wave stalled: fenced but silent for {:?} (control traffic lost)",
+                        st.last_activity.elapsed()
+                    ),
+                )),
+                _ => None,
+            };
+            if pending.is_some() {
+                st.last_activity = Instant::now();
+            }
+            (pending, stalled)
         };
         if let Some((epoch, round)) = pending {
-            self.to_coordinator(Frame::control_with_words(
-                FrameKind::Contribute,
-                self.rank as u32,
-                &[epoch, round, sent, received],
-            ));
+            self.to_coordinator(
+                epoch,
+                Frame::control_with_words(
+                    FrameKind::Contribute,
+                    self.rank as u32,
+                    &[epoch, round, sent, received],
+                ),
+            );
+        } else if let Some((epoch, reason)) = stalled {
+            self.abort_epoch(epoch, &reason, true);
         }
         self.terminated.load(Ordering::Acquire)
     }
@@ -330,6 +515,10 @@ impl TermWave for NetWave {
         st.entered = false;
         st.pending_round = None;
         st.last_round = 0;
+        st.last_activity = Instant::now();
+        // The abort belonged to the epoch that just turned over; poison
+        // (a dead peer) survives into the new one.
+        *self.abort_reason.lock() = None;
         // Clear the latch under the state lock so no contribution can
         // observe the old epoch with a cleared latch.
         self.terminated.store(false, Ordering::Release);
@@ -347,13 +536,20 @@ impl TermWave for NetWave {
                 return;
             }
             st.entered = true;
+            st.last_activity = Instant::now();
             st.epoch
         };
-        self.to_coordinator(Frame::control_with_words(
-            FrameKind::EnterFence,
-            self.rank as u32,
-            &[epoch],
-        ));
+        // A poisoned mesh fails every epoch immediately: entering the
+        // fence would otherwise wait on a peer that no longer exists.
+        let poison = self.poison_reason.lock().clone();
+        if let Some(reason) = poison {
+            self.abort_epoch(epoch, &reason, true);
+            return;
+        }
+        self.to_coordinator(
+            epoch,
+            Frame::control_with_words(FrameKind::EnterFence, self.rank as u32, &[epoch]),
+        );
     }
 
     fn fenced_protocol(&self) -> bool {
@@ -362,6 +558,15 @@ impl TermWave for NetWave {
 
     fn round(&self) -> u64 {
         self.state.lock().last_round
+    }
+
+    fn abort(&self, reason: &str) {
+        let epoch = self.state.lock().epoch;
+        self.abort_epoch(epoch, reason, true);
+    }
+
+    fn aborted(&self) -> Option<String> {
+        self.abort_reason.lock().clone()
     }
 }
 
@@ -372,6 +577,7 @@ impl std::fmt::Debug for NetWave {
             .field("nranks", &self.nranks)
             .field("coordinator", &self.coord.is_some())
             .field("terminated", &self.terminated.load(Ordering::Relaxed))
+            .field("aborted", &self.abort_reason.lock().is_some())
             .finish()
     }
 }
@@ -383,9 +589,14 @@ mod tests {
 
     /// Builds a fully wired in-process wave mesh: control frames from
     /// rank r reach rank s's NetWave through a LocalTransport.
-    fn wave_mesh(nranks: usize) -> Vec<(Arc<NetWave>, Arc<dyn Transport>)> {
+    fn wave_mesh_stall(
+        nranks: usize,
+        stall: Option<Duration>,
+    ) -> Vec<(Arc<NetWave>, Arc<dyn Transport>)> {
         let mesh = LocalTransport::mesh(nranks);
-        let waves: Vec<Arc<NetWave>> = (0..nranks).map(|r| NetWave::new(r, nranks)).collect();
+        let waves: Vec<Arc<NetWave>> = (0..nranks)
+            .map(|r| NetWave::with_stall(r, nranks, stall))
+            .collect();
         mesh.iter().zip(&waves).for_each(|(t, w)| {
             let w = Arc::clone(w);
             t.bind_sink(Arc::new(crate::transport::FnSink(move |src, frame| {
@@ -400,6 +611,10 @@ mod tests {
                 (w, t)
             })
             .collect()
+    }
+
+    fn wave_mesh(nranks: usize) -> Vec<(Arc<NetWave>, Arc<dyn Transport>)> {
+        wave_mesh_stall(nranks, None)
     }
 
     #[test]
@@ -475,5 +690,93 @@ mod tests {
             ranks[0].0.is_terminated(),
             "net wave must keep the latch until the fence resets it"
         );
+    }
+
+    #[test]
+    fn abort_latches_termination_and_propagates_to_peers() {
+        let ranks = wave_mesh(3);
+        ranks[1].0.abort("peer 2 exploded");
+        // The aborting rank and every peer latch with the diagnostic.
+        for (w, _) in &ranks {
+            assert!(w.is_terminated(), "rank {} did not latch", w.rank());
+            let reason = w.aborted().expect("abort reason recorded");
+            assert!(reason.contains("peer 2 exploded"), "got: {reason}");
+        }
+        // Reset clears the abort: the next epoch starts clean.
+        ranks[0].0.reset();
+        assert!(ranks[0].0.aborted().is_none());
+        assert!(!ranks[0].0.is_terminated());
+    }
+
+    #[test]
+    fn poison_aborts_current_and_future_epochs() {
+        let ranks = wave_mesh(2);
+        ranks[0].0.poison("rank 1 is dead");
+        assert!(ranks[0].0.is_terminated());
+        assert!(ranks[0].0.aborted().unwrap().contains("dead"));
+        // Next epoch: the fence re-aborts instead of hanging on a peer
+        // that will never fence in.
+        ranks[0].0.reset();
+        assert!(ranks[0].0.aborted().is_none());
+        ranks[0].0.enter_fence();
+        assert!(ranks[0].0.is_terminated());
+        assert!(ranks[0].0.aborted().unwrap().contains("dead"));
+    }
+
+    #[test]
+    fn malformed_control_frames_are_ignored_not_fatal() {
+        let ranks = wave_mesh(2);
+        let w = &ranks[0].0;
+        // Truncated payloads, out-of-range ranks, misdirected
+        // coordinator traffic, stray liveness frames: all dropped.
+        w.on_control(1, Frame::control(FrameKind::EnterFence, 1)); // no epoch word
+        w.on_control(
+            1,
+            Frame::control_with_words(FrameKind::EnterFence, 99, &[0]),
+        ); // bad rank
+        w.on_control(1, Frame::control_with_words(FrameKind::Contribute, 1, &[0])); // short
+        w.on_control(1, Frame::control(FrameKind::RoundBegin, 1)); // no epoch word
+        w.on_control(1, Frame::control(FrameKind::Terminated, 0)); // no epoch word
+        w.on_control(1, Frame::data(5, 0, vec![1, 2, 3])); // not control at all
+        w.on_control(1, Frame::control(FrameKind::Heartbeat, 1));
+        w.on_control(1, Frame::control(FrameKind::Abort, 1)); // epoch truncated
+        ranks[1]
+            .0
+            .on_control(0, Frame::control_with_words(FrameKind::EnterFence, 0, &[0])); // coord frame at non-coordinator
+        assert!(!w.is_terminated());
+        assert!(w.aborted().is_none());
+    }
+
+    #[test]
+    fn coordinator_stall_aborts_on_frozen_unbalanced_totals() {
+        let ranks = wave_mesh_stall(2, Some(Duration::from_millis(50)));
+        ranks[0].0.enter_fence();
+        ranks[1].0.enter_fence();
+        // A message rank 1 will never receive: totals stay 1 vs 0.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ranks[0].0.is_terminated() {
+            assert!(Instant::now() < deadline, "stall abort never fired");
+            ranks[0].0.try_contribute(0, 1, 0);
+            ranks[1].0.try_contribute(1, 0, 0);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let reason = ranks[0].0.aborted().expect("stall abort recorded");
+        assert!(reason.contains("stalled"), "got: {reason}");
+        assert!(ranks[1].0.is_terminated(), "abort must reach the peer");
+    }
+
+    #[test]
+    fn client_stall_aborts_when_the_wave_goes_silent() {
+        let ranks = wave_mesh_stall(2, Some(Duration::from_millis(50)));
+        // Rank 1 fences; rank 0 never does → no rounds ever open.
+        ranks[1].0.enter_fence();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ranks[1].0.is_terminated() {
+            assert!(Instant::now() < deadline, "client stall abort never fired");
+            ranks[1].0.try_contribute(1, 0, 0);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let reason = ranks[1].0.aborted().expect("stall abort recorded");
+        assert!(reason.contains("silent"), "got: {reason}");
     }
 }

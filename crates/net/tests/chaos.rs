@@ -1,0 +1,261 @@
+//! Chaos tests: the resilience layer's end-to-end contract.
+//!
+//! Every run under fault injection must either complete with correct
+//! results or return a *typed* error within a bounded deadline — never
+//! panic, never hang. The soak drives 20 seeded deterministic fault
+//! plans through the full protocol stack (runtime + wave + transport)
+//! in-process; the TCP test kills one rank of a real socket mesh and
+//! asserts the survivors come back with `RunError::PeerLost` instead of
+//! waiting forever on control frames that will never arrive.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use ttg_net::fault::FaultAction;
+use ttg_net::tcp::ephemeral_listeners;
+use ttg_net::{FaultPlan, NetConfig, NetGroup, NetRuntime, TcpTransport, Transport};
+use ttg_runtime::{RunError, RuntimeConfig};
+
+const RANKS: usize = 3;
+const MSGS: u64 = 8;
+
+/// What one chaos run produced: the epoch outcome, the sum every
+/// delivered payload contributed, and the job-wide (sent, received)
+/// message totals.
+struct RunOutcome {
+    result: Result<(), RunError>,
+    sum: u64,
+    totals: (u64, u64),
+}
+
+/// The sum a fault-free run must produce.
+fn reference_sum() -> u64 {
+    let mut sum = 0;
+    for r in 0..RANKS as u64 {
+        for p in 0..RANKS as u64 {
+            if p != r {
+                for i in 1..=MSGS {
+                    sum += r * 13 + i;
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// One full epoch of deterministic all-to-all message work under
+/// `plan`: every rank sends `MSGS` values to every peer; handlers
+/// accumulate the payloads into one shared sum.
+fn run_once(plan: &FaultPlan) -> RunOutcome {
+    let cfg = NetConfig::builtin().with_stall_timeout(Some(Duration::from_millis(400)));
+    let group = NetGroup::local_faulty(RANKS, &cfg, plan, |_| RuntimeConfig::optimized(1));
+    let sum = Arc::new(AtomicU64::new(0));
+    for r in 0..RANKS {
+        let sum = Arc::clone(&sum);
+        group.runtime(r).register_handler(move |_ctx, payload| {
+            // The payload crossed a (faulty) wire: stay defensive even
+            // though CRC should have dropped anything mangled.
+            if let Ok(bytes) = <[u8; 8]>::try_from(&payload[..]) {
+                sum.fetch_add(u64::from_le_bytes(bytes), Ordering::Relaxed);
+            }
+        });
+    }
+    for r in 0..RANKS {
+        for p in 0..RANKS {
+            if p != r {
+                for i in 1..=MSGS {
+                    let value = r as u64 * 13 + i;
+                    group
+                        .runtime(r)
+                        .send_msg(p, 0, 0, value.to_le_bytes().to_vec());
+                }
+            }
+        }
+    }
+    let result = group.try_wait();
+    let totals = (0..RANKS)
+        .map(|r| group.runtime(r).stats())
+        .fold((0, 0), |a, s| {
+            (a.0 + s.messages_sent, a.1 + s.messages_received)
+        });
+    RunOutcome {
+        result,
+        sum: sum.load(Ordering::Relaxed),
+        totals,
+    }
+}
+
+#[test]
+fn fault_free_run_is_the_reference() {
+    let out = run_once(&FaultPlan::none());
+    out.result.expect("fault-free run must terminate cleanly");
+    assert_eq!(out.sum, reference_sum());
+    assert_eq!(out.totals.0, out.totals.1, "messages unaccounted");
+}
+
+#[test]
+fn chaos_soak_seeded_runs_complete_or_fail_typed_never_hang() {
+    let reference = reference_sum();
+    for seed in 1..=20u64 {
+        let plan = FaultPlan::seeded(seed, RANKS);
+        let lossy = plan.rules.iter().any(|r| {
+            matches!(
+                r.action,
+                FaultAction::Drop | FaultAction::Corrupt | FaultAction::Sever
+            )
+        });
+        let duplicating = plan
+            .rules
+            .iter()
+            .any(|r| matches!(r.action, FaultAction::Duplicate));
+        // Watchdog: the run happens on its own thread so a hang is a
+        // test failure with a diagnostic, not a stuck CI job.
+        let (tx, rx) = mpsc::channel();
+        let thread_plan = plan.clone();
+        let handle = std::thread::spawn(move || {
+            let _ = tx.send(run_once(&thread_plan));
+        });
+        let out = rx
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("seed {seed} hung; plan {plan:?}"));
+        handle
+            .join()
+            .unwrap_or_else(|_| panic!("seed {seed} panicked; plan {plan:?}"));
+        match out.result {
+            Ok(()) => {
+                // A clean termination proves the wave balanced.
+                assert_eq!(
+                    out.totals.0, out.totals.1,
+                    "seed {seed}: clean termination with messages unaccounted; plan {plan:?}"
+                );
+                // The only way faults can change the result *and* still
+                // balance the wave is a dropped frame compensated by a
+                // duplicated one; anything else must match exactly.
+                if out.sum != reference {
+                    assert!(
+                        lossy && duplicating,
+                        "seed {seed}: wrong result {} (want {reference}) without a \
+                         compensating drop+dup pair; plan {plan:?}",
+                        out.sum
+                    );
+                }
+            }
+            Err(e) => {
+                // Typed by construction; the diagnostic must be usable.
+                assert!(
+                    !e.to_string().is_empty(),
+                    "seed {seed}: empty error diagnostic"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_rank_becomes_typed_peer_lost_for_survivors() {
+    let mut cfg = NetConfig::builtin();
+    cfg.heartbeat_interval = Duration::from_millis(50);
+    cfg.peer_dead_after = Duration::from_millis(400);
+    cfg.connect_deadline = Duration::from_secs(10);
+    cfg.stall_timeout = Some(Duration::from_secs(5));
+
+    // Assemble a real 3-rank TCP mesh (each rank's connect blocks until
+    // the mesh is up, so ranks build on their own threads). The raw
+    // TcpTransport handles are collected on the side so the test can
+    // sever rank 2's sockets the way a SIGKILL would.
+    let (listeners, addrs) = ephemeral_listeners(3).unwrap();
+    let (ttx, trx) = mpsc::channel::<(usize, Arc<TcpTransport>)>();
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let addrs = addrs.clone();
+            let cfg = cfg.clone();
+            let ttx = ttx.clone();
+            std::thread::spawn(move || {
+                let tcp_cfg = cfg.clone();
+                NetRuntime::over_transport_with(
+                    RuntimeConfig::optimized(1),
+                    &cfg,
+                    rank,
+                    3,
+                    move |sink| {
+                        TcpTransport::with_listener_cfg(rank, listener, &addrs, sink, tcp_cfg).map(
+                            |t| {
+                                let _ = ttx.send((rank, Arc::clone(&t)));
+                                t as Arc<dyn Transport>
+                            },
+                        )
+                    },
+                )
+                .unwrap()
+            })
+        })
+        .collect();
+    let nodes: Vec<NetRuntime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    drop(ttx);
+    let mut raws: Vec<(usize, Arc<TcpTransport>)> = trx.iter().collect();
+    raws.sort_by_key(|(r, _)| *r);
+
+    // A clean epoch first: the mesh works before the "crash".
+    let hits = Arc::new(AtomicU64::new(0));
+    for node in &nodes {
+        let hits = Arc::clone(&hits);
+        node.runtime().register_handler(move |_ctx, _payload| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    nodes[0].runtime().send_msg(1, 0, 0, vec![1]);
+    nodes[1].runtime().send_msg(2, 0, 0, vec![2]);
+    for node in &nodes {
+        node.fence();
+    }
+    for node in &nodes {
+        node.run().expect("clean epoch before the kill");
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 2);
+
+    // Rank 2 "dies": sockets severed with no Goodbye, listener gone.
+    raws[2].1.kill_connections();
+
+    // Survivors start their next epoch; each must come back with a
+    // typed error well inside the 10s budget, not hang on the fence.
+    let nodes = Arc::new(nodes);
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    for survivor in 0..2 {
+        let nodes = Arc::clone(&nodes);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            nodes[survivor].fence();
+            let _ = tx.send((survivor, nodes[survivor].run()));
+        });
+    }
+    drop(tx);
+    for _ in 0..2 {
+        let (survivor, result) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("a survivor hung past the 10s deadline");
+        let err = result.expect_err("survivor must not report clean termination");
+        match err {
+            RunError::PeerLost { rank, .. } => {
+                assert_eq!(rank, 2, "survivor {survivor} blamed the wrong peer")
+            }
+            // The peer's abort broadcast can land before the local
+            // heartbeat monitor fires; the diagnostic still names the
+            // dead rank.
+            RunError::Aborted { ref reason } => assert!(
+                reason.contains("rank 2") || reason.contains("stalled"),
+                "survivor {survivor}: unexpected diagnostic {reason:?}"
+            ),
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "survivors took {:?} to fail over",
+        started.elapsed()
+    );
+    for node in nodes.iter() {
+        node.shutdown();
+    }
+}

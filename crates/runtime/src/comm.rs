@@ -150,8 +150,12 @@ pub(crate) fn send_msg_from(
             // per-peer arrival order (TCP delivers in order per peer).
             obs.record_net_send(dst, payload.len(), ttg_sync::clock::now_ns());
         }
-        out.send_data(dst, handler, priority, payload)
-            .expect("transport send failed");
+        if let Err(e) = out.send_data(dst, handler, priority, payload) {
+            // The frame never left, but `message_sent` was already
+            // counted: the wave can no longer balance. Record the typed
+            // error and abort the epoch instead of hanging in wait().
+            src.fail_send(dst, &e);
+        }
     } else {
         panic!("send_msg requires ProcessGroup membership or a bound transport");
     }

@@ -1,0 +1,61 @@
+//! Typed run outcomes: why a fenced wait ended without clean termination.
+//!
+//! The happy path of [`crate::Runtime::wait`] is unchanged — all work
+//! done, wave announced, return. The resilience layer adds the unhappy
+//! paths: a transport declares a peer dead, or the termination wave is
+//! aborted (by a stall detector, a corrupt stream, or an explicit
+//! poison). [`crate::Runtime::run`] surfaces those as a [`RunError`]
+//! instead of hanging on control traffic that will never arrive.
+
+/// Why a fenced session ended abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A peer rank was declared dead (heartbeat loss, connection reset
+    /// past the reconnect window, corrupt stream...). `during` is the
+    /// transport's diagnostic for *how* the peer was lost.
+    PeerLost {
+        /// The rank that died.
+        rank: usize,
+        /// Human-readable diagnostic from the transport layer.
+        during: String,
+    },
+    /// The termination wave was aborted without a specific dead peer —
+    /// e.g. a coordinator stall detector fired, or a remote rank
+    /// broadcast an abort for the current epoch.
+    Aborted {
+        /// Why the epoch was abandoned.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::PeerLost { rank, during } => {
+                write!(f, "peer rank {rank} lost: {during}")
+            }
+            RunError::Aborted { reason } => write!(f, "run aborted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RunError::PeerLost {
+            rank: 3,
+            during: "heartbeat lost".into(),
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("heartbeat lost"));
+        let a = RunError::Aborted {
+            reason: "wave stalled".into(),
+        };
+        assert!(a.to_string().contains("wave stalled"));
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod comm;
 pub mod copy;
+pub mod error;
 pub mod runtime;
 pub mod stats;
 pub mod task;
@@ -38,8 +39,9 @@ pub mod worker;
 
 pub use comm::ProcessGroup;
 pub use copy::DataCopy;
+pub use error::RunError;
 pub use runtime::{FrameSender, Runtime, RuntimeConfig, DEFAULT_TRACE_CAPACITY};
-pub use stats::RuntimeStats;
+pub use stats::{NetStats, RuntimeStats};
 
 // Observability vocabulary (event kinds, metrics snapshots, trace
 // merging) re-exported so consumers need no direct ttg-obs dependency.

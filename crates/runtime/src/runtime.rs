@@ -1,7 +1,8 @@
 //! The [`Runtime`] handle and its configuration.
 
 use crate::comm::RemoteMsg;
-use crate::stats::{self, CommCounters, WorkerStatsCell};
+use crate::error::RunError;
+use crate::stats::{self, CommCounters, NetStats, WorkerStatsCell};
 use crate::task::{ClosureTask, RawTask};
 use crate::worker::{self, WorkerCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -143,6 +144,12 @@ pub(crate) struct Inner {
     pub(crate) peers: OnceLock<Vec<Weak<Inner>>>,
     /// Outbound network transport (set once when driven by `ttg-net`).
     pub(crate) frame_out: OnceLock<Arc<dyn FrameSender>>,
+    /// First fatal transport failure of the current session (peer
+    /// declared dead, send failed); surfaced by [`Runtime::run`].
+    pub(crate) run_error: Mutex<Option<RunError>>,
+    /// Resilience-counter source installed by the bound transport, so
+    /// `stats()` can fold transport counters into [`crate::RuntimeStats`].
+    pub(crate) net_stats: OnceLock<Arc<dyn Fn() -> NetStats + Send + Sync>>,
     /// Typed-message handlers, indexed by registration order. SPMD
     /// programs register identically on every rank so ids agree.
     pub(crate) handlers: RwLock<Vec<Arc<HandlerFn>>>,
@@ -183,13 +190,40 @@ impl Inner {
         self.wave.on_new_work();
     }
 
-    /// Looks up a registered handler by id.
+    /// Looks up a registered handler by id, panicking when absent. Used
+    /// on *local* paths where an unknown id is a programmer error.
     pub(crate) fn handler(&self, id: u32) -> Arc<HandlerFn> {
-        let handlers = self.handlers.read();
-        handlers
-            .get(id as usize)
+        self.try_handler(id)
             .unwrap_or_else(|| panic!("no message handler registered with id {id}"))
-            .clone()
+    }
+
+    /// Looks up a registered handler by id. Used on network-facing paths
+    /// where the id is remote-controlled and an unknown value must drop
+    /// the message, not kill the process.
+    pub(crate) fn try_handler(&self, id: u32) -> Option<Arc<HandlerFn>> {
+        self.handlers.read().get(id as usize).cloned()
+    }
+
+    /// Records the first fatal run error of the session (later ones are
+    /// dropped: the first failure is the cause, the rest are fallout).
+    pub(crate) fn record_run_error(&self, error: RunError) {
+        let mut slot = self.run_error.lock();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+
+    /// An outbound transport send failed: the wave counted a message
+    /// that can never be received, so the epoch can no longer balance.
+    /// Record the typed error and abort instead of hanging in `wait()`.
+    pub(crate) fn fail_send(&self, dst: usize, error: &std::io::Error) {
+        self.record_run_error(RunError::PeerLost {
+            rank: dst,
+            during: format!("send failed: {error}"),
+        });
+        self.wave
+            .abort(&format!("send to rank {dst} failed: {error}"));
+        self.announce_termination();
     }
 
     /// Pushes an externally produced task into the injection queue.
@@ -289,6 +323,8 @@ impl Runtime {
             inbox_tx,
             peers: OnceLock::new(),
             frame_out: OnceLock::new(),
+            run_error: Mutex::new(None),
+            net_stats: OnceLock::new(),
             handlers: RwLock::new(Vec::new()),
             comm: CommCounters::default(),
             idle_count: AtomicUsize::new(0),
@@ -375,7 +411,21 @@ impl Runtime {
     /// Blocks until all submitted work (and, in a process group, all
     /// work everywhere plus in-flight messages) has completed. This is
     /// TTG's fence; the runtime is reusable afterwards.
+    ///
+    /// Failures are swallowed: a distributed session that lost a peer or
+    /// aborted its wave still returns (the abort latches termination so
+    /// the fence completes). Use [`Runtime::run`] to learn *why*.
     pub fn wait(&self) {
+        let _ = self.run();
+    }
+
+    /// [`Runtime::wait`] with a typed outcome: `Ok(())` on clean global
+    /// termination, `Err` when the session ended because a peer was
+    /// lost ([`RunError::PeerLost`]) or the termination wave was aborted
+    /// ([`RunError::Aborted`]). The runtime stays reusable either way —
+    /// though after a lost peer, distributed sessions stay poisoned and
+    /// every later `run()` fails fast with the same diagnostic.
+    pub fn run(&self) -> Result<(), RunError> {
         // Announce fence entry first: distributed wave clients tell the
         // coordinator that this rank has submitted all of its session's
         // work, which gates the first reduction round (no-op for the
@@ -393,10 +443,19 @@ impl Runtime {
                     // inbox (their sender's wait returned first); they
                     // belong to the next session and must not block us.
                     if self.inner.wave.is_terminated() {
+                        // Capture the abort diagnostic before reset
+                        // clears it for the next epoch.
+                        let aborted = self.inner.wave.aborted();
                         if self.inner.owns_wave {
                             self.inner.wave.reset();
                         }
-                        return;
+                        drop(done);
+                        let structured = self.inner.run_error.lock().take();
+                        return match (structured, aborted) {
+                            (Some(e), _) => Err(e),
+                            (None, Some(reason)) => Err(RunError::Aborted { reason }),
+                            (None, None) => Ok(()),
+                        };
                     }
                     // Spurious wakeup from a worker that raced the reset;
                     // await a genuine announcement.
@@ -406,7 +465,7 @@ impl Runtime {
                     if self.inner.owns_wave {
                         self.inner.wave.reset();
                     }
-                    return;
+                    return Ok(());
                 }
                 // Stale announcement from an earlier empty session: new
                 // work arrived since. Reset and keep waiting.
@@ -417,6 +476,13 @@ impl Runtime {
             }
             self.inner.session_cv.wait(&mut done);
         }
+    }
+
+    /// Records a fatal session error from outside the runtime (the
+    /// network layer calls this when a transport declares a peer dead).
+    /// The first error wins; [`Runtime::run`] returns it.
+    pub fn record_run_error(&self, error: RunError) {
+        self.inner.record_run_error(error);
     }
 
     /// Waits (bounded) for every worker to go idle with nothing queued,
@@ -509,6 +575,10 @@ impl Runtime {
         m.counter("messages_received", s.messages_received);
         m.counter("bytes_sent", s.bytes_sent);
         m.counter("bytes_received", s.bytes_received);
+        m.counter("frames_corrupt", s.frames_corrupt);
+        m.counter("heartbeats_sent", s.heartbeats_sent);
+        m.counter("peers_lost", s.peers_lost);
+        m.counter("reconnects", s.reconnects);
         m.counter("queue_local_pops", s.queue.local_pops as u64);
         m.counter("queue_steals", s.queue.steals as u64);
         m.counter("queue_overflow", s.queue.overflow as u64);
@@ -546,6 +616,13 @@ impl Runtime {
         s.bytes_sent = self.inner.comm.bytes_sent.load(Ordering::Relaxed);
         s.bytes_received = self.inner.comm.bytes_received.load(Ordering::Relaxed);
         s.bytes_on_wire = s.bytes_sent + s.bytes_received;
+        if let Some(source) = self.inner.net_stats.get() {
+            let n = source();
+            s.frames_corrupt = n.frames_corrupt;
+            s.heartbeats_sent = n.heartbeats_sent;
+            s.peers_lost = n.peers_lost;
+            s.reconnects = n.reconnects;
+        }
         s.trace_events_dropped = self
             .inner
             .obs
@@ -609,6 +686,14 @@ impl Runtime {
             .unwrap_or_else(|_| panic!("frame sender already bound"));
     }
 
+    /// Installs the transport's resilience-counter source; `stats()`
+    /// folds its snapshot into [`crate::RuntimeStats`] (frames_corrupt,
+    /// heartbeats_sent, peers_lost, reconnects). Later calls are
+    /// ignored (the transport is bound once).
+    pub fn set_net_stats_source(&self, source: Arc<dyn Fn() -> NetStats + Send + Sync>) {
+        let _ = self.inner.net_stats.set(source);
+    }
+
     /// Ingests a data message that arrived over the network for this
     /// rank. Called by the transport's receiver thread; the message is
     /// queued into the inbox and drained by a worker, which counts
@@ -625,15 +710,14 @@ impl Runtime {
             // sender's assignment (the transport is per-peer ordered).
             obs.record_net_recv(src, payload.len(), now);
         }
-        self.inner
-            .inbox_tx
-            .send(RemoteMsg::Framed {
-                priority,
-                handler,
-                payload,
-                enqueued_ns: now,
-            })
-            .expect("own inbox closed");
+        // The inbox can only be gone mid-teardown; a frame arriving in
+        // that window is dropped, not a panic in the receiver thread.
+        let _ = self.inner.inbox_tx.send(RemoteMsg::Framed {
+            priority,
+            handler,
+            payload,
+            enqueued_ns: now,
+        });
         self.inner.wake_sleepers();
     }
 }

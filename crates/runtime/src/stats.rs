@@ -69,8 +69,33 @@ pub struct RuntimeStats {
     /// Trace events lost to ring overwrite (non-zero means the
     /// configured `trace_capacity` was too small for the run).
     pub trace_events_dropped: u64,
+    /// Frames the transport rejected for failing the integrity check
+    /// (CRC mismatch, bad kind, bad length). Zero without a transport.
+    pub frames_corrupt: u64,
+    /// Liveness probes the transport sent on idle links. Heartbeats are
+    /// *not* counted in `bytes_sent`/`messages_sent` — they are
+    /// transport-internal, invisible to the wave protocol.
+    pub heartbeats_sent: u64,
+    /// Peer ranks the transport declared dead.
+    pub peers_lost: u64,
+    /// Connections the transport successfully re-established.
+    pub reconnects: u64,
     /// Scheduler behaviour counters.
     pub queue: QueueStats,
+}
+
+/// Resilience counters a bound network transport reports into
+/// [`RuntimeStats`] (see `crate::Runtime::set_net_stats_source`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames rejected by the integrity check.
+    pub frames_corrupt: u64,
+    /// Liveness probes sent on idle links.
+    pub heartbeats_sent: u64,
+    /// Peers declared dead.
+    pub peers_lost: u64,
+    /// Connections re-established after a drop.
+    pub reconnects: u64,
 }
 
 pub(crate) fn new_cells(workers: usize) -> Box<[CachePadded<WorkerStatsCell>]> {

@@ -193,7 +193,6 @@ impl<'rt> WorkerCtx<'rt> {
                 .comm
                 .messages_received
                 .fetch_add(1, Ordering::Relaxed);
-            self.inner.term.task_discovered(Some(self.id));
             let (task, enqueued_ns) = match msg {
                 crate::comm::RemoteMsg::Closure {
                     priority,
@@ -206,7 +205,15 @@ impl<'rt> WorkerCtx<'rt> {
                     payload,
                     enqueued_ns,
                 } => {
-                    let h = self.inner.handler(handler);
+                    // The handler id arrived over the wire: an unknown
+                    // value (a confused or malicious peer) drops the
+                    // message — already counted as received, so the
+                    // wave stays balanced — instead of panicking.
+                    let Some(h) = self.inner.try_handler(handler) else {
+                        warn_unknown_handler(handler);
+                        got = true;
+                        continue;
+                    };
                     (
                         ClosureTask::allocate(priority, move |ctx: &mut WorkerCtx<'_>| {
                             h(ctx, payload)
@@ -215,6 +222,7 @@ impl<'rt> WorkerCtx<'rt> {
                     )
                 }
             };
+            self.inner.term.task_discovered(Some(self.id));
             if let Some(obs) = self.inner.obs.as_deref() {
                 if obs.histograms_enabled() {
                     let now = ttg_sync::clock::now_ns();
@@ -230,6 +238,16 @@ impl<'rt> WorkerCtx<'rt> {
             self.flush_bundle();
         }
         got
+    }
+}
+
+/// Logs the first unknown-handler drop (once per process: a peer that
+/// sends one usually sends a storm, and it is about to be declared dead
+/// anyway).
+fn warn_unknown_handler(handler: u32) {
+    static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("ttg-runtime: dropping message for unregistered handler id {handler}");
     }
 }
 

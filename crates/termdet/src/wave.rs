@@ -62,6 +62,20 @@ pub trait TermWave: Send + Sync {
         0
     }
 
+    /// Gives up on the current epoch: latch termination (so the fence
+    /// completes) with a diagnostic instead of a clean announcement.
+    /// The shared-memory board has no failure modes that need this and
+    /// ignores it; the network wave aborts and broadcasts.
+    fn abort(&self, reason: &str) {
+        let _ = reason;
+    }
+
+    /// The diagnostic of the abort that ended the current epoch, if the
+    /// epoch was aborted rather than cleanly terminated.
+    fn aborted(&self) -> Option<String> {
+        None
+    }
+
     /// Whether this wave runs the fenced epoch protocol. If `true`,
     /// a latched termination is authoritative for the epoch the caller
     /// fenced into — `Runtime::wait` may return even if messages of the

@@ -32,10 +32,24 @@
 //! `TTG_NET_RANK` / `TTG_NET_RANKS` / `TTG_NET_PORT` select the child
 //! role) and waits for all ranks to exit successfully. Each child then
 //! writes `<path>.rank<N>` partial outputs which the parent merges.
+//!
+//! Fault injection (TCP mode): `--fault-plan "<rules>"` executes a
+//! deterministic `ttg_net::FaultPlan` on every rank's outgoing frames
+//! (relayed to the children via `TTG_NET_FAULT_PLAN`), e.g.
+//!
+//! ```text
+//! cargo run --release -p ttg-examples --bin distributed -- \
+//!     --tcp --ranks 3 --fault-plan "1:sever@6->0"
+//! ```
+//!
+//! A rank whose epoch ends in a typed error (a severed or dead peer, an
+//! aborted wave) prints the diagnostic and exits with code 3; the
+//! parent then exits 3 as well (or 1 if any rank panicked) — so CI can
+//! assert *typed* failure, never a hang, never a panic.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use ttg_net::NetRuntime;
+use ttg_net::{FaultPlan, FaultyTransport, NetConfig, NetRuntime, TcpTransport, Transport};
 use ttg_runtime::{ProcessGroup, RuntimeConfig, WorkerCtx};
 
 const DEFAULT_RANKS: usize = 4;
@@ -91,6 +105,7 @@ fn main() {
     let mut ranks = DEFAULT_RANKS;
     let mut port = DEFAULT_PORT;
     let mut obs = ObsArgs::default();
+    let mut fault_plan: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -115,13 +130,30 @@ fn main() {
                 i += 1;
                 obs.metrics = Some(args[i].clone());
             }
+            "--fault-plan" => {
+                i += 1;
+                fault_plan = Some(args[i].clone());
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
 
+    if let Some(spec) = &fault_plan {
+        // Validate up front so a typo fails the parent with a parse
+        // diagnostic instead of three children dying obscurely.
+        if let Err(e) = FaultPlan::parse(spec) {
+            eprintln!("--fault-plan: {e}");
+            std::process::exit(2);
+        }
+        if !tcp {
+            eprintln!("--fault-plan requires --tcp (faults are injected on the wire)");
+            std::process::exit(2);
+        }
+    }
+
     if tcp {
-        spawn_tcp_job(ranks, port, &obs);
+        spawn_tcp_job(ranks, port, &obs, fault_plan.as_deref());
     } else {
         run_simulated(ranks, &obs);
     }
@@ -285,7 +317,11 @@ fn run_simulated(ranks: usize, obs: &ObsArgs) {
 
 /// Parent: re-execute this binary once per rank, await the job, then
 /// merge the per-rank observability partials into the requested files.
-fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs) {
+///
+/// Exit codes: 0 all ranks clean; 1 a rank panicked (which the
+/// resilience layer promises never happens on network faults); 3 a
+/// rank reported a typed failure (or was fault-killed).
+fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs, fault_plan: Option<&str>) {
     let exe = std::env::current_exe().expect("current_exe");
     println!("tcp job: spawning {ranks} rank processes on 127.0.0.1:{port}+");
     // One wall-clock trace epoch for the whole job: every rank shifts
@@ -302,6 +338,9 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs) {
             cmd.env("TTG_NET_RANK", rank.to_string())
                 .env("TTG_NET_RANKS", ranks.to_string())
                 .env("TTG_NET_PORT", port.to_string());
+            if let Some(plan) = fault_plan {
+                cmd.env("TTG_NET_FAULT_PLAN", plan);
+            }
             if let Some(p) = &obs.trace {
                 cmd.env("TTG_NET_TRACE_OUT", rank_path(p, rank))
                     .env("TTG_NET_TRACE_EPOCH", trace_epoch_ns.to_string());
@@ -315,15 +354,25 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs) {
             cmd.spawn().expect("spawn rank process")
         })
         .collect();
-    let mut failed = false;
+    let mut any_failed = false;
+    let mut any_panicked = false;
     for (rank, child) in children.into_iter().enumerate() {
         let status = child.wait_with_output().expect("wait for rank");
         if !status.status.success() {
             eprintln!("rank {rank} exited with {:?}", status.status);
-            failed = true;
+            any_failed = true;
+            // Exit code 101 is a Rust panic — the one outcome the
+            // resilience layer promises never happens on network
+            // faults, kept distinguishable for CI.
+            if status.status.code() == Some(101) {
+                any_panicked = true;
+            }
         }
     }
-    assert!(!failed, "one or more ranks failed");
+    if any_failed {
+        eprintln!("tcp job: one or more ranks failed");
+        std::process::exit(if any_panicked { 1 } else { 3 });
+    }
 
     // Merge the partials the children wrote (and clean them up).
     let collect = |base: &str, what: &str| -> Vec<String> {
@@ -362,16 +411,48 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs) {
     println!("tcp job: all {ranks} ranks completed — done.");
 }
 
-/// Child: run one rank of the distributed job over real sockets.
+/// Child: run one rank of the distributed job over real sockets. A
+/// typed failure (dead peer, aborted wave) prints its diagnostic and
+/// exits 3 — never panics, never hangs.
 fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
-    let net = NetRuntime::connect_tcp(
+    let plan = match std::env::var("TTG_NET_FAULT_PLAN") {
+        Ok(spec) => FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("rank {rank}: TTG_NET_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => FaultPlan::none(),
+    };
+    let net_cfg = NetConfig::default(); // env-driven deadlines
+    let tcp_cfg = net_cfg.clone();
+    let net = NetRuntime::over_transport_with(
         obs.configure(RuntimeConfig::optimized(2)),
+        &net_cfg,
         rank,
         nranks,
-        port,
+        |sink| {
+            TcpTransport::connect_mesh_cfg(rank, nranks, port, sink, tcp_cfg).map(|t| {
+                let t: Arc<dyn Transport> = t;
+                if plan.is_empty() {
+                    t
+                } else {
+                    FaultyTransport::new(t, &plan) as Arc<dyn Transport>
+                }
+            })
+        },
     )
-    .expect("connect TCP mesh");
+    .unwrap_or_else(|e| {
+        eprintln!("rank {rank}: connecting the TCP mesh failed: {e}");
+        std::process::exit(3);
+    });
     let rt = net.runtime();
+    // Runs one fenced epoch; a typed failure is terminal for the rank.
+    let run_phase = |phase: &str| {
+        if let Err(e) = net.run() {
+            eprintln!("rank {rank}: {phase} failed: {e}");
+            net.shutdown();
+            std::process::exit(3);
+        }
+    };
     if rank == 0 {
         println!("tcp mesh connected: {nranks} ranks x 2 workers each");
     }
@@ -422,7 +503,7 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         p.extend_from_slice(&0u64.to_le_bytes());
         rt.send_msg(0, 0, h_ring, p); // local delivery seeds the ring
     }
-    rt.wait();
+    run_phase("token ring");
     if rank == 0 {
         let hops = ring_done.load(Ordering::Relaxed);
         println!("ring: token visited {hops} ranks (2 laps + seed)");
@@ -436,7 +517,7 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
             rt.send_msg(dst, 0, h_scatter, item.to_le_bytes().to_vec());
         }
     }
-    rt.wait();
+    run_phase("scatter/gather");
     if rank == 0 {
         println!(
             "scatter/gather: {} results, sum of squares = {} (expected {})",
