@@ -25,7 +25,8 @@ use ttg_bench::{Args, Report, Series};
 use ttg_net::{NetGroup, NetRuntime};
 use ttg_runtime::{Runtime, RuntimeConfig};
 
-const USAGE: &str = "fig13_distributed [--pingpongs 2000] [--tasks 20000] [--max-ranks 4] [--port-base 47300] [--json]";
+const USAGE: &str = "fig13_distributed [--pingpongs 2000] [--tasks 20000] [--max-ranks 4] \
+                     [--port-base 47300] [--json] [--bench-json PATH]";
 
 /// A set of ranks living in this process, whatever the transport.
 trait Job {
@@ -223,6 +224,7 @@ fn main() {
     let mut local = Series::new("in-process transport");
     let mut tcp = Series::new("TCP loopback");
     let mut comm_lines: Vec<String> = Vec::new();
+    let (mut last_tcp_msgs, mut last_tcp_bytes) = (0u64, 0u64);
     for ranks in 1..=max_ranks {
         let group = NetGroup::local(ranks, |_| RuntimeConfig::optimized(1));
         let (rate, msgs, bytes) = throughput(&group, tasks);
@@ -237,6 +239,7 @@ fn main() {
         attach_stats(&mut scaling, &job, format!("TCP loopback, {ranks} ranks"));
         job.shutdown();
         tcp.push(ranks as f64, rate);
+        (last_tcp_msgs, last_tcp_bytes) = (msgs, bytes);
         comm_lines.push(format!(
             "  TCP loopback, {ranks} ranks: {msgs} messages, {bytes} payload bytes on wire"
         ));
@@ -244,6 +247,36 @@ fn main() {
     scaling.add(local);
     scaling.add(tcp);
     scaling.emit(json);
+
+    let bench_json = args.get_str("bench-json", "");
+    if !bench_json.is_empty() {
+        let mut rec = ttg_bench::BenchRecord::new("fig13");
+        // Ping-pong latency per (transport, payload) is lower-is-better
+        // as measured; throughput is inverted to µs/task so the whole
+        // record obeys one comparison rule.
+        for s in &latency.series {
+            let slug = ttg_bench::record::slug(&s.label);
+            for &(x, y) in &s.points {
+                rec.metric(format!("pingpong_{slug}_{}b_us", x as u64), y);
+            }
+        }
+        for s in &scaling.series {
+            let slug = ttg_bench::record::slug(&s.label);
+            for &(x, y) in &s.points {
+                if y > 0.0 {
+                    rec.metric(
+                        format!("scatter_{slug}_{}ranks_us_per_task", x as u64),
+                        1e6 / y,
+                    );
+                }
+            }
+        }
+        rec.counter("tcp_msgs_max_ranks", last_tcp_msgs);
+        rec.counter("tcp_bytes_max_ranks", last_tcp_bytes);
+        rec.attach_contention();
+        rec.write(&bench_json).expect("write bench record");
+        println!("bench record -> {bench_json}");
+    }
 
     println!("\ncomm counters (measured epochs):");
     for line in comm_lines {

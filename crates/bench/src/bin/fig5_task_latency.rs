@@ -22,7 +22,8 @@ use ttg_bench::{Args, Report, Series};
 use ttg_core::{Edge, Graph};
 use ttg_runtime::RuntimeConfig;
 
-const USAGE: &str = "fig5_task_latency [--length 100000] [--max-flows 6] [--json]";
+const USAGE: &str =
+    "fig5_task_latency [--length 100000] [--max-flows 6] [--json] [--bench-json PATH]";
 
 /// TTG chain: task k sends on `flows` edges to task k+1. `copy` selects
 /// copy-between-tasks (fresh allocation per hop) vs move (zero-copy
@@ -139,6 +140,23 @@ fn main() {
     report.add(omp);
     report.add(tf);
     report.emit(args.has("json"));
+
+    let bench_json = args.get_str("bench-json", "");
+    if !bench_json.is_empty() {
+        let mut rec = ttg_bench::BenchRecord::new("fig5");
+        // ns/task per (series, flow count) — the hash-table entry at
+        // 2 flows is exactly the kind of step a regression diff should
+        // see move.
+        for s in &report.series {
+            let slug = ttg_bench::record::slug(&s.label);
+            for &(x, y) in &s.points {
+                rec.metric(format!("{slug}_f{}_ns", x as u64), y);
+            }
+        }
+        rec.attach_contention();
+        rec.write(&bench_json).expect("write bench record");
+        println!("bench record -> {bench_json}");
+    }
     println!(
         "\nshape check: TTG jump between 1 and 2 flows marks the hash-table entry; \
          TTG(copy) pays one allocation per task over TTG(move)."

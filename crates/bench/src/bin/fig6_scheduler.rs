@@ -21,10 +21,16 @@ use ttg_runtime::{RuntimeConfig, SchedKind};
 use ttg_sync::clock::{cycles_per_ns, spin_cycles};
 
 const USAGE: &str = "fig6_scheduler [--height 16] [--threads 1,2,4] \
-                     [--cycles 0,500,10000,40000,100000] [--json]";
+                     [--cycles 0,500,10000,40000,100000] [--json] [--bench-json PATH]";
 
-/// Runs the tree benchmark; returns wall nanoseconds.
-fn tree_run(sched: SchedKind, threads: usize, height: u64, cycles: u64) -> f64 {
+/// Runs the tree benchmark; returns wall nanoseconds plus the runtime's
+/// post-run stats (scheduler behaviour counters for the bench record).
+fn tree_run(
+    sched: SchedKind,
+    threads: usize,
+    height: u64,
+    cycles: u64,
+) -> (f64, ttg_runtime::RuntimeStats) {
     let mut config = RuntimeConfig::optimized(threads);
     config.scheduler = sched;
     let graph = Graph::new(config);
@@ -52,7 +58,7 @@ fn tree_run(sched: SchedKind, threads: usize, height: u64, cycles: u64) -> f64 {
     graph.wait();
     let ns = start.elapsed().as_nanos() as f64;
     assert_eq!(count.load(Ordering::Relaxed), (1 << (height + 1)) - 1);
-    ns
+    (ns, graph.runtime().stats())
 }
 
 fn main() {
@@ -76,6 +82,9 @@ fn main() {
         "task cycles",
         "overhead %",
     );
+    // Scheduler counters from the highest-pressure configuration of
+    // each scheduler (max threads, max non-zero cycles).
+    let mut queue_stats: Vec<(String, ttg_runtime::RuntimeStats)> = Vec::new();
     for (name, sched) in schedulers {
         for &t in &threads {
             let mut series = Series::new(format!("{name} ({t} threads)"));
@@ -83,10 +92,13 @@ fn main() {
                 if cyc == 0 {
                     continue; // ideal time undefined for empty tasks
                 }
-                let ns = tree_run(sched, t, height, cyc);
+                let (ns, stats) = tree_run(sched, t, height, cyc);
                 let work_ns = (ntasks as f64 * cyc as f64 / cyc_per_ns) / t as f64;
                 let overhead = 100.0 * (ns - work_ns).max(0.0) / work_ns;
                 series.push(cyc as f64, overhead);
+                if Some(&t) == threads.last() && Some(&cyc) == cycles.last() {
+                    queue_stats.push((name.to_lowercase(), stats));
+                }
             }
             fig6a.add(series);
         }
@@ -101,16 +113,35 @@ fn main() {
     );
     for (name, sched) in schedulers {
         for &cyc in &cycles {
-            let base = tree_run(sched, 1, height, cyc);
+            let (base, _) = tree_run(sched, 1, height, cyc);
             let mut series = Series::new(format!("{name} ({cyc} cycles)"));
             for &t in &threads {
-                let ns = tree_run(sched, t, height, cyc);
+                let (ns, _) = tree_run(sched, t, height, cyc);
                 series.push(t as f64, base / ns);
             }
             fig6b.add(series);
         }
     }
     fig6b.emit(json);
+
+    let bench_json = args.get_str("bench-json", "");
+    if !bench_json.is_empty() {
+        let mut rec = ttg_bench::BenchRecord::new("fig6");
+        // Overhead % is already lower-is-better; one metric per
+        // (scheduler, threads, cycles) point of fig 6a.
+        for s in &fig6a.series {
+            let slug = ttg_bench::record::slug(&s.label);
+            for &(x, y) in &s.points {
+                rec.metric(format!("{slug}_c{}_overhead_pct", x as u64), y);
+            }
+        }
+        for (prefix, stats) in &queue_stats {
+            rec.attach_queue_stats(prefix, &stats.queue);
+        }
+        rec.attach_contention();
+        rec.write(&bench_json).expect("write bench record");
+        println!("bench record -> {bench_json}");
+    }
     println!(
         "\nshape check: LLP overhead < LFQ at every point; with enough physical \
          cores LLP approaches ideal speedup for >=10k-cycle tasks while LFQ \

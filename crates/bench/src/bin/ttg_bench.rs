@@ -1,0 +1,136 @@
+//! `ttg-bench` — performance-attribution companion tool.
+//!
+//! Two subcommands, both operating on artifacts the runtime and the
+//! figure binaries already emit:
+//!
+//! ```text
+//! ttg-bench analyze <trace.json> [--top K]
+//! ttg-bench diff <old.json> <new.json> [--threshold 0.10]
+//! ```
+//!
+//! `analyze` runs the critical-path analysis over an exported Chrome
+//! trace (single-rank or merged) and prints the report. `diff`
+//! compares two `BENCH_<fig>.json` records and exits non-zero when any
+//! lower-is-better metric regressed past the threshold — the CI gate
+//! for the committed baselines under `results/`.
+
+use ttg_bench::record::{diff, BenchRecord};
+
+const USAGE: &str = "usage:
+  ttg-bench analyze <trace.json> [--top K]
+  ttg-bench diff <old.json> <new.json> [--threshold 0.10]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Splits argv into positionals and `--name value` options.
+fn split_args(argv: &[String]) -> (Vec<&String>, Vec<(&str, &String)>) {
+    let mut pos = Vec::new();
+    let mut opts = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if let Some(name) = argv[i].strip_prefix("--") {
+            if i + 1 >= argv.len() {
+                fail(&format!("--{name} needs a value"));
+            }
+            opts.push((name, &argv[i + 1]));
+            i += 2;
+        } else {
+            pos.push(&argv[i]);
+            i += 1;
+        }
+    }
+    (pos, opts)
+}
+
+fn opt<T: std::str::FromStr>(opts: &[(&str, &String)], name: &str, default: T) -> T {
+    match opts.iter().find(|(n, _)| *n == name) {
+        Some((_, v)) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("invalid value for --{name}: {v}"))),
+        None => default,
+    }
+}
+
+fn read(path: &str, what: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {what} {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_analyze(argv: &[String]) {
+    let (pos, opts) = split_args(argv);
+    if pos.len() != 1 {
+        fail("analyze takes exactly one trace file");
+    }
+    for (n, _) in &opts {
+        if *n != "top" {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let top: usize = opt(&opts, "top", 10);
+    let json = read(pos[0], "trace");
+    match ttg_obs::analyze_chrome_trace(&json) {
+        Ok(report) => print!("{}", report.render(top)),
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_diff(argv: &[String]) {
+    let (pos, opts) = split_args(argv);
+    if pos.len() != 2 {
+        fail("diff takes exactly two record files");
+    }
+    for (n, _) in &opts {
+        if *n != "threshold" {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let threshold: f64 = opt(&opts, "threshold", 0.10);
+    if !(0.0..10.0).contains(&threshold) {
+        fail("--threshold is a fraction (0.10 = 10%)");
+    }
+    let parse = |path: &str| {
+        BenchRecord::from_json(&read(path, "record")).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = parse(pos[0]);
+    let new = parse(pos[1]);
+    if old.fig != new.fig {
+        eprintln!(
+            "warning: comparing different figures ({} vs {})",
+            old.fig, new.fig
+        );
+    }
+    println!(
+        "diff {} ({}) -> {} ({}), threshold +{:.1}%",
+        pos[0],
+        old.git_sha,
+        pos[1],
+        new.git_sha,
+        100.0 * threshold
+    );
+    let report = diff(&old, &new, threshold);
+    print!("{}", report.render(threshold));
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&argv[1..]),
+        Some("diff") => cmd_diff(&argv[1..]),
+        Some(other) => fail(&format!("unknown subcommand {other}")),
+        None => fail("missing subcommand"),
+    }
+}

@@ -17,11 +17,22 @@
 //! JSON (`--json`), and accepts `--threads`, sweep lists, and scale
 //! knobs so the full paper-sized runs are reproducible on a big box
 //! while CI-sized runs finish in seconds.
+//!
+//! The figure binaries for figs 1/5/6/13 additionally accept
+//! `--bench-json PATH` to emit a [`BenchRecord`] perf baseline
+//! (`BENCH_<fig>.json`: lower-is-better metrics, behaviour counters,
+//! git sha). The `ttg-bench` companion binary consumes those:
+//! `ttg-bench diff old.json new.json [--threshold 0.10]` gates CI on
+//! regressions, and `ttg-bench analyze trace.json` runs the
+//! critical-path analysis from [`ttg_obs::analysis`] on an exported
+//! Chrome trace.
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod record;
 pub mod report;
 
 pub use cli::Args;
+pub use record::{diff, BenchRecord, DiffReport, MetricDelta};
 pub use report::{Report, Series};

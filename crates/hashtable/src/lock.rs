@@ -75,6 +75,15 @@ pub(crate) enum TableReadGuard<'a> {
     Bravo(BravoReadGuard<'a, ()>),
 }
 
+impl TableReadGuard<'_> {
+    /// True when this is a BRAVO guard acquired on the zero-RMW
+    /// visible-readers fast path (the Section IV-D win the stats report
+    /// as `biased_reads`).
+    pub(crate) fn is_bravo_fast_path(&self) -> bool {
+        matches!(self, TableReadGuard::Bravo(g) if g.is_fast_path())
+    }
+}
+
 /// Exclusive guard over the table structure. Held for RAII `Drop` only.
 #[derive(Debug)]
 #[allow(dead_code)]

@@ -6,7 +6,7 @@ use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use ttg_sync::spin::SpinLockGuard;
-use ttg_sync::SpinLock;
+use ttg_sync::{ContentionCounter, SpinLock};
 
 /// One stored element. The full hash is cached so growth never rehashes
 /// keys and old-table probes can pre-filter on it.
@@ -109,6 +109,14 @@ pub struct HashTableStats {
     pub chain_len: usize,
     /// Current main-table bucket count.
     pub main_buckets: usize,
+    /// Bucket-lock acquisitions that found the lock held (`try_lock`
+    /// failed and the caller had to spin). Zero unless the
+    /// `obs-contention` feature is enabled.
+    pub bucket_contended: u64,
+    /// Table reads served by the BRAVO visible-readers fast path (zero
+    /// RMWs). Zero unless `obs-contention` is enabled or the lock is
+    /// `Plain`.
+    pub biased_reads: u64,
 }
 
 /// The PaRSEC-style scalable concurrent hash table.
@@ -148,6 +156,9 @@ pub struct ScalableHashTable<K, V, S = RandomState> {
     resizes: AtomicUsize,
     promotions: AtomicUsize,
     tables_collected: AtomicUsize,
+    /// Contention counters: zero-sized no-ops unless `obs-contention`.
+    bucket_contended: ContentionCounter,
+    biased_reads: ContentionCounter,
 }
 
 // SAFETY: all interior mutability is mediated by the table RW lock plus
@@ -189,6 +200,8 @@ impl<K: Hash + Eq, V, S: BuildHasher> ScalableHashTable<K, V, S> {
             resizes: AtomicUsize::new(0),
             promotions: AtomicUsize::new(0),
             tables_collected: AtomicUsize::new(0),
+            bucket_contended: ContentionCounter::new(),
+            biased_reads: ContentionCounter::new(),
         }
     }
 
@@ -224,6 +237,8 @@ impl<K: Hash + Eq, V, S: BuildHasher> ScalableHashTable<K, V, S> {
             tables_collected: self.tables_collected.load(Ordering::Relaxed),
             chain_len: chain.len(),
             main_buckets: chain[0].buckets.len(),
+            bucket_contended: self.bucket_contended.get(),
+            biased_reads: self.biased_reads.get(),
         }
     }
 
@@ -237,10 +252,21 @@ impl<K: Hash + Eq, V, S: BuildHasher> ScalableHashTable<K, V, S> {
         self.maybe_maintain();
         let hash = self.hash_of(&key);
         let read = self.lock.read();
+        if read.is_bravo_fast_path() {
+            self.biased_reads.incr();
+        }
         // SAFETY: read lock held for the guard's lifetime (stored in the
         // returned LockedBucket); no writer can restructure the chain.
         let chain: &[Box<SubTable<K, V>>] = unsafe { &*self.chain.get() };
-        let guard = chain[0].bucket(hash).entries.lock();
+        // try-then-lock so a held bucket lock is observable as contention.
+        let entries = &chain[0].bucket(hash).entries;
+        let guard = match entries.try_lock() {
+            Some(g) => g,
+            None => {
+                self.bucket_contended.incr();
+                entries.lock()
+            }
+        };
         LockedBucket {
             table: self,
             guard,

@@ -258,6 +258,57 @@ mod tests {
     }
 
     #[test]
+    fn merging_empty_changes_nothing() {
+        let h = LatencyHistogram::new();
+        h.record(5);
+        h.record(500);
+        let mut s = h.snapshot();
+        let before = s;
+        s.merge(&HistogramSnapshot::empty());
+        assert_eq!(s, before);
+        // Empty ⊕ x == x too.
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_it() {
+        let h = LatencyHistogram::new();
+        h.record(300); // bucket 8, ub 511 — capped by max
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.p50(), 300);
+        assert_eq!(s.p95(), 300);
+        assert_eq!(s.p99(), 300);
+        assert_eq!(s.quantile(1.0), 300);
+        assert!((s.mean() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum wraps; counts must not
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[63], 2);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // Sorted samples are [1, MAX, MAX]: the median lands in the
+        // saturated top bucket, the 33rd percentile on the small value.
+        assert_eq!(s.p50(), u64::MAX);
+        assert_eq!(s.quantile(0.33), 1);
+        // Merging two saturated snapshots stays sane.
+        let mut m = s;
+        m.merge(&s);
+        assert_eq!(m.buckets[63], 4);
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.max, u64::MAX);
+    }
+
+    #[test]
     fn snapshot_serializes() {
         let h = LatencyHistogram::new();
         h.record(42);

@@ -14,16 +14,20 @@
 //!    traces (one `pid` per rank, counter tracks, cross-rank flow
 //!    events) and JSON / Prometheus metrics snapshots with an optional
 //!    periodic sampler.
+//! 4. **Analysis** ([`analysis`]): post-hoc critical-path extraction
+//!    and per-worker utilization from exported traces.
 //!
 //! [`Obs`] bundles the per-worker state for one runtime instance. The
 //! runtime holds `Option<Arc<Obs>>`: `None` (the default) costs one
 //! pointer load and branch per hook site, keeping overhead opt-in.
 
+pub mod analysis;
 pub mod hist;
 pub mod metrics;
 pub mod ring;
 pub mod trace;
 
+pub use analysis::{analyze_chrome_trace, TaskContribution, TraceReport, WorkerUtil};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use metrics::{MetricsSnapshot, PeriodicSampler};
 pub use ring::{Event, EventKind, EventRing};
@@ -66,6 +70,7 @@ pub struct WorkerObs {
     /// Last sampled counter values, for change-only counter tracks.
     last_queue_depth: Cell<u64>,
     last_inbox_depth: Cell<u64>,
+    last_overflow_depth: Cell<u64>,
 }
 
 // SAFETY: same single-writer/racy-reader contract as the fields within.
@@ -81,6 +86,7 @@ impl WorkerObs {
             last_round: Cell::new(u64::MAX),
             last_queue_depth: Cell::new(u64::MAX),
             last_inbox_depth: Cell::new(u64::MAX),
+            last_overflow_depth: Cell::new(u64::MAX),
         }
     }
 }
@@ -293,37 +299,41 @@ impl Obs {
         });
     }
 
-    /// Samples the scheduler queue-depth and inbox-backlog counter
-    /// tracks; emits only on change so idle loops don't flood the ring.
-    pub fn sample_depths(&self, worker: usize, queue_depth: u64, inbox_depth: u64, ts_ns: u64) {
+    /// Samples the scheduler queue-depth, inbox-backlog, and overflow-
+    /// FIFO counter tracks; emits only on change so idle loops don't
+    /// flood the ring. `overflow_depth` is the global-FIFO backlog of
+    /// LFQ-style schedulers (always 0 for LL/LLP, whose default
+    /// `overflow_depth` is 0 — the track then never emits past the
+    /// initial sample).
+    pub fn sample_depths(
+        &self,
+        worker: usize,
+        queue_depth: u64,
+        inbox_depth: u64,
+        overflow_depth: u64,
+        ts_ns: u64,
+    ) {
         if !self.events_on {
             return;
         }
         let w = self.worker(worker);
-        if w.last_queue_depth.get() != queue_depth {
-            w.last_queue_depth.set(queue_depth);
-            w.ring.push(Event {
-                kind: EventKind::Counter,
-                name: "queue_depth",
-                tid: worker as u32,
-                ts_ns,
-                dur_ns: 0,
-                arg0: queue_depth,
-                arg1: 0,
-            });
-        }
-        if w.last_inbox_depth.get() != inbox_depth {
-            w.last_inbox_depth.set(inbox_depth);
-            w.ring.push(Event {
-                kind: EventKind::Counter,
-                name: "inbox_backlog",
-                tid: worker as u32,
-                ts_ns,
-                dur_ns: 0,
-                arg0: inbox_depth,
-                arg1: 0,
-            });
-        }
+        let track = |last: &Cell<u64>, name: &'static str, value: u64| {
+            if last.get() != value {
+                last.set(value);
+                w.ring.push(Event {
+                    kind: EventKind::Counter,
+                    name,
+                    tid: worker as u32,
+                    ts_ns,
+                    dur_ns: 0,
+                    arg0: value,
+                    arg1: 0,
+                });
+            }
+        };
+        track(&w.last_queue_depth, "queue_depth", queue_depth);
+        track(&w.last_inbox_depth, "inbox_backlog", inbox_depth);
+        track(&w.last_overflow_depth, "overflow_depth", overflow_depth);
     }
 
     /// Records a remote message's inbox residence time (receiver clock).
@@ -362,40 +372,19 @@ impl Obs {
         seq
     }
 
-    /// Records a data-frame receive from `src`, deriving the sequence
-    /// from arrival order. Valid because both transports deliver
-    /// per-peer in order (TCP: one reader thread per peer; local:
-    /// synchronous); concurrent senders *on one rank* can still reorder
-    /// between sequence assignment and the wire, so flows are
-    /// best-effort diagnostics, not accounting.
-    pub fn record_net_recv(&self, src: usize, bytes: usize, ts_ns: u64) {
+    /// Records a data-frame receive from `src`. `seq` is the sender's
+    /// sequence number when the transport carries it (in-process fast
+    /// path); `None` derives it from arrival order instead — valid
+    /// because both transports deliver per-peer in order (TCP: one
+    /// reader thread per peer; local: synchronous). Concurrent senders
+    /// *on one rank* can still reorder between sequence assignment and
+    /// the wire, so flows are best-effort diagnostics, not accounting.
+    pub fn record_net_recv(&self, src: usize, bytes: usize, ts_ns: u64, seq: Option<u64>) {
         let mut aux = self.aux.lock();
         if aux.recv_seq.len() <= src {
             aux.recv_seq.resize(src + 1, 0);
         }
-        let seq = aux.recv_seq[src];
-        aux.recv_seq[src] = seq + 1;
-        if self.events_on {
-            let tid = self.aux_tid();
-            aux.ring.push(Event {
-                kind: EventKind::NetRecv,
-                name: "",
-                tid,
-                ts_ns,
-                dur_ns: bytes as u64,
-                arg0: src as u64,
-                arg1: seq,
-            });
-        }
-    }
-
-    /// Records a data-frame receive whose sequence number the sender
-    /// already assigned (in-process transport fast path).
-    pub fn record_net_recv_with_seq(&self, src: usize, bytes: usize, ts_ns: u64, seq: u64) {
-        let mut aux = self.aux.lock();
-        if aux.recv_seq.len() <= src {
-            aux.recv_seq.resize(src + 1, 0);
-        }
+        let seq = seq.unwrap_or(aux.recv_seq[src]);
         aux.recv_seq[src] = seq + 1;
         if self.events_on {
             let tid = self.aux_tid();
@@ -557,7 +546,7 @@ mod tests {
         let receiver = obs(true, false);
         for _ in 0..3 {
             let seq = sender.record_net_send(1, 64, 100);
-            receiver.record_net_recv_with_seq(0, 64, 200, seq);
+            receiver.record_net_recv(0, 64, 200, Some(seq));
         }
         let s_evs = sender.drain_events();
         let r_evs = receiver.drain_events();
@@ -578,8 +567,8 @@ mod tests {
     #[test]
     fn derived_recv_seq_counts_arrivals() {
         let o = obs(true, false);
-        o.record_net_recv(2, 8, 10);
-        o.record_net_recv(2, 8, 20);
+        o.record_net_recv(2, 8, 10, None);
+        o.record_net_recv(2, 8, 20, None);
         let evs = o.drain_events();
         let seqs: Vec<u64> = evs
             .iter()

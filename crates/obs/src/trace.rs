@@ -287,6 +287,46 @@ mod tests {
     }
 
     #[test]
+    fn merge_keeps_disjoint_worker_ids_apart() {
+        // Ranks with different worker counts: rank 0 has workers 0..4
+        // (+ net lane 4), rank 1 has workers 0..2 (+ net lane 2). The
+        // merge must keep each rank's tids under its own pid, never
+        // collapsing same-numbered lanes across ranks.
+        let a = chrome_trace(&[task(0, 0), task(10_000, 3)], 0, 4, 0, 0);
+        let b = chrome_trace(&[task(0, 0), task(5_000, 1)], 1, 2, 0, 0);
+        let merged = merge_chrome_traces(&[a, b]);
+        let v: Value = serde_json::from_str(&merged).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let lanes_of = |pid: u64| -> Vec<u64> {
+            let mut t: Vec<u64> = evs
+                .iter()
+                .filter(|e| {
+                    e.get("pid").and_then(|p| p.as_u64()) == Some(pid)
+                        && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                })
+                .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        assert_eq!(lanes_of(0), vec![0, 3]);
+        assert_eq!(lanes_of(1), vec![0, 1]);
+        // Thread-name metadata stays rank-scoped: rank 0 labels lanes
+        // 0..=4, rank 1 only 0..=2.
+        let meta_count = |pid: u64| {
+            evs.iter()
+                .filter(|e| {
+                    e.get("pid").and_then(|p| p.as_u64()) == Some(pid)
+                        && e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                })
+                .count()
+        };
+        assert_eq!(meta_count(0), 5);
+        assert_eq!(meta_count(1), 3);
+    }
+
+    #[test]
     fn merge_concatenates_rank_events() {
         let a = chrome_trace(&[task(0, 0)], 0, 1, 50, 50);
         let b = chrome_trace(&[task(0, 0)], 1, 1, 90, 50);

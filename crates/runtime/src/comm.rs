@@ -126,7 +126,7 @@ pub(crate) fn send_msg_from(
         if let Some(obs) = src.obs.as_deref() {
             let seq = obs.record_net_send(dst, payload.len(), now);
             if let Some(peer_obs) = peer.obs.as_deref() {
-                peer_obs.record_net_recv_with_seq(src.rank, payload.len(), now, seq);
+                peer_obs.record_net_recv(src.rank, payload.len(), now, Some(seq));
             }
         }
         peer.inbox_tx

@@ -41,7 +41,7 @@ pub use comm::ProcessGroup;
 pub use copy::DataCopy;
 pub use error::RunError;
 pub use runtime::{FrameSender, Runtime, RuntimeConfig, DEFAULT_TRACE_CAPACITY};
-pub use stats::{NetStats, RuntimeStats};
+pub use stats::{ContentionStats, NetStats, RuntimeStats};
 
 // Observability vocabulary (event kinds, metrics snapshots, trace
 // merging) re-exported so consumers need no direct ttg-obs dependency.

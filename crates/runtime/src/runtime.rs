@@ -583,6 +583,19 @@ impl Runtime {
         m.counter("queue_steals", s.queue.steals as u64);
         m.counter("queue_overflow", s.queue.overflow as u64);
         m.counter("queue_slow_pushes", s.queue.slow_pushes as u64);
+        m.counter("queue_steal_attempts", s.queue.steal_attempts as u64);
+        m.counter("queue_steal_empty", s.queue.steal_empty as u64);
+        m.counter("queue_overflow_pops", s.queue.overflow_pops as u64);
+        m.counter("queue_detach_merges", s.queue.detach_merges as u64);
+        m.counter("lock_spin_acquisitions", s.contention.spin_acquisitions);
+        m.counter("lock_spin_iters", s.contention.spin_spin_iters);
+        m.counter("lock_rw_shared", s.contention.rw_shared_acquisitions);
+        m.counter("lock_rw_exclusive", s.contention.rw_exclusive_acquisitions);
+        m.counter("lock_rw_spin_iters", s.contention.rw_spin_iters);
+        m.counter("bravo_fast_reads", s.contention.bravo_fast_reads);
+        m.counter("bravo_slow_reads", s.contention.bravo_slow_reads);
+        m.counter("bravo_revocations", s.contention.bravo_revocations);
+        m.counter("bravo_revocation_ns", s.contention.bravo_revocation_ns);
         m.counter("trace_events_dropped", s.trace_events_dropped);
         if let Some(obs) = self.inner.obs.as_deref() {
             if obs.histograms_enabled() {
@@ -629,6 +642,7 @@ impl Runtime {
             .as_deref()
             .map(|o| o.events_dropped())
             .unwrap_or(0);
+        s.contention = ttg_sync::lock_contention().into();
         s
     }
 
@@ -708,7 +722,7 @@ impl Runtime {
         if let Some(obs) = self.inner.obs.as_deref() {
             // Sequence derived from per-peer arrival order, matching the
             // sender's assignment (the transport is per-peer ordered).
-            obs.record_net_recv(src, payload.len(), now);
+            obs.record_net_recv(src, payload.len(), now, None);
         }
         // The inbox can only be gone mid-teardown; a frame arriving in
         // that window is dropped, not a panic in the receiver thread.

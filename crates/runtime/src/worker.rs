@@ -290,6 +290,7 @@ pub(crate) fn worker_main(inner: &Inner, id: usize) {
                 id,
                 inner.sched.pending_estimate() as u64,
                 inner.inbox_rx.len() as u64,
+                inner.sched.overflow_depth() as u64,
                 ttg_sync::clock::now_ns(),
             );
         }

@@ -24,7 +24,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicI32, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use ttg_sync::counted::note_rmw;
-use ttg_sync::CachePadded;
+use ttg_sync::{CachePadded, ContentionCounter};
 
 /// Default bounded-buffer capacity per worker (PaRSEC-like small value).
 pub const DEFAULT_BUFFER: usize = 8;
@@ -166,6 +166,10 @@ pub struct Lfq {
     overflow: AtomicUsize,
     local_pops: AtomicUsize,
     steals: AtomicUsize,
+    /// Contention counters: zero-sized no-ops unless `obs-contention`.
+    steal_attempts: ContentionCounter,
+    steal_empty: ContentionCounter,
+    overflow_pops: ContentionCounter,
 }
 
 // SAFETY: raw task pointers in the FIFO are owned by the queue until
@@ -194,6 +198,9 @@ impl Lfq {
             overflow: AtomicUsize::new(0),
             local_pops: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
+            steal_attempts: ContentionCounter::new(),
+            steal_empty: ContentionCounter::new(),
+            overflow_pops: ContentionCounter::new(),
         }
     }
 
@@ -229,6 +236,7 @@ impl Lfq {
         let popped = self.fifo.lock().unwrap().pop_front();
         note_rmw();
         popped.map(|p| {
+            self.overflow_pops.incr();
             // SAFETY: pointers in the FIFO are live owned tasks.
             unsafe { NonNull::new_unchecked(p) }
         })
@@ -279,10 +287,12 @@ unsafe impl TaskQueue for Lfq {
         // domain first ("any thread in the same domain of the cache and
         // NUMA hierarchy", then beyond).
         for victim in self.victims(worker) {
+            self.steal_attempts.incr();
             if let Some(n) = self.buffers[victim].take_best() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some((n, crate::PopSource::Steal(victim)));
             }
+            self.steal_empty.incr();
         }
         // Finally the global FIFO.
         self.pop_overflow().map(|n| (n, crate::PopSource::Overflow))
@@ -294,8 +304,11 @@ unsafe impl TaskQueue for Lfq {
 
     fn pending_estimate(&self) -> usize {
         let buffered: usize = self.buffers.iter().map(|b| b.occupied()).sum();
-        let fifo = self.fifo.try_lock().map(|f| f.len()).unwrap_or(0);
-        buffered + fifo
+        buffered + self.overflow_depth()
+    }
+
+    fn overflow_depth(&self) -> usize {
+        self.fifo.try_lock().map(|f| f.len()).unwrap_or(0)
     }
 
     fn stats(&self) -> QueueStats {
@@ -304,6 +317,10 @@ unsafe impl TaskQueue for Lfq {
             steals: self.steals.load(Ordering::Relaxed),
             overflow: self.overflow.load(Ordering::Relaxed),
             slow_pushes: 0,
+            steal_attempts: self.steal_attempts.get() as usize,
+            steal_empty: self.steal_empty.get() as usize,
+            overflow_pops: self.overflow_pops.get() as usize,
+            detach_merges: 0,
         }
     }
 }

@@ -136,6 +136,16 @@ pub struct QueueStats {
     pub overflow: usize,
     /// Pushes that took the slow (detach/merge) path (LLP only).
     pub slow_pushes: usize,
+    /// Victim queues probed while trying to steal. Zero unless the
+    /// `obs-contention` feature is enabled (as are the three below).
+    pub steal_attempts: usize,
+    /// Steal probes that found the victim empty (or lost the race).
+    pub steal_empty: usize,
+    /// Tasks popped back out of the shared overflow FIFO (LFQ only).
+    pub overflow_pops: usize,
+    /// Slow pushes that found a live chain and had to detach, merge and
+    /// re-attach it (LLP only; the rest published into an empty queue).
+    pub detach_merges: usize,
 }
 
 /// A work-distribution queue for intrusive task nodes.
@@ -172,6 +182,12 @@ pub unsafe trait TaskQueue: Send + Sync {
 
     /// Racy estimate of queued tasks; for diagnostics/idle heuristics.
     fn pending_estimate(&self) -> usize;
+
+    /// Racy depth of the shared overflow structure, if the scheduler has
+    /// one (LFQ's global FIFO). Zero for purely local schedulers.
+    fn overflow_depth(&self) -> usize {
+        0
+    }
 
     /// Behaviour counters aggregated across workers.
     fn stats(&self) -> QueueStats;

@@ -14,7 +14,7 @@ use crate::{QueueStats, SchedNode, TaskQueue};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use ttg_sync::counted::note_rmw;
-use ttg_sync::CachePadded;
+use ttg_sync::{CachePadded, ContentionCounter};
 
 #[derive(Debug)]
 struct WorkerLifo {
@@ -27,6 +27,9 @@ struct WorkerLifo {
 #[derive(Debug)]
 pub struct Ll {
     queues: Box<[CachePadded<WorkerLifo>]>,
+    /// Contention counters: zero-sized no-ops unless `obs-contention`.
+    steal_attempts: ContentionCounter,
+    steal_empty: ContentionCounter,
 }
 
 impl Ll {
@@ -43,6 +46,8 @@ impl Ll {
                 })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
+            steal_attempts: ContentionCounter::new(),
+            steal_empty: ContentionCounter::new(),
         }
     }
 
@@ -137,6 +142,7 @@ unsafe impl TaskQueue for Ll {
         let n = self.queues.len();
         for i in 1..n {
             let victim = (worker + i) % n;
+            self.steal_attempts.incr();
             if let Some(head) = self.try_detach(victim) {
                 // Our own queue is empty (the local detach above failed)
                 // and only we push into it, so the deposit below hits the
@@ -145,6 +151,7 @@ unsafe impl TaskQueue for Ll {
                 self.queues[worker].steals.fetch_add(1, Ordering::Relaxed);
                 return Some((first, crate::PopSource::Steal(victim)));
             }
+            self.steal_empty.incr();
         }
         None
     }
@@ -166,6 +173,8 @@ unsafe impl TaskQueue for Ll {
             s.local_pops += q.local_pops.load(Ordering::Relaxed);
             s.steals += q.steals.load(Ordering::Relaxed);
         }
+        s.steal_attempts = self.steal_attempts.get() as usize;
+        s.steal_empty = self.steal_empty.get() as usize;
         s
     }
 }

@@ -22,7 +22,7 @@ use crate::{Priority, QueueStats, SchedNode, TaskQueue};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicI32, AtomicPtr, AtomicUsize, Ordering};
 use ttg_sync::counted::note_rmw;
-use ttg_sync::CachePadded;
+use ttg_sync::{CachePadded, ContentionCounter};
 
 /// Per-worker queue state.
 #[derive(Debug)]
@@ -90,6 +90,10 @@ impl WorkerQueue {
 #[derive(Debug)]
 pub struct Llp {
     queues: Box<[CachePadded<WorkerQueue>]>,
+    /// Contention counters: zero-sized no-ops unless `obs-contention`.
+    steal_attempts: ContentionCounter,
+    steal_empty: ContentionCounter,
+    detach_merges: ContentionCounter,
 }
 
 impl Llp {
@@ -100,6 +104,9 @@ impl Llp {
                 .map(|_| CachePadded::new(WorkerQueue::new()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
+            steal_attempts: ContentionCounter::new(),
+            steal_empty: ContentionCounter::new(),
+            detach_merges: ContentionCounter::new(),
         }
     }
 
@@ -110,6 +117,7 @@ impl Llp {
         loop {
             match q.try_detach() {
                 Some(head) => {
+                    self.detach_merges.incr();
                     // SAFETY: detach gave us exclusive ownership; queue
                     // chains are maintained sorted.
                     let mut existing = unsafe { SortedChain::from_raw(head.as_ptr()) };
@@ -230,6 +238,7 @@ unsafe impl TaskQueue for Llp {
         let n = self.queues.len();
         for i in 1..n {
             let victim = (worker + i) % n;
+            self.steal_attempts.incr();
             if let Some(head) = self.queues[victim].try_detach() {
                 // SAFETY: as above.
                 let mut chain = unsafe { SortedChain::from_raw(head.as_ptr()) };
@@ -242,6 +251,7 @@ unsafe impl TaskQueue for Llp {
                 q.steals.fetch_add(1, Ordering::Relaxed);
                 return Some((first, crate::PopSource::Steal(victim)));
             }
+            self.steal_empty.incr();
         }
         None
     }
@@ -266,6 +276,9 @@ unsafe impl TaskQueue for Llp {
             s.steals += q.steals.load(Ordering::Relaxed);
             s.slow_pushes += q.slow_pushes.load(Ordering::Relaxed);
         }
+        s.steal_attempts = self.steal_attempts.get() as usize;
+        s.steal_empty = self.steal_empty.get() as usize;
+        s.detach_merges = self.detach_merges.get() as usize;
         s
     }
 }

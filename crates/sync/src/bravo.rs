@@ -22,6 +22,7 @@
 //! bucket operation.
 
 use crate::clock::now_ns;
+use crate::contention::{note_bravo_fast_read, note_bravo_revocation, note_bravo_slow_read};
 use crate::pad::CachePadded;
 use crate::rwspin::RawRwSpinLock;
 use crate::thread_id;
@@ -109,6 +110,7 @@ impl<T> BravoRwLock<T> {
             fence(Ordering::SeqCst);
             if self.rbias.load(Ordering::Relaxed) {
                 // Fast path succeeded.
+                note_bravo_fast_read();
                 return BravoReadGuard {
                     lock: self,
                     slot: Some(tid),
@@ -118,6 +120,7 @@ impl<T> BravoRwLock<T> {
             slot.store(false, Ordering::Release);
         }
         self.underlying.lock_shared();
+        note_bravo_slow_read();
         self.maybe_reenable_bias();
         BravoReadGuard {
             lock: self,
@@ -142,6 +145,7 @@ impl<T> BravoRwLock<T> {
                 }
             }
             let elapsed = now_ns().saturating_sub(start);
+            note_bravo_revocation(elapsed);
             self.inhibit_until.store(
                 now_ns() + INHIBIT_MULTIPLIER * elapsed.max(1),
                 Ordering::Relaxed,

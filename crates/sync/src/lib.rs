@@ -22,6 +22,10 @@
 //! * [`counted`] — atomic wrappers that (optionally, feature
 //!   `count-atomics`) count every read-modify-write so tests can validate
 //!   the paper's atomic-cost model N_A = 4·N_i + 4 (Equation 1).
+//! * [`contention`] — lock-contention counters (optionally, feature
+//!   `obs-contention`): per-thread acquisition/spin/bias statistics for
+//!   the locks above plus an embeddable [`ContentionCounter`] for
+//!   higher-level structures; all no-ops when the feature is off.
 //! * [`clock`] — an `rdtsc`-based cycle clock plus a calibrated busy-wait,
 //!   used by the scheduler benchmarks ("blocking the execution of the task
 //!   until a given number of cycles has passed", Section V-C).
@@ -33,6 +37,7 @@
 pub mod backoff;
 pub mod bravo;
 pub mod clock;
+pub mod contention;
 pub mod counted;
 pub mod ordering;
 pub mod pad;
@@ -42,6 +47,7 @@ pub mod thread_id;
 
 pub use backoff::Backoff;
 pub use bravo::{BravoReadGuard, BravoRwLock, BravoWriteGuard};
+pub use contention::{lock_contention, reset_lock_contention, ContentionCounter, LockContention};
 pub use counted::{atomic_rmw_ops, reset_atomic_rmw_ops, CAtomicI64, CAtomicU64, CAtomicUsize};
 pub use ordering::OrderingPolicy;
 pub use pad::CachePadded;

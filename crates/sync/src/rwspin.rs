@@ -18,6 +18,7 @@
 //! holding the underlying lock.
 
 use crate::backoff::Backoff;
+use crate::contention::{note_rw_exclusive_acquire, note_rw_shared_acquire};
 use crate::counted::note_rmw;
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
@@ -45,16 +46,19 @@ impl RawRwSpinLock {
     #[inline]
     pub fn lock_shared(&self) {
         let mut backoff = Backoff::new();
+        let mut spins: u64 = 0;
         loop {
             note_rmw();
             let prev = self.state.fetch_add(READER, Ordering::Acquire);
             if prev & WRITER == 0 {
+                note_rw_shared_acquire(spins);
                 return;
             }
             // A writer is active: undo the optimistic increment and wait.
             note_rmw();
             self.state.fetch_sub(READER, Ordering::Relaxed);
             while self.state.load(Ordering::Relaxed) & WRITER != 0 {
+                spins += 1;
                 backoff.spin();
             }
         }
@@ -85,6 +89,7 @@ impl RawRwSpinLock {
     #[inline]
     pub fn lock_exclusive(&self) {
         let mut backoff = Backoff::new();
+        let mut spins: u64 = 0;
         loop {
             note_rmw();
             if self
@@ -92,9 +97,11 @@ impl RawRwSpinLock {
                 .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                note_rw_exclusive_acquire(spins);
                 return;
             }
             while self.state.load(Ordering::Relaxed) != 0 {
+                spins += 1;
                 backoff.spin();
             }
         }

@@ -12,6 +12,7 @@
 //! a plain load until the flag looks free, then attempt the exchange.
 
 use crate::backoff::Backoff;
+use crate::contention::note_spin_acquire;
 use crate::counted::note_rmw;
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
@@ -57,13 +58,16 @@ impl<T> SpinLock<T> {
     #[inline]
     pub fn lock(&self) -> SpinLockGuard<'_, T> {
         let mut backoff = Backoff::new();
+        let mut spins: u64 = 0;
         loop {
             if self.try_lock_once() {
+                note_spin_acquire(spins);
                 return SpinLockGuard { lock: self };
             }
             // Test-and-test-and-set: spin on the plain load so the line
             // stays shared until it looks free.
             while self.flag.load(Ordering::Relaxed) {
+                spins += 1;
                 backoff.spin();
             }
         }

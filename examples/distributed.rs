@@ -27,6 +27,10 @@
 //!   sends/receives are linked by flow arrows across ranks.
 //! * `--metrics <path>` — merged Prometheus text exposition (enables
 //!   latency histograms).
+//! * `--analyze` — run the critical-path analysis over the merged trace
+//!   and print the report (longest dependency chain vs wall time, top
+//!   tasks on the path, per-worker utilization). Implies tracing; can
+//!   be combined with `--trace` to keep the trace file too.
 //!
 //! `--tcp` re-executes this binary once per rank (environment variables
 //! `TTG_NET_RANK` / `TTG_NET_RANKS` / `TTG_NET_PORT` select the child
@@ -62,25 +66,59 @@ struct ObsArgs {
     stats_json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    /// Run the critical-path analysis on the merged trace and print
+    /// the report (`--analyze`; implies tracing).
+    analyze: bool,
+    /// The trace path exists only to feed `--analyze` (no `--trace`
+    /// given): don't announce a trace file, remove it afterwards.
+    trace_temp: bool,
 }
 
 impl ObsArgs {
     /// Child-role arguments, relayed through the environment by the
-    /// `--tcp` parent (paths already rank-qualified).
+    /// `--tcp` parent (paths already rank-qualified). Analysis always
+    /// happens in the parent, over the merged trace.
     fn from_env() -> ObsArgs {
         ObsArgs {
             stats_json: std::env::var("TTG_NET_STATS_OUT").ok(),
             trace: std::env::var("TTG_NET_TRACE_OUT").ok(),
             metrics: std::env::var("TTG_NET_METRICS_OUT").ok(),
+            analyze: false,
+            trace_temp: false,
         }
     }
 
     /// Applies the flags to a runtime configuration: events for the
-    /// trace, histograms for the metrics percentiles.
+    /// trace (or the analysis built on it), histograms for the metrics
+    /// percentiles.
     fn configure(&self, mut config: RuntimeConfig) -> RuntimeConfig {
-        config.trace = self.trace.is_some();
+        config.trace = self.trace.is_some() || self.analyze;
         config.histograms = self.metrics.is_some();
         config
+    }
+
+    /// The user-visible trace path, if any.
+    fn user_trace_path(&self) -> Option<&String> {
+        if self.trace_temp {
+            None
+        } else {
+            self.trace.as_ref()
+        }
+    }
+
+    /// Runs the critical-path analysis over the merged trace when
+    /// `--analyze` was given.
+    fn maybe_analyze(&self, merged_trace: &str) {
+        if !self.analyze {
+            return;
+        }
+        match ttg_runtime::obs::analyze_chrome_trace(merged_trace) {
+            Ok(report) => print!("\n{}", report.render(10)),
+            Err(e) => {
+                eprintln!("--analyze failed: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 
@@ -134,9 +172,21 @@ fn main() {
                 i += 1;
                 fault_plan = Some(args[i].clone());
             }
+            "--analyze" => obs.analyze = true,
             other => panic!("unknown argument {other}"),
         }
         i += 1;
+    }
+
+    if obs.analyze && obs.trace.is_none() {
+        // Analysis needs a trace; stage it in a scratch file the TCP
+        // children can write partials against, removed afterwards.
+        let scratch = std::env::temp_dir().join(format!(
+            "ttg-distributed-analyze-{}.json",
+            std::process::id()
+        ));
+        obs.trace = Some(scratch.to_string_lossy().into_owned());
+        obs.trace_temp = true;
     }
 
     if let Some(spec) = &fault_plan {
@@ -288,7 +338,7 @@ fn run_simulated(ranks: usize, obs: &ObsArgs) {
         let json = serde_json::to_string_pretty(&all).expect("stats serialization");
         write_file(path, &json, "stats JSON");
     }
-    if let Some(path) = &obs.trace {
+    if obs.trace.is_some() {
         // All ranks share this process's clock: rank 0's wall anchor
         // serves as the common timeline origin.
         let base = group
@@ -298,11 +348,11 @@ fn run_simulated(ranks: usize, obs: &ObsArgs) {
         let parts: Vec<String> = (0..ranks)
             .filter_map(|r| group.runtime(r).chrome_trace_with_base(base))
             .collect();
-        write_file(
-            path,
-            &ttg_runtime::obs::merge_chrome_traces(&parts),
-            "Chrome trace",
-        );
+        let merged = ttg_runtime::obs::merge_chrome_traces(&parts);
+        if let Some(path) = obs.user_trace_path() {
+            write_file(path, &merged, "Chrome trace");
+        }
+        obs.maybe_analyze(&merged);
     }
     if let Some(path) = &obs.metrics {
         let parts: Vec<String> = (0..ranks)
@@ -388,11 +438,11 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs, fault_plan: Option<&str
     };
     if let Some(path) = &obs.trace {
         let parts = collect(path, "trace");
-        write_file(
-            path,
-            &ttg_runtime::obs::merge_chrome_traces(&parts),
-            "Chrome trace",
-        );
+        let merged = ttg_runtime::obs::merge_chrome_traces(&parts);
+        if let Some(path) = obs.user_trace_path() {
+            write_file(path, &merged, "Chrome trace");
+        }
+        obs.maybe_analyze(&merged);
     }
     if let Some(path) = &obs.stats_json {
         let parts = collect(path, "stats");
