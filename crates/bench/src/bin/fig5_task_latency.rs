@@ -20,19 +20,33 @@ use ttg_baselines::omptask::DepVar;
 use ttg_baselines::{Flow, OmpTaskRuntime};
 use ttg_bench::{Args, Report, Series};
 use ttg_core::{Edge, Graph};
-use ttg_runtime::RuntimeConfig;
+use ttg_runtime::{LiveConfig, LiveTelemetry, RuntimeConfig};
 
-const USAGE: &str =
-    "fig5_task_latency [--length 100000] [--max-flows 6] [--json] [--bench-json PATH]";
+const USAGE: &str = "fig5_task_latency [--length 100000] [--max-flows 6] [--json] \
+     [--bench-json PATH] [--serve]";
 
 /// TTG chain: task k sends on `flows` edges to task k+1. `copy` selects
 /// copy-between-tasks (fresh allocation per hop) vs move (zero-copy
 /// forward). With 0 flows a single unit-type control edge is used.
 /// `inline` enables the paper's future-work task-inlining extension.
-fn ttg_chain(length: u64, flows: usize, copy: bool, inline_depth: Option<usize>) -> f64 {
+/// When `live` is given, each data point's short-lived runtime is
+/// registered with the live-telemetry slot for the duration of the
+/// measurement (counters-only sampling — the hot path is untouched),
+/// and one explicit sample is taken at the end so even measurements
+/// shorter than the sampling period leave a time-series point.
+fn ttg_chain(
+    length: u64,
+    flows: usize,
+    copy: bool,
+    inline_depth: Option<usize>,
+    live: Option<&LiveTelemetry>,
+) -> f64 {
     let mut config = RuntimeConfig::optimized(1);
     config.inline_tasks = inline_depth;
     let graph = Graph::new(config);
+    if let Some(live) = live {
+        live.observe(graph.runtime_shared());
+    }
     let done = Arc::new(AtomicU64::new(0));
     let nedges = flows.max(1);
     let edges: Vec<Edge<u64, i64>> = (0..nedges).map(|i| Edge::new(format!("flow{i}"))).collect();
@@ -71,6 +85,13 @@ fn ttg_chain(length: u64, flows: usize, copy: bool, inline_depth: Option<usize>)
     graph.wait();
     let ns = start.elapsed().as_nanos() as f64;
     assert_eq!(done.load(Ordering::Relaxed), length);
+    if let Some(live) = live {
+        // One guaranteed point per measurement; the runtime stays
+        // registered (kept alive by the slot's Arc, workers parked) so
+        // `/metrics` keeps serving the latest data point's counters
+        // until the next measurement re-points the slot.
+        live.sample_now();
+    }
     ns / length as f64
 }
 
@@ -116,6 +137,23 @@ fn main() {
     let length: u64 = args.get("length", 100_000u64);
     let max_flows: usize = args.get("max-flows", 6usize);
 
+    // `--serve` (or a TTG_OBS_HTTP_PORT in the environment) starts the
+    // live telemetry endpoint; each data point's runtime is observed
+    // through the slot while it runs. Only counters are sampled — no
+    // tracing, no histograms — so serving must not move the figures.
+    let mut live_config = LiveConfig::from_env();
+    if args.has("serve") && live_config.http_port.is_none() {
+        live_config = live_config.with_http_port(9100);
+    }
+    let live = if args.has("serve") || live_config.enabled() {
+        let live = LiveTelemetry::start(0, &live_config).expect("start live telemetry");
+        if let Some(port) = live.http_port() {
+            eprintln!("live telemetry on http://127.0.0.1:{port}/ (metrics, healthz, timeseries)");
+        }
+        Some(live)
+    } else {
+        None
+    };
     let mut report = Report::new(
         "Figure 5: task latency vs number of flows (1 worker)",
         "flows",
@@ -128,10 +166,14 @@ fn main() {
     let mut tf = Series::new("TaskFlow-like");
     tf.push(0.0, taskflow_chain(length));
     for flows in 0..=max_flows {
-        ttg_move.push(flows as f64, ttg_chain(length, flows, false, None));
-        ttg_copy.push(flows as f64, ttg_chain(length, flows, true, None));
+        let live = live.as_ref();
+        ttg_move.push(flows as f64, ttg_chain(length, flows, false, None, live));
+        ttg_copy.push(flows as f64, ttg_chain(length, flows, true, None, live));
         // The future-work extension the paper projects gains from.
-        ttg_inline.push(flows as f64, ttg_chain(length, flows, false, Some(32)));
+        ttg_inline.push(
+            flows as f64,
+            ttg_chain(length, flows, false, Some(32), live),
+        );
         omp.push(flows as f64, omp_chain(length, flows));
     }
     report.add(ttg_move);
@@ -161,4 +203,16 @@ fn main() {
         "\nshape check: TTG jump between 1 and 2 flows marks the hash-table entry; \
          TTG(copy) pays one allocation per task over TTG(move)."
     );
+
+    // Hold the endpoint up briefly after the run so late scrapers (CI
+    // curls the time series after the figures print) still get answers.
+    if live.is_some() {
+        let linger_ms: u64 = std::env::var("TTG_OBS_SERVE_LINGER_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
+    }
 }

@@ -1,24 +1,34 @@
 //! `ttg-bench` — performance-attribution companion tool.
 //!
-//! Two subcommands, both operating on artifacts the runtime and the
+//! Three subcommands, all operating on artifacts the runtime and the
 //! figure binaries already emit:
 //!
 //! ```text
-//! ttg-bench analyze <trace.json> [--top K]
+//! ttg-bench analyze <trace.json|flight.json> [--top K]
 //! ttg-bench diff <old.json> <new.json> [--threshold 0.10]
+//! ttg-bench flame <trace.json|flight.json> [--out FILE]
 //! ```
 //!
 //! `analyze` runs the critical-path analysis over an exported Chrome
 //! trace (single-rank or merged) and prints the report. `diff`
 //! compares two `BENCH_<fig>.json` records and exits non-zero when any
 //! lower-is-better metric regressed past the threshold — the CI gate
-//! for the committed baselines under `results/`.
+//! for the committed baselines under `results/`. `flame` collapses a
+//! trace into folded-stack lines (`rank;worker;task weight_us`) for
+//! `inferno-flamegraph` / `flamegraph.pl`.
+//!
+//! `analyze` and `flame` both accept a crash flight dump (the
+//! `ttg-flight-<rank>-<ms>.json` files the flight recorder leaves
+//! behind): the embedded trace is extracted automatically and the
+//! dump's rank/reason header is printed first, so the post-mortem
+//! workflow is identical to the healthy-trace one.
 
 use ttg_bench::record::{diff, BenchRecord};
 
 const USAGE: &str = "usage:
-  ttg-bench analyze <trace.json> [--top K]
-  ttg-bench diff <old.json> <new.json> [--threshold 0.10]";
+  ttg-bench analyze <trace.json|flight.json> [--top K]
+  ttg-bench diff <old.json> <new.json> [--threshold 0.10]
+  ttg-bench flame <trace.json|flight.json> [--out FILE]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -61,6 +71,28 @@ fn read(path: &str, what: &str) -> String {
     })
 }
 
+/// Accepts either a plain Chrome trace or a flight dump: for a dump,
+/// prints the crash header and hands back the embedded trace.
+fn load_trace(path: &str) -> String {
+    let json = read(path, "trace");
+    match ttg_obs::extract_flight_trace(&json) {
+        Some(info) => {
+            eprintln!(
+                "flight dump: rank {} at unix_ms {} — {}",
+                info.rank, info.captured_unix_ms, info.reason
+            );
+            match info.trace_json {
+                Some(trace) => trace,
+                None => {
+                    eprintln!("flight dump carries no trace (run without --trace?)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => json,
+    }
+}
+
 fn cmd_analyze(argv: &[String]) {
     let (pos, opts) = split_args(argv);
     if pos.len() != 1 {
@@ -72,11 +104,40 @@ fn cmd_analyze(argv: &[String]) {
         }
     }
     let top: usize = opt(&opts, "top", 10);
-    let json = read(pos[0], "trace");
+    let json = load_trace(pos[0]);
     match ttg_obs::analyze_chrome_trace(&json) {
         Ok(report) => print!("{}", report.render(top)),
         Err(e) => {
             eprintln!("analysis failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_flame(argv: &[String]) {
+    let (pos, opts) = split_args(argv);
+    if pos.len() != 1 {
+        fail("flame takes exactly one trace file");
+    }
+    for (n, _) in &opts {
+        if *n != "out" {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let json = load_trace(pos[0]);
+    match ttg_obs::collapse_chrome_trace(&json) {
+        Ok(folded) => match opts.iter().find(|(n, _)| *n == "out") {
+            Some((_, out)) => {
+                if let Err(e) = std::fs::write(out, &folded) {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("wrote {} folded lines to {out}", folded.lines().count());
+            }
+            None => print!("{folded}"),
+        },
+        Err(e) => {
+            eprintln!("flame collapse failed: {e}");
             std::process::exit(2);
         }
     }
@@ -130,6 +191,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&argv[1..]),
         Some("diff") => cmd_diff(&argv[1..]),
+        Some("flame") => cmd_flame(&argv[1..]),
         Some(other) => fail(&format!("unknown subcommand {other}")),
         None => fail("missing subcommand"),
     }

@@ -82,6 +82,13 @@ impl Graph {
         &self.runtime
     }
 
+    /// A shared handle to the underlying runtime, for registering it
+    /// with long-lived observers (e.g. a live-telemetry
+    /// `RuntimeSlot`) that must outlive this graph.
+    pub fn runtime_shared(&self) -> Arc<Runtime> {
+        Arc::clone(&self.runtime)
+    }
+
     pub(crate) fn register(&self, tt: Arc<dyn AnyTt>) {
         self.tts.lock().push(tt);
     }

@@ -568,6 +568,10 @@ impl TermWave for NetWave {
     fn aborted(&self) -> Option<String> {
         self.abort_reason.lock().clone()
     }
+
+    fn poisoned(&self) -> Option<String> {
+        self.poison_reason.lock().clone()
+    }
 }
 
 impl std::fmt::Debug for NetWave {

@@ -324,7 +324,11 @@ pub fn analyze_chrome_trace(json: &str) -> Result<TraceReport, String> {
         for &p in &preds[i] {
             let gap = spans[i].start.saturating_sub(spans[p].end);
             let through = cp[p] + gap;
-            if through > best {
+            // Ties in elapsed time go to the busier chain: a worker
+            // waiting out exactly one task's duration and the task
+            // itself yield equal path lengths, but attributing the
+            // path to the work is the useful answer.
+            if through > best || (through == best && busy[p] > best_busy) {
                 best = through;
                 best_busy = busy[p];
                 who = Some(p);
@@ -605,6 +609,126 @@ mod tests {
         // Both tasks appear in the attribution.
         let names: Vec<&str> = r.top_tasks.iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"a") && names.contains(&"b"));
+    }
+
+    #[test]
+    fn multi_rank_pipeline_exact_path_and_attribution() {
+        // Hand-crafted 3-rank pipeline with a fully known critical path
+        //
+        //   rank 0: produce   [ 0..20µs] worker 0 ──send @20µs──┐
+        //   rank 1: transform [26..41µs] worker 0 ◄─recv @25µs──┘
+        //                                         ──send @41µs──┐
+        //   rank 2: consume   [47..57µs] worker 0 ◄─recv @46µs──┘
+        //
+        // plus two off-path decoy tasks (rank 0 worker 1 "idle_work"
+        // 0..5µs, rank 1 worker 1 "noise" 0..8µs) that run fully in
+        // parallel with the chain and must not appear in attribution.
+        //
+        // Expected path: produce 20µs + send slice 1µs + 4µs in flight
+        // + recv slice 1µs + transform 15µs + send 1µs + 4µs + recv 1µs
+        // + consume 10µs = 57µs elapsed, 49µs busy, 3 tasks.
+        let send = |ts: u64, tid: u32, dst: u64| Event {
+            kind: EventKind::NetSend,
+            name: "",
+            tid,
+            ts_ns: ts,
+            dur_ns: 64,
+            arg0: dst,
+            arg1: 0,
+        };
+        let recv = |ts: u64, tid: u32, src: u64| Event {
+            kind: EventKind::NetRecv,
+            name: "",
+            tid,
+            ts_ns: ts,
+            dur_ns: 64,
+            arg0: src,
+            arg1: 0,
+        };
+        let t0 = chrome_trace(
+            &[
+                task("produce", 0, 0, 20_000),
+                task("idle_work", 1, 0, 5_000),
+                send(20_000, 2, 1),
+            ],
+            0,
+            2,
+            0,
+            0,
+        );
+        let t1 = chrome_trace(
+            &[
+                recv(25_000, 2, 0),
+                task("transform", 0, 26_000, 15_000),
+                task("noise", 1, 0, 8_000),
+                send(41_000, 2, 2),
+            ],
+            1,
+            2,
+            0,
+            0,
+        );
+        let t2 = chrome_trace(
+            &[recv(46_000, 1, 1), task("consume", 0, 47_000, 10_000)],
+            2,
+            1,
+            0,
+            0,
+        );
+        let merged = crate::trace::merge_chrome_traces(&[t0, t1, t2]);
+        let r = analyze_chrome_trace(&merged).unwrap();
+
+        assert_eq!(r.task_count, 5);
+        assert_eq!(r.net_span_count, 4);
+        assert_eq!(r.flow_edges, 2);
+        assert_eq!(r.wall_ns, 57_000);
+        // The chain bounds the window exactly: path == wall.
+        assert_eq!(r.critical_path_ns, 57_000);
+        assert_eq!(r.critical_busy_ns, 49_000);
+        assert_eq!(r.critical_task_count, 3);
+        assert_eq!(r.total_task_ns, 58_000);
+        assert!((r.parallelism - 58.0 / 57.0).abs() < 1e-9);
+
+        // Exact attribution: the three pipeline stages in descending
+        // busy order, one slice each — and neither decoy.
+        assert_eq!(
+            r.top_tasks,
+            vec![
+                TaskContribution {
+                    name: "produce".to_string(),
+                    busy_ns: 20_000,
+                    count: 1
+                },
+                TaskContribution {
+                    name: "transform".to_string(),
+                    busy_ns: 15_000,
+                    count: 1
+                },
+                TaskContribution {
+                    name: "consume".to_string(),
+                    busy_ns: 10_000,
+                    count: 1
+                },
+            ]
+        );
+
+        // Worker table: every lane with its exact busy time, ordered by
+        // (rank, worker).
+        let lanes: Vec<(u32, u32, u64)> = r
+            .workers
+            .iter()
+            .map(|w| (w.rank, w.worker, w.busy_ns))
+            .collect();
+        assert_eq!(
+            lanes,
+            vec![
+                (0, 0, 20_000),
+                (0, 1, 5_000),
+                (1, 0, 15_000),
+                (1, 1, 8_000),
+                (2, 0, 10_000),
+            ]
+        );
     }
 
     #[test]

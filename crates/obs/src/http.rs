@@ -1,0 +1,307 @@
+//! Zero-dependency per-rank HTTP introspection endpoint.
+//!
+//! A deliberately tiny hand-rolled HTTP/1.0 server over
+//! `std::net::TcpListener` — no external crates, no keep-alive, no
+//! routing table beyond a match. One accept thread serves requests
+//! serially; an introspection endpoint hit by a human with `curl` or a
+//! scraper every few seconds does not need more, and keeping it
+//! single-threaded means a misbehaving client can at worst delay the
+//! next scrape, never touch the runtime's hot path.
+//!
+//! Routes (all `GET`):
+//!
+//! | path               | body                              | status |
+//! |--------------------|-----------------------------------|--------|
+//! | `/metrics`         | Prometheus text exposition        | 200    |
+//! | `/metrics.json`    | `MetricsSnapshot` JSON            | 200    |
+//! | `/timeseries.json` | `TimeSeriesRecorder` JSON         | 200    |
+//! | `/trace`           | Chrome trace JSON (non-draining)  | 200    |
+//! | `/healthz`         | liveness + peer-health verdict    | 200/503|
+//! | `/`                | plain-text index of the above     | 200    |
+//!
+//! The route bodies are opaque closures so this module depends on
+//! nothing above it; `ttg-runtime`'s live-telemetry glue wires them to
+//! the real runtime state.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// What `/healthz` reports: a boolean verdict plus a JSON body
+/// explaining it (peer-death reason, aborted epoch, ...).
+pub struct HealthVerdict {
+    /// `true` → 200, `false` → 503.
+    pub healthy: bool,
+    /// JSON body served either way.
+    pub body: String,
+}
+
+/// Content producers for each route. Closures run on the accept
+/// thread, per request — they should be cheap reads (snapshot copies),
+/// never blocking operations against the runtime.
+pub struct HttpRoutes {
+    /// `/metrics`: Prometheus text exposition.
+    pub metrics_prometheus: Box<dyn Fn() -> String + Send + Sync>,
+    /// `/metrics.json`.
+    pub metrics_json: Box<dyn Fn() -> String + Send + Sync>,
+    /// `/timeseries.json`.
+    pub timeseries_json: Box<dyn Fn() -> String + Send + Sync>,
+    /// `/trace`: non-draining Chrome trace snapshot.
+    pub trace_json: Box<dyn Fn() -> String + Send + Sync>,
+    /// `/healthz`.
+    pub healthz: Box<dyn Fn() -> HealthVerdict + Send + Sync>,
+}
+
+/// The running server. Binds on construction, serves until dropped
+/// (drop unblocks the accept loop and joins the thread).
+pub struct ObsHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// Per-connection I/O deadline so one stalled client cannot wedge the
+/// accept loop forever.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+impl ObsHttpServer {
+    /// Binds `127.0.0.1:port` (`0` picks an ephemeral port — read it
+    /// back with [`ObsHttpServer::port`]) and starts serving.
+    pub fn serve(port: u16, routes: HttpRoutes) -> std::io::Result<ObsHttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let requests2 = Arc::clone(&requests);
+        let handle = thread::Builder::new()
+            .name("ttg-obs-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    requests2.fetch_add(1, Ordering::Relaxed);
+                    let _ = handle_connection(stream, &routes);
+                }
+            })
+            .expect("spawn obs http thread");
+        Ok(ObsHttpServer {
+            addr,
+            stop,
+            requests,
+            handle: Some(handle),
+        })
+    }
+
+    /// The port actually bound (useful with `port = 0`).
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Local address serving requests.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ObsHttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // `accept` has no timeout; a throwaway self-connect wakes the
+        // loop so it observes the stop flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, routes: &HttpRoutes) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
+    // GET requests have no body; reading through the first header
+    // terminator (or 8 KiB, whichever first) is enough to parse the
+    // request line.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = std::str::from_utf8(&buf)
+        .ok()
+        .and_then(|s| s.lines().next())
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let raw_path = parts.next().unwrap_or("");
+    // Tolerate query strings (`/metrics?x=1`) — scrapers add them.
+    let path = raw_path.split('?').next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                (routes.metrics_prometheus)(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", (routes.metrics_json)()),
+            "/timeseries.json" => ("200 OK", "application/json", (routes.timeseries_json)()),
+            "/trace" => ("200 OK", "application/json", (routes.trace_json)()),
+            "/healthz" => {
+                let v = (routes.healthz)();
+                let status = if v.healthy {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                (status, "application/json", v.body)
+            }
+            "/" => (
+                "200 OK",
+                "text/plain",
+                "ttg-obs introspection endpoint\n\
+                 GET /metrics          Prometheus text\n\
+                 GET /metrics.json     metrics snapshot\n\
+                 GET /timeseries.json  sampled time series\n\
+                 GET /trace            live Chrome trace snapshot\n\
+                 GET /healthz          liveness + peer health (200/503)\n"
+                    .to_string(),
+            ),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn get(port: u16, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    fn test_routes(unhealthy: Arc<AtomicBool>) -> HttpRoutes {
+        HttpRoutes {
+            metrics_prometheus: Box::new(|| "# TYPE ttg_x counter\nttg_x 1\n".to_string()),
+            metrics_json: Box::new(|| "{\"counters\":{}}".to_string()),
+            timeseries_json: Box::new(|| "{\"points\":[]}".to_string()),
+            trace_json: Box::new(|| "{\"traceEvents\":[]}".to_string()),
+            healthz: Box::new(move || {
+                let bad = unhealthy.load(Ordering::Relaxed);
+                HealthVerdict {
+                    healthy: !bad,
+                    body: format!("{{\"healthy\":{}}}", !bad),
+                }
+            }),
+        }
+    }
+
+    #[test]
+    fn serves_all_routes() {
+        let unhealthy = Arc::new(AtomicBool::new(false));
+        let srv = ObsHttpServer::serve(0, test_routes(Arc::clone(&unhealthy))).unwrap();
+        let port = srv.port();
+
+        let (status, body) = get(port, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("ttg_x 1"));
+
+        let (status, body) = get(port, "/metrics.json");
+        assert!(status.contains("200"));
+        assert!(body.contains("counters"));
+
+        let (status, body) = get(port, "/timeseries.json");
+        assert!(status.contains("200"));
+        assert!(body.contains("points"));
+
+        let (status, body) = get(port, "/trace");
+        assert!(status.contains("200"));
+        assert!(body.contains("traceEvents"));
+
+        let (status, _) = get(port, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        let (status, _) = get(port, "/");
+        assert!(status.contains("200"));
+        assert!(srv.requests_served() >= 6);
+    }
+
+    #[test]
+    fn healthz_flips_to_503() {
+        let unhealthy = Arc::new(AtomicBool::new(false));
+        let srv = ObsHttpServer::serve(0, test_routes(Arc::clone(&unhealthy))).unwrap();
+        let (status, body) = get(srv.port(), "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("true"));
+        unhealthy.store(true, Ordering::Relaxed);
+        let (status, body) = get(srv.port(), "/healthz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("false"));
+    }
+
+    #[test]
+    fn query_strings_and_bad_methods() {
+        let unhealthy = Arc::new(AtomicBool::new(false));
+        let srv = ObsHttpServer::serve(0, test_routes(unhealthy)).unwrap();
+        let (status, _) = get(srv.port(), "/metrics?format=prometheus");
+        assert!(status.contains("200"), "{status}");
+        let mut s = TcpStream::connect(("127.0.0.1", srv.port())).unwrap();
+        write!(s, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("405"), "{resp}");
+    }
+
+    #[test]
+    fn drop_joins_and_releases_port() {
+        let unhealthy = Arc::new(AtomicBool::new(false));
+        let srv = ObsHttpServer::serve(0, test_routes(unhealthy)).unwrap();
+        let port = srv.port();
+        drop(srv);
+        // The accept thread is gone; a fresh bind on the same port must
+        // succeed (the listener socket was closed, not leaked).
+        let _rebound = TcpListener::bind(("127.0.0.1", port)).unwrap();
+    }
+}

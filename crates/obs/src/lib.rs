@@ -16,21 +16,35 @@
 //!    periodic sampler.
 //! 4. **Analysis** ([`analysis`]): post-hoc critical-path extraction
 //!    and per-worker utilization from exported traces.
+//! 5. **Live telemetry** ([`timeseries`], [`http`], [`flight`],
+//!    [`flame`]): a fixed-capacity time-series of metrics deltas fed by
+//!    the periodic sampler, a zero-dependency per-rank HTTP/1.0
+//!    introspection endpoint, a crash flight recorder that preserves
+//!    the last seconds of evidence when a rank dies, and a collapsed-
+//!    stack flamegraph exporter.
 //!
 //! [`Obs`] bundles the per-worker state for one runtime instance. The
 //! runtime holds `Option<Arc<Obs>>`: `None` (the default) costs one
 //! pointer load and branch per hook site, keeping overhead opt-in.
 
 pub mod analysis;
+pub mod flame;
+pub mod flight;
 pub mod hist;
+pub mod http;
 pub mod metrics;
 pub mod ring;
+pub mod timeseries;
 pub mod trace;
 
 pub use analysis::{analyze_chrome_trace, TaskContribution, TraceReport, WorkerUtil};
+pub use flame::collapse_chrome_trace;
+pub use flight::{extract_flight_trace, FlightRecorder};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
+pub use http::{HealthVerdict, HttpRoutes, ObsHttpServer};
 pub use metrics::{MetricsSnapshot, PeriodicSampler};
 pub use ring::{Event, EventKind, EventRing};
+pub use timeseries::TimeSeriesRecorder;
 pub use trace::{chrome_trace, flow_id, merge_chrome_traces};
 
 use parking_lot::Mutex;
@@ -451,6 +465,25 @@ impl Obs {
         all
     }
 
+    /// Copies every ring's live window without consuming it, sorted by
+    /// timestamp — the read-only sibling of [`Obs::drain_events`].
+    ///
+    /// No quiescence required: workers may keep recording while the
+    /// copy runs (a slot overwritten mid-copy can come back torn, which
+    /// the monitoring use-case accepts), and the eventual quiescent
+    /// drain still sees everything. This is what the live `/trace`
+    /// endpoint and the crash flight recorder use, so serving a request
+    /// never steals events from the end-of-run export.
+    pub fn peek_events(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for w in self.workers.iter() {
+            all.extend(w.ring.peek());
+        }
+        all.extend(self.aux.lock().ring.peek());
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+
     /// Merged task-duration histogram across workers.
     pub fn task_duration(&self) -> HistogramSnapshot {
         self.merged(|w| &w.task_duration)
@@ -576,6 +609,22 @@ mod tests {
             .map(|e| e.arg1)
             .collect();
         assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn peek_events_is_non_draining() {
+        let o = obs(true, false);
+        o.record_task(0, "t", 0, 10, 20);
+        o.record_steal(1, 0, 30);
+        o.record_net_send(1, 64, 40);
+        let peeked = o.peek_events();
+        assert_eq!(peeked.len(), 3);
+        // Timestamps sorted across worker and aux rings.
+        assert!(peeked.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // The drain still returns the full set afterwards.
+        assert_eq!(o.peek_events().len(), 3);
+        assert_eq!(o.drain_events().len(), 3);
+        assert!(o.peek_events().is_empty());
     }
 
     #[test]

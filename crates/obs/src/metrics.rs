@@ -116,7 +116,8 @@ impl MetricsSnapshot {
     /// `_bucket{le=...}` / `_sum` / `_count` triple with cumulative
     /// power-of-two buckets (empty trailing buckets are elided, `+Inf`
     /// always present). Histogram values are exported in seconds per
-    /// Prometheus convention.
+    /// Prometheus convention. Metrics with a known description also get
+    /// a `# HELP` line (see [`help_text`]).
     pub fn to_prometheus(&self, prefix: &str) -> String {
         let mut out = String::new();
         let base_labels = |extra: Option<(&str, String)>| -> String {
@@ -136,11 +137,17 @@ impl MetricsSnapshot {
         };
 
         for (name, v) in &self.counters {
+            if let Some(help) = help_text(name) {
+                out.push_str(&format!("# HELP {prefix}_{name} {help}\n"));
+            }
             out.push_str(&format!("# TYPE {prefix}_{name} counter\n"));
             out.push_str(&format!("{prefix}_{name}{} {v}\n", base_labels(None)));
         }
         for (name, h) in &self.histograms {
             let metric = format!("{prefix}_{name}_seconds");
+            if let Some(help) = help_text(name) {
+                out.push_str(&format!("# HELP {metric} {help}\n"));
+            }
             out.push_str(&format!("# TYPE {metric} histogram\n"));
             let last_used = (0..HIST_BUCKETS)
                 .rev()
@@ -175,6 +182,49 @@ impl MetricsSnapshot {
     }
 }
 
+/// Descriptions for the `# HELP` lines of every metric the runtime
+/// exports. Names not listed (application-defined counters) get no
+/// HELP line, which Prometheus permits.
+fn help_text(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "tasks_executed" => "Tasks executed by this rank's workers.",
+        "parks" => "Times a worker parked idle.",
+        "wave_contributions" => "Termination-wave contributions made by workers.",
+        "injections_drained" => "Externally submitted tasks drained from the injection queue.",
+        "inlined" => "Tasks executed inline on the discovering worker (bypassing the scheduler).",
+        "messages_sent" => "Inter-process active messages sent.",
+        "messages_received" => "Inter-process active messages received.",
+        "bytes_sent" => "Payload bytes sent to peer ranks.",
+        "bytes_received" => "Payload bytes received from peer ranks.",
+        "frames_corrupt" => "Frames dropped by the transport for CRC or header validation failure.",
+        "heartbeats_sent" => "Payload-free liveness heartbeats sent to idle peer links.",
+        "peers_lost" => "Peers declared dead (liveness deadline or unrecoverable link).",
+        "reconnects" => "Successful link re-establishments after a dropped connection.",
+        "queue_local_pops" => "Tasks popped from a worker's own queue.",
+        "queue_steals" => "Tasks stolen from another worker's queue.",
+        "queue_overflow" => "Tasks pushed to the global overflow FIFO (local queue full).",
+        "queue_slow_pushes" => "Pushes that took the contended detach-merge slow path.",
+        "queue_steal_attempts" => "Steal attempts, successful or not.",
+        "queue_steal_empty" => "Steal attempts that found the victim's queue empty.",
+        "queue_overflow_pops" => "Tasks drained from the global overflow FIFO.",
+        "queue_detach_merges" => "Detached-segment merges in the LLP scheduler.",
+        "lock_spin_acquisitions" => "Spinlock acquisitions (contention profiling).",
+        "lock_spin_iters" => "Spin iterations across all spinlock acquisitions.",
+        "lock_rw_shared" => "Reader-writer lock shared acquisitions.",
+        "lock_rw_exclusive" => "Reader-writer lock exclusive acquisitions.",
+        "lock_rw_spin_iters" => "Spin iterations across reader-writer lock acquisitions.",
+        "bravo_fast_reads" => "BRAVO read acquisitions served by the visible-reader fast path.",
+        "bravo_slow_reads" => "BRAVO read acquisitions that fell back to the underlying lock.",
+        "bravo_revocations" => "BRAVO fast-path revocations by writers.",
+        "bravo_revocation_ns" => "Nanoseconds writers spent waiting out BRAVO revocations.",
+        "trace_events_dropped" => "Trace events lost to event-ring overwrite.",
+        "task_duration" => "Task body execution time.",
+        "ready_delay" => "Delay between a task becoming ready and starting to run.",
+        "message_latency" => "Remote message inbox residence time (receiver clock).",
+        _ => return None,
+    })
+}
+
 /// Background thread invoking a callback at a fixed interval — e.g. to
 /// append metrics snapshots to a file while a job runs. Stops (and
 /// joins) on drop.
@@ -184,7 +234,8 @@ pub struct PeriodicSampler {
 }
 
 impl PeriodicSampler {
-    /// Spawns the sampler; `f` runs every `interval` until drop.
+    /// Spawns the sampler; `f` runs every `interval` until
+    /// [`PeriodicSampler::stop`] or drop.
     pub fn spawn<F: FnMut() + Send + 'static>(interval: Duration, mut f: F) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -203,6 +254,16 @@ impl PeriodicSampler {
                     elapsed += slice;
                     if elapsed >= interval {
                         elapsed = Duration::ZERO;
+                        // Re-check *after* the sleep, immediately before
+                        // firing: a stop requested while we slept means
+                        // the owner is tearing down whatever `f` reads
+                        // (runtime state, rings); firing now would race
+                        // that teardown. The pre-fix loop only checked
+                        // at the top, so exactly that late sample could
+                        // slip out.
+                        if stop2.load(Ordering::Acquire) {
+                            return;
+                        }
                         f();
                     }
                 }
@@ -213,14 +274,22 @@ impl PeriodicSampler {
             handle: Some(handle),
         }
     }
-}
 
-impl Drop for PeriodicSampler {
-    fn drop(&mut self) {
+    /// Stops the sampler and joins its thread. On return it is
+    /// guaranteed that no callback is running and none will run again —
+    /// the deterministic teardown point to call *before* dropping state
+    /// the callback reads. Idempotent; drop calls it too.
+    pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+impl Drop for PeriodicSampler {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -298,6 +367,103 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counters[0].1, 84);
         assert_eq!(a.histograms[0].1.count(), 4);
+    }
+
+    #[test]
+    fn prometheus_golden_output_for_resilience_and_contention_counters() {
+        // Golden output for the PR 3 (net resilience) and PR 4
+        // (contention) counters: TYPE *and* HELP lines, exact order and
+        // spelling. Counters only — histogram buckets depend on
+        // recorded values and are shape-checked elsewhere.
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "1".to_string())]);
+        m.counter("frames_corrupt", 3);
+        m.counter("peers_lost", 1);
+        m.counter("reconnects", 2);
+        m.counter("lock_spin_acquisitions", 40);
+        m.counter("bravo_revocations", 5);
+        let expected = "\
+# HELP ttg_frames_corrupt Frames dropped by the transport for CRC or header validation failure.\n\
+# TYPE ttg_frames_corrupt counter\n\
+ttg_frames_corrupt{rank=\"1\"} 3\n\
+# HELP ttg_peers_lost Peers declared dead (liveness deadline or unrecoverable link).\n\
+# TYPE ttg_peers_lost counter\n\
+ttg_peers_lost{rank=\"1\"} 1\n\
+# HELP ttg_reconnects Successful link re-establishments after a dropped connection.\n\
+# TYPE ttg_reconnects counter\n\
+ttg_reconnects{rank=\"1\"} 2\n\
+# HELP ttg_lock_spin_acquisitions Spinlock acquisitions (contention profiling).\n\
+# TYPE ttg_lock_spin_acquisitions counter\n\
+ttg_lock_spin_acquisitions{rank=\"1\"} 40\n\
+# HELP ttg_bravo_revocations BRAVO fast-path revocations by writers.\n\
+# TYPE ttg_bravo_revocations counter\n\
+ttg_bravo_revocations{rank=\"1\"} 5\n";
+        assert_eq!(m.to_prometheus("ttg"), expected);
+    }
+
+    #[test]
+    fn prometheus_help_lines_for_histograms_and_unknown_counters() {
+        let mut m = sample();
+        m.counter("my_app_widgets", 9);
+        let text = m.to_prometheus("ttg");
+        // Known histogram gets HELP on the _seconds metric name.
+        assert!(text.contains("# HELP ttg_task_duration_seconds Task body execution time.\n"));
+        assert!(text.contains("# TYPE ttg_task_duration_seconds histogram\n"));
+        // Unknown (application) counters get TYPE but no HELP.
+        assert!(text.contains("# TYPE ttg_my_app_widgets counter\n"));
+        assert!(!text.contains("# HELP ttg_my_app_widgets"));
+        // Every HELP line immediately precedes its TYPE line for the
+        // same metric (exposition-format convention).
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                let next = lines.get(i + 1).unwrap_or(&"");
+                assert!(
+                    next.starts_with(&format!("# TYPE {name} ")),
+                    "HELP for {name} not followed by its TYPE: {next}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_stop_is_deterministic_and_joins() {
+        // Regression test for the shutdown race: a stop requested while
+        // the sampler slept used to let one more sample fire before the
+        // thread noticed. `stop()` must (a) prevent any sample from
+        // starting after the request lands mid-sleep, and (b) join, so
+        // when it returns nothing is running and nothing ever will.
+        let fires = Arc::new(std::sync::Mutex::new(Vec::<std::time::Instant>::new()));
+        let in_flight = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&fires);
+        let g2 = Arc::clone(&in_flight);
+        // Long interval: the sampler fires at ~200ms, so the stop below
+        // (at ~150ms) always lands inside the sleep leading up to a
+        // due sample — exactly the window the old loop mishandled.
+        let mut s = PeriodicSampler::spawn(Duration::from_millis(200), move || {
+            g2.store(true, Ordering::SeqCst);
+            f2.lock().unwrap().push(std::time::Instant::now());
+            thread::sleep(Duration::from_millis(5));
+            g2.store(false, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(150));
+        let stop_requested = std::time::Instant::now();
+        s.stop();
+        // (b): join semantics — no callback mid-flight after return.
+        assert!(!in_flight.load(Ordering::SeqCst));
+        // Give the would-be late sample's window time to pass, then
+        // check (a): every fire (normally: none) started before the
+        // stop request.
+        thread::sleep(Duration::from_millis(120));
+        for t in fires.lock().unwrap().iter() {
+            assert!(
+                *t <= stop_requested,
+                "sample fired {:?} after stop() was requested",
+                t.duration_since(stop_requested)
+            );
+        }
+        // Idempotent.
+        s.stop();
     }
 
     #[test]

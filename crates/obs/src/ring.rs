@@ -177,6 +177,24 @@ impl EventRing {
     /// slots may be torn. Callers fence workers first (see
     /// `Runtime::take_trace`).
     pub fn drain(&self) -> Vec<Event> {
+        let out = self.copy_live();
+        self.head.set(0);
+        out
+    }
+
+    /// Copies the live window (oldest first) without resetting the
+    /// ring — the read-only sibling of [`EventRing::drain`] for live
+    /// introspection (`/trace` endpoint, flight recorder).
+    ///
+    /// May run concurrently with the owning writer: a slot being
+    /// overwritten mid-copy can come back torn or out of order, which
+    /// the monitoring use-case accepts. The subsequent quiescent drain
+    /// is unaffected — `head` and the slots are left untouched.
+    pub fn peek(&self) -> Vec<Event> {
+        self.copy_live()
+    }
+
+    fn copy_live(&self) -> Vec<Event> {
         let head = self.head.get();
         let cap = self.slots.len() as u64;
         let live = head.min(cap);
@@ -185,7 +203,6 @@ impl EventRing {
         for i in start..head {
             out.push(self.slots[(i % cap) as usize].get());
         }
-        self.head.set(0);
         out
     }
 }
@@ -239,6 +256,29 @@ mod tests {
             r.push(ev(i));
         }
         assert_eq!(r.dropped(), 7);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let r = EventRing::new(4);
+        for i in 0..6 {
+            r.push(ev(i));
+        }
+        let peeked = r.peek();
+        assert_eq!(
+            peeked.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        // A second peek sees the same window; the drain still works and
+        // still returns everything.
+        assert_eq!(r.peek().len(), 4);
+        assert_eq!(r.recorded(), 6);
+        let drained = r.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert!(r.peek().is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod comm;
 pub mod copy;
 pub mod error;
+pub mod live;
 pub mod runtime;
 pub mod stats;
 pub mod task;
@@ -40,7 +41,8 @@ pub mod worker;
 pub use comm::ProcessGroup;
 pub use copy::DataCopy;
 pub use error::RunError;
-pub use runtime::{FrameSender, Runtime, RuntimeConfig, DEFAULT_TRACE_CAPACITY};
+pub use live::{LiveConfig, LiveTelemetry, RuntimeSlot};
+pub use runtime::{FrameSender, HealthReport, Runtime, RuntimeConfig, DEFAULT_TRACE_CAPACITY};
 pub use stats::{ContentionStats, NetStats, RuntimeStats};
 
 // Observability vocabulary (event kinds, metrics snapshots, trace

@@ -259,6 +259,46 @@ impl Inner {
     }
 }
 
+/// Liveness + peer-health verdict for one rank, produced by
+/// [`Runtime::health`] and served by the live `/healthz` endpoint
+/// (HTTP 200 when `healthy`, 503 otherwise).
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// No durable failure signal is raised on this rank.
+    pub healthy: bool,
+    /// This process's rank within the job.
+    pub rank: usize,
+    /// Diagnostic for the first failure signal observed, if any.
+    pub reason: Option<String>,
+    /// Transport-level count of peers declared dead.
+    pub peers_lost: u64,
+}
+
+impl HealthReport {
+    /// Renders the verdict as the `/healthz` JSON body.
+    pub fn to_json(&self) -> String {
+        let v = serde::Value::Object(vec![
+            (
+                "status".to_string(),
+                serde::Value::String(if self.healthy { "ok" } else { "unhealthy" }.to_string()),
+            ),
+            ("rank".to_string(), serde::Value::UInt(self.rank as u64)),
+            (
+                "reason".to_string(),
+                match &self.reason {
+                    Some(r) => serde::Value::String(r.clone()),
+                    None => serde::Value::Null,
+                },
+            ),
+            (
+                "peers_lost".to_string(),
+                serde::Value::UInt(self.peers_lost),
+            ),
+        ]);
+        serde_json::to_string_pretty(&v).expect("health serialization")
+    }
+}
+
 /// A running instance of the task runtime (one simulated "process").
 ///
 /// # Examples
@@ -512,6 +552,87 @@ impl Runtime {
         };
         self.quiesce_for_drain();
         obs.drain_events()
+    }
+
+    /// Copies all recorded timeline events *without* consuming them,
+    /// sorted by timestamp (empty unless `config.trace`) — the
+    /// read-only sibling of [`Runtime::take_events`] for live
+    /// introspection. No quiescence fence: workers may keep recording
+    /// while the copy runs, so a slot overwritten mid-copy can come
+    /// back torn (accepted for monitoring), and the eventual
+    /// [`Runtime::take_events`] drain still returns everything. This
+    /// is what the `/trace` endpoint and the crash flight recorder
+    /// use, so serving a request can neither race nor consume the
+    /// quiescent drain.
+    pub fn peek_events(&self) -> Vec<ttg_obs::Event> {
+        self.inner
+            .obs
+            .as_deref()
+            .map(|o| o.peek_events())
+            .unwrap_or_default()
+    }
+
+    /// Renders a *non-draining* snapshot of the current event rings as
+    /// Chrome trace JSON on the shared timeline anchored at
+    /// `base_wall_ns` (`None` unless `config.trace`). Safe to call
+    /// while the runtime is executing; see [`Runtime::peek_events`].
+    pub fn chrome_trace_snapshot(&self, base_wall_ns: u64) -> Option<String> {
+        let obs = self.inner.obs.as_deref()?;
+        if !obs.events_enabled() {
+            return None;
+        }
+        let events = obs.peek_events();
+        Some(obs.chrome_trace(&events, base_wall_ns))
+    }
+
+    /// [`Runtime::chrome_trace_snapshot`] restricted to the trailing
+    /// `window_ns` of the newest recorded event — the flight recorder's
+    /// "last N seconds of evidence" window. `window_ns == 0` keeps
+    /// everything.
+    pub fn chrome_trace_snapshot_window(
+        &self,
+        base_wall_ns: u64,
+        window_ns: u64,
+    ) -> Option<String> {
+        let obs = self.inner.obs.as_deref()?;
+        if !obs.events_enabled() {
+            return None;
+        }
+        let mut events = obs.peek_events();
+        if window_ns > 0 {
+            if let Some(max_ts) = events.iter().map(|e| e.ts_ns).max() {
+                let cutoff = max_ts.saturating_sub(window_ns);
+                events.retain(|e| e.ts_ns >= cutoff);
+            }
+        }
+        Some(obs.chrome_trace(&events, base_wall_ns))
+    }
+
+    /// Liveness + peer-health verdict for this rank, the state behind
+    /// the live `/healthz` endpoint. A rank is unhealthy when any
+    /// durable failure signal is raised: a recorded (not yet consumed)
+    /// run error, a poisoned termination wave (dead peers never come
+    /// back), or a nonzero transport `peers_lost` counter — the last
+    /// two persist after [`Runtime::run`] takes the error, so a probe
+    /// arriving late still sees the failure.
+    pub fn health(&self) -> HealthReport {
+        let pending = self.inner.run_error.lock().clone().map(|e| e.to_string());
+        let poison = self.inner.wave.poisoned();
+        let peers_lost = self
+            .inner
+            .net_stats
+            .get()
+            .map(|source| source().peers_lost)
+            .unwrap_or(0);
+        let reason = pending
+            .or(poison)
+            .or_else(|| (peers_lost > 0).then(|| format!("{peers_lost} peer(s) declared dead")));
+        HealthReport {
+            healthy: reason.is_none(),
+            rank: self.inner.rank,
+            reason,
+            peers_lost,
+        }
     }
 
     /// Drains the recorded task trace (empty unless `config.trace`).

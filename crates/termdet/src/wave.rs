@@ -76,6 +76,17 @@ pub trait TermWave: Send + Sync {
         None
     }
 
+    /// The diagnostic of a *persistent* failure, if the wave has been
+    /// poisoned: unlike [`TermWave::aborted`], which is scoped to the
+    /// current epoch and cleared by reset, poison outlives epoch
+    /// turnover (a lost peer never comes back). The shared-memory board
+    /// has no such failure mode and returns `None`; the network wave
+    /// reports the first peer-loss diagnostic here. This is the
+    /// peer-health feed behind the live `/healthz` endpoint.
+    fn poisoned(&self) -> Option<String> {
+        None
+    }
+
     /// Whether this wave runs the fenced epoch protocol. If `true`,
     /// a latched termination is authoritative for the epoch the caller
     /// fenced into — `Runtime::wait` may return even if messages of the

@@ -31,6 +31,22 @@
 //!   and print the report (longest dependency chain vs wall time, top
 //!   tasks on the path, per-worker utilization). Implies tracing; can
 //!   be combined with `--trace` to keep the trace file too.
+//! * `--flame <path>` — write folded flamegraph stacks
+//!   (`rank;worker;task weight_us`) collapsed from the merged trace,
+//!   ready for `inferno-flamegraph` / `flamegraph.pl`. Implies tracing.
+//!
+//! Live telemetry (TCP mode): `--serve` gives every rank an HTTP
+//! introspection endpoint on `TTG_OBS_HTTP_PORT + rank` (default base
+//! 9100) with `/metrics`, `/metrics.json`, `/timeseries.json`,
+//! `/trace` and `/healthz` (200 healthy, 503 after a typed failure).
+//! `--serve-linger-ms N` (or `TTG_OBS_SERVE_LINGER_MS`) holds the
+//! endpoint up for N ms after the workload — including on the typed
+//! failure path — so scrapers observe the final state. Setting
+//! `TTG_OBS_FLIGHT_DIR` arms the crash flight recorder on every rank:
+//! a typed run error or panic dumps the recent trace window, the
+//! sampled time series, and the final stats to
+//! `ttg-flight-<rank>-<ms>.json` before the process exits; feed the
+//! dump to `ttg-bench analyze` / `ttg-bench flame`.
 //!
 //! `--tcp` re-executes this binary once per rank (environment variables
 //! `TTG_NET_RANK` / `TTG_NET_RANKS` / `TTG_NET_PORT` select the child
@@ -54,11 +70,12 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use ttg_net::{FaultPlan, FaultyTransport, NetConfig, NetRuntime, TcpTransport, Transport};
-use ttg_runtime::{ProcessGroup, RuntimeConfig, WorkerCtx};
+use ttg_runtime::{LiveConfig, LiveTelemetry, ProcessGroup, RuntimeConfig, WorkerCtx};
 
 const DEFAULT_RANKS: usize = 4;
 const ITEMS: usize = 64;
 const DEFAULT_PORT: u16 = 43117;
+const DEFAULT_OBS_PORT: u16 = 9100;
 
 /// Where to write the optional observability outputs.
 #[derive(Clone, Default)]
@@ -69,8 +86,15 @@ struct ObsArgs {
     /// Run the critical-path analysis on the merged trace and print
     /// the report (`--analyze`; implies tracing).
     analyze: bool,
-    /// The trace path exists only to feed `--analyze` (no `--trace`
-    /// given): don't announce a trace file, remove it afterwards.
+    /// Write folded flamegraph stacks collapsed from the merged trace
+    /// (`--flame`; implies tracing).
+    flame: Option<String>,
+    /// Per-rank live HTTP introspection endpoint (`--serve`; enables
+    /// tracing and histograms so every route has content).
+    serve: bool,
+    /// The trace path exists only to feed `--analyze`/`--flame` (no
+    /// `--trace` given): don't announce a trace file, remove it
+    /// afterwards.
     trace_temp: bool,
 }
 
@@ -84,16 +108,19 @@ impl ObsArgs {
             trace: std::env::var("TTG_NET_TRACE_OUT").ok(),
             metrics: std::env::var("TTG_NET_METRICS_OUT").ok(),
             analyze: false,
+            flame: None,
+            serve: std::env::var("TTG_OBS_SERVE").is_ok(),
             trace_temp: false,
         }
     }
 
     /// Applies the flags to a runtime configuration: events for the
-    /// trace (or the analysis built on it), histograms for the metrics
-    /// percentiles.
+    /// trace (or the analysis / flamegraph / live `/trace` endpoint
+    /// built on it), histograms for the metrics percentiles (also
+    /// sampled into the live time series).
     fn configure(&self, mut config: RuntimeConfig) -> RuntimeConfig {
-        config.trace = self.trace.is_some() || self.analyze;
-        config.histograms = self.metrics.is_some();
+        config.trace = self.trace.is_some() || self.analyze || self.flame.is_some() || self.serve;
+        config.histograms = self.metrics.is_some() || self.serve;
         config
     }
 
@@ -120,6 +147,29 @@ impl ObsArgs {
             }
         }
     }
+
+    /// Collapses the merged trace into folded flamegraph stacks when
+    /// `--flame` was given.
+    fn maybe_flame(&self, merged_trace: &str) {
+        let Some(path) = &self.flame else { return };
+        match ttg_runtime::obs::collapse_chrome_trace(merged_trace) {
+            Ok(folded) => write_file(path, &folded, "folded flamegraph stacks"),
+            Err(e) => {
+                eprintln!("--flame failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// `TTG_OBS_SERVE_LINGER_MS`: how long to hold the live endpoint up
+/// after the workload (success *and* typed-failure paths) so scrapers
+/// observe the final verdict.
+fn serve_linger_ms() -> u64 {
+    std::env::var("TTG_OBS_SERVE_LINGER_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -173,12 +223,27 @@ fn main() {
                 fault_plan = Some(args[i].clone());
             }
             "--analyze" => obs.analyze = true,
+            "--flame" => {
+                i += 1;
+                obs.flame = Some(args[i].clone());
+            }
+            "--serve" => obs.serve = true,
+            "--serve-linger-ms" => {
+                i += 1;
+                let ms: u64 = args[i].parse().expect("--serve-linger-ms N");
+                std::env::set_var("TTG_OBS_SERVE_LINGER_MS", ms.to_string());
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
 
-    if obs.analyze && obs.trace.is_none() {
+    if obs.serve && !tcp {
+        eprintln!("--serve requires --tcp (each rank serves its own endpoint)");
+        std::process::exit(2);
+    }
+
+    if (obs.analyze || obs.flame.is_some()) && obs.trace.is_none() {
         // Analysis needs a trace; stage it in a scratch file the TCP
         // children can write partials against, removed afterwards.
         let scratch = std::env::temp_dir().join(format!(
@@ -211,27 +276,44 @@ fn main() {
 
 // ---- observability export helpers --------------------------------------
 
-/// Merges per-rank Prometheus text expositions into one: every `# TYPE`
-/// line appears once, followed by that family's samples from all ranks
-/// (distinguished by their `rank` label).
+/// Merges per-rank Prometheus text expositions into one: every
+/// `# HELP`/`# TYPE` header pair appears once, followed by that
+/// family's samples from all ranks (distinguished by their `rank`
+/// label).
 fn merge_prometheus(parts: &[String]) -> String {
     let sample_name =
         |line: &str| -> String { line.split(['{', ' ']).next().unwrap_or("").to_string() };
-    let mut families: Vec<(String, String)> = Vec::new(); // (name, TYPE line)
+    // (name, header lines in encounter order — HELP before TYPE, as
+    // the per-rank exporter emits them).
+    let mut families: Vec<(String, Vec<String>)> = Vec::new();
     for part in parts {
         for line in part.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
-                let name = rest.split_whitespace().next().unwrap_or("").to_string();
-                if !families.iter().any(|(n, _)| *n == name) {
-                    families.push((name, line.to_string()));
+            let rest = match line.strip_prefix("# HELP ") {
+                Some(rest) => rest,
+                None => match line.strip_prefix("# TYPE ") {
+                    Some(rest) => rest,
+                    None => continue,
+                },
+            };
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            let entry = match families.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, lines)) => lines,
+                None => {
+                    families.push((name, Vec::new()));
+                    &mut families.last_mut().unwrap().1
                 }
+            };
+            if !entry.iter().any(|l| l == line) {
+                entry.push(line.to_string());
             }
         }
     }
     let mut out = String::new();
-    for (family, type_line) in &families {
-        out.push_str(type_line);
-        out.push('\n');
+    for (family, header_lines) in &families {
+        for line in header_lines {
+            out.push_str(line);
+            out.push('\n');
+        }
         for part in parts {
             for line in part.lines().filter(|l| !l.starts_with('#')) {
                 let name = sample_name(line);
@@ -353,6 +435,7 @@ fn run_simulated(ranks: usize, obs: &ObsArgs) {
             write_file(path, &merged, "Chrome trace");
         }
         obs.maybe_analyze(&merged);
+        obs.maybe_flame(&merged);
     }
     if let Some(path) = &obs.metrics {
         let parts: Vec<String> = (0..ranks)
@@ -390,6 +473,13 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs, fault_plan: Option<&str
                 .env("TTG_NET_PORT", port.to_string());
             if let Some(plan) = fault_plan {
                 cmd.env("TTG_NET_FAULT_PLAN", plan);
+            }
+            if obs.serve {
+                // Each child computes its own port as base + rank.
+                cmd.env("TTG_OBS_SERVE", "1");
+                if std::env::var("TTG_OBS_HTTP_PORT").is_err() {
+                    cmd.env("TTG_OBS_HTTP_PORT", DEFAULT_OBS_PORT.to_string());
+                }
             }
             if let Some(p) = &obs.trace {
                 cmd.env("TTG_NET_TRACE_OUT", rank_path(p, rank))
@@ -443,6 +533,7 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs, fault_plan: Option<&str
             write_file(path, &merged, "Chrome trace");
         }
         obs.maybe_analyze(&merged);
+        obs.maybe_flame(&merged);
     }
     if let Some(path) = &obs.stats_json {
         let parts = collect(path, "stats");
@@ -472,6 +563,38 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         }),
         Err(_) => FaultPlan::none(),
     };
+    // Live telemetry: HTTP endpoint when `--serve` was relayed, crash
+    // flight recorder when `TTG_OBS_FLIGHT_DIR` is set. Started
+    // *before* the mesh connect (which is a job-wide barrier) so the
+    // port binding cannot delay this rank's handler registration
+    // relative to ranks that already started sending.
+    let live_config = {
+        let mut c = LiveConfig::from_env();
+        if obs.serve && c.http_port.is_none() {
+            c = c.with_http_port(DEFAULT_OBS_PORT);
+        }
+        if !obs.serve {
+            c.http_port = None;
+        }
+        c
+    };
+    let live = if live_config.enabled() {
+        match LiveTelemetry::start(rank, &live_config) {
+            Ok(live) => {
+                if let Some(port) = live.http_port() {
+                    println!("rank {rank}: live telemetry on http://127.0.0.1:{port}/");
+                }
+                Some(live)
+            }
+            Err(e) => {
+                eprintln!("rank {rank}: live telemetry failed to start: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     let net_cfg = NetConfig::default(); // env-driven deadlines
     let tcp_cfg = net_cfg.clone();
     let net = NetRuntime::over_transport_with(
@@ -495,10 +618,28 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         std::process::exit(3);
     });
     let rt = net.runtime();
-    // Runs one fenced epoch; a typed failure is terminal for the rank.
+    if let Some(live) = &live {
+        live.observe(net.runtime_arc());
+    }
+
+    // Runs one fenced epoch; a typed failure is terminal for the rank:
+    // dump the flight evidence, hold the endpoint up long enough for a
+    // probe to see the 503, then exit 3.
     let run_phase = |phase: &str| {
         if let Err(e) = net.run() {
             eprintln!("rank {rank}: {phase} failed: {e}");
+            if let Some(live) = &live {
+                // `run()` consumed the error; re-record it so
+                // `/healthz` keeps reporting 503 during the linger.
+                rt.record_run_error(e.clone());
+                if let Some(path) = live.dump_flight(&format!("{phase}: {e}")) {
+                    eprintln!("rank {rank}: flight dump -> {}", path.display());
+                }
+                let linger = serve_linger_ms();
+                if live.http_port().is_some() && linger > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(linger));
+                }
+            }
             net.shutdown();
             std::process::exit(3);
         }
@@ -603,6 +744,16 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
     if let Some(path) = &obs.metrics {
         std::fs::write(path, rt.metrics().to_prometheus("ttg")).expect("write metrics partial");
     }
+    // Success path: hold the endpoint up through the linger window so a
+    // scraper can still read the final healthy state and time series.
+    if let Some(live) = &live {
+        live.sample_now();
+        let linger = serve_linger_ms();
+        if live.http_port().is_some() && linger > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger));
+        }
+    }
+    drop(live);
     net.shutdown();
     if rank == 0 {
         println!("global termination detected twice by the 4-counter wave over TCP — done.");
