@@ -7,6 +7,8 @@
 //! ttg-bench analyze <trace.json|flight.json> [--top K]
 //! ttg-bench diff <old.json> <new.json> [--threshold 0.10]
 //! ttg-bench flame <trace.json|flight.json> [--out FILE]
+//! ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T]
+//!                 [--bench-json FILE]
 //! ```
 //!
 //! `analyze` runs the critical-path analysis over an exported Chrome
@@ -16,6 +18,13 @@
 //! for the committed baselines under `results/`. `flame` collapses a
 //! trace into folded-stack lines (`rank;worker;task weight_us`) for
 //! `inferno-flamegraph` / `flamegraph.pl`.
+//!
+//! `serve` drives the graph-serving engine closed-loop: `--clients`
+//! threads (alternating between two tenants) each submit a `--tasks`-
+//! task graph instance and wait for its result, `--graphs` instances
+//! in total on one resident runtime. It records sustained
+//! `serve_us_per_graph` plus p50/p99 submit-to-result latency, and
+//! with `--bench-json` writes a `BENCH_serve.json` regression record.
 //!
 //! `analyze` and `flame` both accept a crash flight dump (the
 //! `ttg-flight-<rank>-<ms>.json` files the flight recorder leaves
@@ -28,7 +37,8 @@ use ttg_bench::record::{diff, BenchRecord};
 const USAGE: &str = "usage:
   ttg-bench analyze <trace.json|flight.json> [--top K]
   ttg-bench diff <old.json> <new.json> [--threshold 0.10]
-  ttg-bench flame <trace.json|flight.json> [--out FILE]";
+  ttg-bench flame <trace.json|flight.json> [--out FILE]
+  ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T] [--bench-json FILE]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -186,12 +196,155 @@ fn cmd_diff(argv: &[String]) {
     }
 }
 
+fn cmd_serve(argv: &[String]) {
+    use serde::Value;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use ttg_core::{Edge, GraphTemplate};
+    use ttg_runtime::{Runtime, RuntimeConfig};
+    use ttg_serve::{ServeConfig, ServeEngine};
+
+    let (pos, opts) = split_args(argv);
+    if !pos.is_empty() {
+        fail("serve takes no positional arguments");
+    }
+    for (n, _) in &opts {
+        if !["threads", "clients", "graphs", "tasks", "bench-json"].contains(n) {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let threads: usize = opt(&opts, "threads", 4).max(1);
+    let clients: usize = opt(&opts, "clients", 4).max(1);
+    let graphs: usize = opt(&opts, "graphs", 400).max(clients);
+    let tasks: u64 = opt(&opts, "tasks", 16).max(1);
+    let bench_json: String = opt(&opts, "bench-json", String::new());
+
+    let runtime = Arc::new(Runtime::new(RuntimeConfig::optimized(threads)));
+    let engine = Arc::new(ServeEngine::new(
+        runtime,
+        ServeConfig {
+            queue_capacity: graphs,
+            max_inflight: (clients * 2).max(8),
+            result_capacity: 64,
+            ..ServeConfig::default()
+        },
+    ));
+    let template = GraphTemplate::compile("bench-pipeline", |graph, ctx| {
+        let n = ctx.input.get("n").and_then(Value::as_u64).unwrap_or(1);
+        let edge: Edge<u64, u64> = Edge::new("values");
+        let stage = graph
+            .tt::<u64>("stage")
+            .output(&edge)
+            .build(|k, _in, out| out.send(0, *k, *k * 2));
+        let sink = ctx.sink.clone();
+        let _collect =
+            graph
+                .tt::<u64>("collect")
+                .input::<u64>(&edge)
+                .build(move |k, inputs, _out| {
+                    if *k == 0 {
+                        sink.emit("first", Value::UInt(*inputs.get::<u64>(0)));
+                    }
+                });
+        Box::new(move || {
+            for k in 0..n {
+                stage.invoke(k);
+            }
+        })
+    })
+    .expect("bench template");
+    engine.register_template(template);
+    let input = move || Value::Object(vec![("n".to_string(), Value::UInt(tasks))]);
+
+    // Warmup: one instance per client's tenant, excluded from timing.
+    for i in 0..2 {
+        let id = engine
+            .submit(
+                if i == 0 { "tenant-a" } else { "tenant-b" },
+                "bench-pipeline",
+                input(),
+            )
+            .expect("warmup admitted");
+        engine
+            .wait_result(id, Duration::from_secs(30))
+            .expect("warmup completes");
+    }
+
+    let per_client = graphs / clients;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let tenant = if c % 2 == 0 { "tenant-a" } else { "tenant-b" };
+                let mut latencies = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let id = engine
+                        .submit(tenant, "bench-pipeline", input())
+                        .expect("admitted");
+                    engine
+                        .wait_result(id, Duration::from_secs(60))
+                        .expect("instance completes");
+                    latencies.push(t0.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let total = latencies.len().max(1);
+    let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
+    let us_per_graph = elapsed.as_micros() as f64 / total as f64;
+    let p50_ms = pct(0.50).as_secs_f64() * 1e3;
+    let p99_ms = pct(0.99).as_secs_f64() * 1e3;
+
+    println!(
+        "serve: {total} graphs x {tasks} tasks, {clients} clients, {threads} threads \
+         -> {us_per_graph:.1} us/graph, p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms"
+    );
+    let a = engine.tenant_counters("tenant-a").unwrap_or_default();
+    let b = engine.tenant_counters("tenant-b").unwrap_or_default();
+    println!(
+        "tenant-a: {} completed, {} rejected; tenant-b: {} completed, {} rejected",
+        a.completed, a.rejected, b.completed, b.rejected
+    );
+    let report = engine.shutdown(Duration::from_secs(10));
+    if !report.drained {
+        eprintln!("warning: shutdown abandoned {:?}", report.abandoned);
+    }
+
+    if !bench_json.is_empty() {
+        let mut rec = BenchRecord::new("serve");
+        rec.metric("serve_us_per_graph", us_per_graph);
+        rec.metric("serve_p50_ms", p50_ms);
+        rec.metric("serve_p99_ms", p99_ms);
+        rec.counter("serve_graphs", total as u64);
+        rec.counter("serve_tasks_per_graph", tasks);
+        rec.counter("serve_completed_a", a.completed);
+        rec.counter("serve_completed_b", b.completed);
+        rec.counter("serve_abandoned", report.abandoned.len() as u64);
+        rec.attach_contention();
+        if let Err(e) = rec.write(&bench_json) {
+            eprintln!("cannot write {bench_json}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {bench_json}");
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&argv[1..]),
         Some("diff") => cmd_diff(&argv[1..]),
         Some("flame") => cmd_flame(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
         Some(other) => fail(&format!("unknown subcommand {other}")),
         None => fail("missing subcommand"),
     }

@@ -257,6 +257,7 @@ impl<'g, K: Key> TtBuilder<'g, K> {
             pool,
             runtime,
             bypass,
+            scope: self.graph.scope().cloned(),
             route: std::sync::OnceLock::new(),
         });
         for reg in self.registrars {

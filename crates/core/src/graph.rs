@@ -5,6 +5,7 @@ use crate::Key;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use ttg_runtime::{Runtime, RuntimeConfig};
+use ttg_termdet::InstanceScope;
 
 /// Object-safe teardown hooks every TT provides.
 pub(crate) trait AnyTt: Send + Sync {
@@ -43,6 +44,9 @@ impl<K: Key> AnyTt for crate::tt::TtInner<K> {
 /// TTs from their edges.
 pub struct Graph {
     runtime: Arc<Runtime>,
+    /// Instance scope for graphs serving one request among many on a
+    /// resident runtime; `None` for classic run-to-quiescence graphs.
+    scope: Option<Arc<InstanceScope>>,
     tts: Mutex<Vec<Arc<dyn AnyTt>>>,
 }
 
@@ -56,6 +60,22 @@ impl Graph {
     pub fn with_runtime(runtime: Arc<Runtime>) -> Self {
         Graph {
             runtime,
+            scope: None,
+            tts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a graph whose termination is tracked by `scope` instead
+    /// of the runtime's global wave: every task scheduled by this
+    /// graph's TTs is counted against the scope, and [`Graph::wait`]
+    /// waits for the *scope*, not for whole-runtime quiescence. This is
+    /// what lets many graph instances share one resident runtime
+    /// (`ttg-serve`). Scoped graphs are process-local — they must not be
+    /// linked across ranks with [`crate::dist`].
+    pub fn with_runtime_scoped(runtime: Arc<Runtime>, scope: Arc<InstanceScope>) -> Self {
+        Graph {
+            runtime,
+            scope: Some(scope),
             tts: Mutex::new(Vec::new()),
         }
     }
@@ -69,8 +89,21 @@ impl Graph {
     /// (TTG's fence). Task shells still waiting for inputs do **not**
     /// block completion — a graph whose data flow never satisfies them
     /// is considered terminated once everything runnable has run.
+    ///
+    /// Scoped graphs wait on their [`InstanceScope`] instead: only this
+    /// instance's tasks need to drain, never the whole runtime.
     pub fn wait(&self) {
-        self.runtime.wait();
+        match &self.scope {
+            Some(scope) => {
+                scope.wait();
+            }
+            None => self.runtime.wait(),
+        }
+    }
+
+    /// The instance scope this graph counts against, if any.
+    pub fn scope(&self) -> Option<&Arc<InstanceScope>> {
+        self.scope.as_ref()
     }
 
     /// The underlying runtime.
@@ -98,6 +131,15 @@ impl Graph {
         self.tts.lock().len()
     }
 
+    /// Names of all template tasks built on this graph, in build order.
+    pub fn tt_names(&self) -> Vec<String> {
+        self.tts
+            .lock()
+            .iter()
+            .map(|tt| tt.tt_name().to_string())
+            .collect()
+    }
+
     /// Names of task templates that still hold unsatisfied shells
     /// (diagnostics for incomplete graphs).
     pub fn incomplete_tts(&self) -> Vec<String> {
@@ -112,8 +154,19 @@ impl Graph {
 
 impl Drop for Graph {
     fn drop(&mut self) {
-        // Quiesce: all runnable tasks execute; waiting shells stay put.
-        self.runtime.wait();
+        // Quiesce before freeing the TTs (live tasks hold raw pointers
+        // into them). A scoped graph waits only for its own instance's
+        // tasks — the runtime may be busy with sibling instances and
+        // must not be fenced. A dormant scope (nothing ever scheduled,
+        // e.g. a template validation probe) tears down immediately.
+        match &self.scope {
+            Some(scope) => {
+                if scope.tasks_scheduled() > scope.tasks_completed() {
+                    scope.wait();
+                }
+            }
+            None => self.runtime.wait(),
+        }
         let tts = self.tts.lock();
         for tt in tts.iter() {
             let stale = tt.drain_stale();

@@ -49,6 +49,21 @@ impl Dispatch<'_, '_> {
         }
     }
 
+    /// Defers an instance-scope completion decrement until the current
+    /// task's execution frame has unwound (worker path), or fires it
+    /// immediately when no task frame is on the stack (external path —
+    /// unreachable from `execute_shell`, which only runs on workers,
+    /// but kept total for safety).
+    pub(crate) fn defer_scope_completion(
+        &mut self,
+        scope: std::sync::Arc<ttg_termdet::InstanceScope>,
+    ) {
+        match self {
+            Dispatch::Worker(ctx) => ctx.defer_scope_completion(scope),
+            Dispatch::External(_) => scope.task_completed(),
+        }
+    }
+
     /// Accounts for and schedules a freshly readied task.
     ///
     /// # Safety

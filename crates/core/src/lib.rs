@@ -73,12 +73,17 @@ mod edge;
 mod graph;
 mod io;
 mod shell;
+mod template;
 mod tt;
 
 pub use builder::{AggCount, TtBuilder};
 pub use edge::Edge;
 pub use graph::Graph;
 pub use io::{Inputs, Outputs};
+pub use template::{
+    BuildFn, GraphInstance, GraphTemplate, InstanceCtx, ResultSink, SeedFn, TemplateError,
+    TemplateMeta,
+};
 pub use tt::Tt;
 
 /// Task identifier (key) requirements: TTG keys are cheap, hashable,

@@ -95,6 +95,14 @@ impl<K: Key> Shell<K> {
         let shell_ptr = task.cast::<Shell<K>>();
         // SAFETY: as above; dispose_shell reclaims without executing.
         let tt: &TtInner<K> = unsafe { shell_ptr.as_ref().tt.as_ref() };
+        let scope = tt.scope.clone();
         tt.dispose_shell(shell_ptr);
+        // A scheduled-but-never-run task (runtime teardown) still owes
+        // its scope the completion decrement — it was credited at
+        // schedule time. Never-scheduled shells drained from the hash
+        // table go through `dispose_shell` directly and owe nothing.
+        if let Some(scope) = scope {
+            scope.task_completed();
+        }
     }
 }

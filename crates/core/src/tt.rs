@@ -89,6 +89,12 @@ pub(crate) struct TtInner<K: Key> {
     pub(crate) runtime: Arc<Runtime>,
     /// Single fixed input ⇒ skip the hash table entirely.
     pub(crate) bypass: bool,
+    /// Instance scope of the owning graph, if it serves one request of
+    /// many on a resident runtime (see [`crate::Graph::with_runtime_scoped`]).
+    /// Scoped TTs count every scheduled task against the scope and
+    /// isolate body panics so one failing instance cannot poison its
+    /// siblings.
+    pub(crate) scope: Option<Arc<ttg_termdet::InstanceScope>>,
     /// Distribution state (keymap + peer instances); set once by
     /// [`crate::dist::link_distributed`].
     pub(crate) route: std::sync::OnceLock<crate::dist::Route<K>>,
@@ -114,6 +120,17 @@ impl<K: Key> TtInner<K> {
 
     fn priority_for(&self, key: &K) -> i32 {
         self.priority.as_ref().map_or(0, |f| f(key))
+    }
+
+    /// Credits the instance scope for a task about to be scheduled.
+    /// Must happen-before the shell is published to any queue — the
+    /// scope's credit protocol relies on the increment preceding
+    /// visibility (see `ttg_termdet::InstanceScope`).
+    #[inline]
+    fn note_scheduled(&self) {
+        if let Some(scope) = &self.scope {
+            scope.task_scheduled();
+        }
     }
 
     /// Allocates a fresh shell for `key` from the pool. Not yet counted
@@ -159,6 +176,7 @@ impl<K: Key> TtInner<K> {
             // eliminated because a newly discovered task can be scheduled
             // immediately."
             let shell = self.new_shell(key.clone());
+            self.note_scheduled();
             // SAFETY: the shell is exclusively ours until scheduled.
             unsafe {
                 (*shell.as_ptr()).slots[idx] = InputSlot::One(copy);
@@ -204,6 +222,7 @@ impl<K: Key> TtInner<K> {
         if ready {
             bucket.remove().expect("ready shell missing from table");
             drop(bucket);
+            self.note_scheduled();
             // SAFETY: fully satisfied, removed from the table: ours.
             unsafe { d.schedule_new(Shell::raw_task(shell_ptr)) };
         }
@@ -295,6 +314,7 @@ impl<K: Key> TtInner<K> {
             "invoke() requires a task with no pending inputs; use deliver()"
         );
         let shell = self.new_shell(key);
+        self.note_scheduled();
         // SAFETY: fresh shell, exclusively ours.
         unsafe { d.schedule_new(Shell::raw_task(shell)) };
     }
@@ -312,10 +332,37 @@ impl<K: Key> TtInner<K> {
             bindings: &self.outputs,
             dispatch: d,
         };
-        (self.body)(key, &mut inputs, &mut outputs);
-        // Dropping the box releases any copies the body left in place and
-        // returns the shell to the pool.
-        drop(boxed);
+        match &self.scope {
+            None => {
+                (self.body)(key, &mut inputs, &mut outputs);
+                // Dropping the box releases any copies the body left in
+                // place and returns the shell to the pool.
+                drop(boxed);
+            }
+            Some(scope) => {
+                // Scoped execution isolates panics: one failing instance
+                // must not unwind through the worker and take the shared
+                // runtime (and every sibling instance) down with it. The
+                // instance is marked failed and still drains normally.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (self.body)(key, &mut inputs, &mut outputs)
+                }));
+                if let Err(payload) = result {
+                    scope.fail(format!(
+                        "task body of '{}' panicked: {}",
+                        self.name,
+                        panic_message(payload.as_ref())
+                    ));
+                }
+                let scope = Arc::clone(scope);
+                drop(boxed);
+                // The completion decrement may release a waiter that
+                // frees this very TT, so it must not fire while `&self`
+                // frames are live — the worker fires it after this
+                // task's execute has fully unwound.
+                d.defer_scope_completion(scope);
+            }
+        }
     }
 
     /// Reclaims a shell without executing it (teardown path).
@@ -340,6 +387,17 @@ impl<K: Key> TtInner<K> {
         for b in &self.outputs {
             b.edge.clear_consumers_erased();
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -8,7 +8,7 @@
 //! single-threaded means a misbehaving client can at worst delay the
 //! next scrape, never touch the runtime's hot path.
 //!
-//! Routes (all `GET`):
+//! Built-in routes (all `GET`):
 //!
 //! | path               | body                              | status |
 //! |--------------------|-----------------------------------|--------|
@@ -18,6 +18,12 @@
 //! | `/trace`           | Chrome trace JSON (non-draining)  | 200    |
 //! | `/healthz`         | liveness + peer-health verdict    | 200/503|
 //! | `/`                | plain-text index of the above     | 200    |
+//!
+//! Additional GET/POST routes (e.g. `ttg-serve`'s submit/poll/result
+//! API) plug in through [`HttpRoutes::dynamic`], which sees the parsed
+//! [`HttpRequest`] — including a request body read per `Content-Length`
+//! (capped; oversize requests get 413). Query strings are tolerated on
+//! every path; methods other than GET/POST get 405.
 //!
 //! The route bodies are opaque closures so this module depends on
 //! nothing above it; `ttg-runtime`'s live-telemetry glue wires them to
@@ -39,6 +45,62 @@ pub struct HealthVerdict {
     pub body: String,
 }
 
+/// A parsed incoming request, as seen by [`HttpRoutes::dynamic`].
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// `GET` or `POST` (anything else is rejected before dispatch).
+    pub method: String,
+    /// The path with any query string stripped (`/poll/7`, not
+    /// `/poll/7?x=1`).
+    pub path: String,
+    /// The query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// The request body (empty for GET).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// A response produced by a dynamic route.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code (reason phrase is filled in by the server).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+}
+
+/// Handler for routes beyond the built-in set: returns `Some(response)`
+/// to claim the request, `None` to fall through to the built-ins.
+pub type DynamicRoute = Box<dyn Fn(&HttpRequest) -> Option<HttpResponse> + Send + Sync>;
+
 /// Content producers for each route. Closures run on the accept
 /// thread, per request — they should be cheap reads (snapshot copies),
 /// never blocking operations against the runtime.
@@ -53,6 +115,9 @@ pub struct HttpRoutes {
     pub trace_json: Box<dyn Fn() -> String + Send + Sync>,
     /// `/healthz`.
     pub healthz: Box<dyn Fn() -> HealthVerdict + Send + Sync>,
+    /// Extra GET/POST routes consulted before the built-ins (`None` to
+    /// serve only the built-in set).
+    pub dynamic: Option<DynamicRoute>,
 }
 
 /// The running server. Binds on construction, serves until dropped
@@ -127,82 +192,160 @@ impl Drop for ObsHttpServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, routes: &HttpRoutes) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
-    // GET requests have no body; reading through the first header
-    // terminator (or 8 KiB, whichever first) is enough to parse the
-    // request line.
+/// Maximum accepted header block; larger requests are cut off.
+const MAX_HEAD: usize = 8192;
+/// Maximum accepted request body (submit payloads are small JSON).
+const MAX_BODY: usize = 1 << 20;
+
+/// Reason phrases for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        410 => "Gone",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads the request head (through `\r\n\r\n`) plus any body bytes that
+/// arrived with it. Returns the buffer and the head's end offset.
+fn read_head(stream: &mut TcpStream) -> (Vec<u8>, Option<usize>) {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
+        if let Some(pos) = find_head_end(&buf) {
+            return (buf, Some(pos));
+        }
+        if buf.len() > MAX_HEAD {
+            return (buf, None);
+        }
+        match stream.read(&mut chunk) {
+            Ok(n) if n > 0 => buf.extend_from_slice(&chunk[..n]),
+            _ => {
+                let end = find_head_end(&buf);
+                return (buf, end);
+            }
+        }
+    }
+}
+
+/// Offset just past the `\r\n\r\n` header terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// The `Content-Length` header value, if present and well-formed.
+fn content_length(head: &str) -> Option<usize> {
+    head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse().ok())?
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, routes: &HttpRoutes) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
+    let (mut buf, head_end) = read_head(&mut stream);
+    let Some(head_end) = head_end else {
+        return respond(&mut stream, HttpResponse::text(400, "malformed request\n"));
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let raw_path = parts.next().unwrap_or("");
+    // Tolerate query strings (`/metrics?x=1`) — scrapers add them.
+    let (path, query) = match raw_path.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (raw_path.to_string(), None),
+    };
+
+    if method != "GET" && method != "POST" {
+        return respond(
+            &mut stream,
+            HttpResponse::text(405, "only GET and POST are supported\n"),
+        );
+    }
+
+    // Read the body per Content-Length (POST submit payloads).
+    let want = content_length(&head).unwrap_or(0);
+    if want > MAX_BODY {
+        return respond(&mut stream, HttpResponse::text(413, "body too large\n"));
+    }
+    let mut chunk = [0u8; 512];
+    while buf.len() < head_end + want {
         match stream.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => break,
         }
     }
-    let request_line = std::str::from_utf8(&buf)
-        .ok()
-        .and_then(|s| s.lines().next())
-        .unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let raw_path = parts.next().unwrap_or("");
-    // Tolerate query strings (`/metrics?x=1`) — scrapers add them.
-    let path = raw_path.split('?').next().unwrap_or("");
+    let body = buf[head_end..(head_end + want).min(buf.len())].to_vec();
 
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain",
-            "only GET is supported\n".to_string(),
-        )
+    let request = HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    };
+
+    if let Some(dynamic) = routes.dynamic.as_ref() {
+        if let Some(resp) = dynamic(&request) {
+            return respond(&mut stream, resp);
+        }
+    }
+
+    let resp = if request.method != "GET" {
+        // The built-in routes are read-only; a POST that no dynamic
+        // route claimed is a method error, not a missing resource.
+        HttpResponse::text(405, "method not allowed\n")
     } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4",
-                (routes.metrics_prometheus)(),
-            ),
-            "/metrics.json" => ("200 OK", "application/json", (routes.metrics_json)()),
-            "/timeseries.json" => ("200 OK", "application/json", (routes.timeseries_json)()),
-            "/trace" => ("200 OK", "application/json", (routes.trace_json)()),
+        match request.path.as_str() {
+            "/metrics" => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: (routes.metrics_prometheus)(),
+            },
+            "/metrics.json" => HttpResponse::json(200, (routes.metrics_json)()),
+            "/timeseries.json" => HttpResponse::json(200, (routes.timeseries_json)()),
+            "/trace" => HttpResponse::json(200, (routes.trace_json)()),
             "/healthz" => {
                 let v = (routes.healthz)();
-                let status = if v.healthy {
-                    "200 OK"
-                } else {
-                    "503 Service Unavailable"
-                };
-                (status, "application/json", v.body)
+                HttpResponse::json(if v.healthy { 200 } else { 503 }, v.body)
             }
-            "/" => (
-                "200 OK",
-                "text/plain",
+            "/" => HttpResponse::text(
+                200,
                 "ttg-obs introspection endpoint\n\
                  GET /metrics          Prometheus text\n\
                  GET /metrics.json     metrics snapshot\n\
                  GET /timeseries.json  sampled time series\n\
                  GET /trace            live Chrome trace snapshot\n\
-                 GET /healthz          liveness + peer health (200/503)\n"
-                    .to_string(),
+                 GET /healthz          liveness + peer health (200/503)\n",
             ),
-            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            _ => HttpResponse::text(404, "not found\n"),
         }
     };
+    respond(&mut stream, resp)
+}
 
+fn respond(stream: &mut TcpStream, resp: HttpResponse) -> std::io::Result<()> {
     let header = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
     let _ = stream.shutdown(Shutdown::Both);
     Ok(())
 }
@@ -235,6 +378,7 @@ mod tests {
                     body: format!("{{\"healthy\":{}}}", !bad),
                 }
             }),
+            dynamic: None,
         }
     }
 
@@ -287,11 +431,72 @@ mod tests {
         let srv = ObsHttpServer::serve(0, test_routes(unhealthy)).unwrap();
         let (status, _) = get(srv.port(), "/metrics?format=prometheus");
         assert!(status.contains("200"), "{status}");
+        // POST is a supported method now, but the built-in routes are
+        // read-only: an unclaimed POST is still 405.
         let mut s = TcpStream::connect(("127.0.0.1", srv.port())).unwrap();
         write!(s, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
         let mut resp = String::new();
         s.read_to_string(&mut resp).unwrap();
         assert!(resp.contains("405"), "{resp}");
+        // Methods beyond GET/POST are rejected outright.
+        for method in ["PUT", "DELETE", "HEAD"] {
+            let mut s = TcpStream::connect(("127.0.0.1", srv.port())).unwrap();
+            write!(s, "{method} /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.contains("405"), "{method}: {resp}");
+        }
+    }
+
+    #[test]
+    fn dynamic_routes_handle_post_bodies() {
+        let unhealthy = Arc::new(AtomicBool::new(false));
+        let mut routes = test_routes(unhealthy);
+        routes.dynamic = Some(Box::new(|req: &HttpRequest| match req.path.as_str() {
+            "/echo" => Some(HttpResponse::json(
+                200,
+                format!(
+                    "{{\"method\":\"{}\",\"len\":{},\"body\":\"{}\"}}",
+                    req.method,
+                    req.body.len(),
+                    req.body_str().unwrap_or("")
+                ),
+            )),
+            "/teapot" => Some(HttpResponse::text(400, "short and stout\n")),
+            _ => None,
+        }));
+        let srv = ObsHttpServer::serve(0, routes).unwrap();
+
+        // POST with a body, delivered intact.
+        let mut s = TcpStream::connect(("127.0.0.1", srv.port())).unwrap();
+        let payload = "hello=world";
+        write!(
+            s,
+            "POST /echo?src=test HTTP/1.0\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("200"), "{resp}");
+        assert!(resp.contains("\"method\":\"POST\""), "{resp}");
+        assert!(resp.contains("\"body\":\"hello=world\""), "{resp}");
+
+        // Dynamic routes can claim GETs and pick their own status.
+        let (status, body) = get(srv.port(), "/teapot");
+        assert!(status.contains("400"), "{status}");
+        assert!(body.contains("stout"));
+
+        // Unclaimed paths still fall through to the built-ins.
+        let (status, _) = get(srv.port(), "/metrics");
+        assert!(status.contains("200"), "{status}");
+
+        // Oversize bodies are refused before dispatch.
+        let mut s = TcpStream::connect(("127.0.0.1", srv.port())).unwrap();
+        write!(s, "POST /echo HTTP/1.0\r\nContent-Length: 99999999\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("413"), "{resp}");
     }
 
     #[test]

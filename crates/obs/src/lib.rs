@@ -41,8 +41,8 @@ pub use analysis::{analyze_chrome_trace, TaskContribution, TraceReport, WorkerUt
 pub use flame::collapse_chrome_trace;
 pub use flight::{extract_flight_trace, FlightRecorder};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
-pub use http::{HealthVerdict, HttpRoutes, ObsHttpServer};
-pub use metrics::{MetricsSnapshot, PeriodicSampler};
+pub use http::{DynamicRoute, HealthVerdict, HttpRequest, HttpResponse, HttpRoutes, ObsHttpServer};
+pub use metrics::{LabelSet, MetricsSnapshot, PeriodicSampler};
 pub use ring::{Event, EventKind, EventRing};
 pub use timeseries::TimeSeriesRecorder;
 pub use trace::{chrome_trace, flow_id, merge_chrome_traces};

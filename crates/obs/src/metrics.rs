@@ -14,16 +14,25 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+/// A set of Prometheus-style labels: `(name, value)` pairs.
+pub type LabelSet = Vec<(String, String)>;
+
 /// One observation of a process's counters and histograms.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Static identity labels (e.g. `rank`), attached to every
     /// Prometheus sample.
-    pub labels: Vec<(String, String)>,
+    pub labels: LabelSet,
     /// Monotonic counters, name → value.
     pub counters: Vec<(String, u64)>,
     /// Latency histograms, name → snapshot (values in ns).
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Counters carrying per-sample labels beyond the identity set
+    /// (e.g. per-tenant serving counters): name, extra labels, value.
+    pub labeled_counters: Vec<(String, LabelSet, u64)>,
+    /// Histograms carrying per-sample labels: name, extra labels,
+    /// snapshot (values in ns).
+    pub labeled_histograms: Vec<(String, LabelSet, HistogramSnapshot)>,
 }
 
 impl MetricsSnapshot {
@@ -33,6 +42,8 @@ impl MetricsSnapshot {
             labels,
             counters: Vec::new(),
             histograms: Vec::new(),
+            labeled_counters: Vec::new(),
+            labeled_histograms: Vec::new(),
         }
     }
 
@@ -44,6 +55,24 @@ impl MetricsSnapshot {
     /// Appends a histogram sample.
     pub fn histogram(&mut self, name: &str, snap: HistogramSnapshot) {
         self.histograms.push((name.to_string(), snap));
+    }
+
+    /// Appends a counter sample with extra labels (e.g.
+    /// `("tenant", "acme")`) merged into the identity labels on export.
+    pub fn labeled_counter(&mut self, name: &str, labels: Vec<(String, String)>, value: u64) {
+        self.labeled_counters
+            .push((name.to_string(), labels, value));
+    }
+
+    /// Appends a histogram sample with extra labels.
+    pub fn labeled_histogram(
+        &mut self,
+        name: &str,
+        labels: Vec<(String, String)>,
+        snap: HistogramSnapshot,
+    ) {
+        self.labeled_histograms
+            .push((name.to_string(), labels, snap));
     }
 
     /// Folds another snapshot in: counters with the same name add,
@@ -61,6 +90,26 @@ impl MetricsSnapshot {
             match self.histograms.iter_mut().find(|(n, _)| n == name) {
                 Some((_, mine)) => mine.merge(h),
                 None => self.histograms.push((name.clone(), *h)),
+            }
+        }
+        for (name, ls, v) in &other.labeled_counters {
+            match self
+                .labeled_counters
+                .iter_mut()
+                .find(|(n, l, _)| n == name && l == ls)
+            {
+                Some((_, _, mine)) => *mine += v,
+                None => self.labeled_counters.push((name.clone(), ls.clone(), *v)),
+            }
+        }
+        for (name, ls, h) in &other.labeled_histograms {
+            match self
+                .labeled_histograms
+                .iter_mut()
+                .find(|(n, l, _)| n == name && l == ls)
+            {
+                Some((_, _, mine)) => mine.merge(h),
+                None => self.labeled_histograms.push((name.clone(), ls.clone(), *h)),
             }
         }
     }
@@ -99,11 +148,63 @@ impl MetricsSnapshot {
                 })
                 .collect(),
         );
-        Value::Object(vec![
+        let mut fields = vec![
             ("labels".to_string(), labels),
             ("counters".to_string(), counters),
             ("histograms".to_string(), histograms),
-        ])
+        ];
+        if !self.labeled_counters.is_empty() {
+            fields.push((
+                "labeled_counters".to_string(),
+                Value::Array(
+                    self.labeled_counters
+                        .iter()
+                        .map(|(k, ls, v)| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::String(k.clone())),
+                                (
+                                    "labels".to_string(),
+                                    Value::Object(
+                                        ls.iter()
+                                            .map(|(lk, lv)| (lk.clone(), Value::String(lv.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("value".to_string(), Value::UInt(*v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.labeled_histograms.is_empty() {
+            fields.push((
+                "labeled_histograms".to_string(),
+                Value::Array(
+                    self.labeled_histograms
+                        .iter()
+                        .map(|(k, ls, h)| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::String(k.clone())),
+                                (
+                                    "labels".to_string(),
+                                    Value::Object(
+                                        ls.iter()
+                                            .map(|(lk, lv)| (lk.clone(), Value::String(lv.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("count".to_string(), Value::UInt(h.count())),
+                                ("mean_ns".to_string(), Value::Float(h.mean())),
+                                ("p50_ns".to_string(), Value::UInt(h.p50())),
+                                ("p99_ns".to_string(), Value::UInt(h.p99())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Object(fields)
     }
 
     /// Renders as pretty JSON.
@@ -178,6 +279,75 @@ impl MetricsSnapshot {
                 h.count()
             ));
         }
+        // Labeled samples: extra labels merge into the identity set.
+        // HELP/TYPE emitted once per metric name (samples for a name
+        // are expected to arrive grouped, but track names to be safe).
+        let extra_labels = |extras: &[(String, String)], le: Option<String>| -> String {
+            let mut parts: Vec<String> = self
+                .labels
+                .iter()
+                .chain(extras.iter())
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            if let Some(v) = le {
+                parts.push(format!("le=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut typed: Vec<&str> = Vec::new();
+        for (name, ls, v) in &self.labeled_counters {
+            if !typed.contains(&name.as_str()) {
+                typed.push(name);
+                if let Some(help) = help_text(name) {
+                    out.push_str(&format!("# HELP {prefix}_{name} {help}\n"));
+                }
+                out.push_str(&format!("# TYPE {prefix}_{name} counter\n"));
+            }
+            out.push_str(&format!("{prefix}_{name}{} {v}\n", extra_labels(ls, None)));
+        }
+        let mut typed: Vec<&str> = Vec::new();
+        for (name, ls, h) in &self.labeled_histograms {
+            let metric = format!("{prefix}_{name}_seconds");
+            if !typed.contains(&name.as_str()) {
+                typed.push(name);
+                if let Some(help) = help_text(name) {
+                    out.push_str(&format!("# HELP {metric} {help}\n"));
+                }
+                out.push_str(&format!("# TYPE {metric} histogram\n"));
+            }
+            let last_used = (0..HIST_BUCKETS)
+                .rev()
+                .find(|&i| h.buckets[i] != 0)
+                .unwrap_or(0);
+            let mut cumulative = 0u64;
+            for i in 0..=last_used {
+                cumulative += h.buckets[i];
+                let le = bucket_upper_bound(i) as f64 / 1e9;
+                out.push_str(&format!(
+                    "{metric}_bucket{} {cumulative}\n",
+                    extra_labels(ls, Some(format!("{le:e}")))
+                ));
+            }
+            out.push_str(&format!(
+                "{metric}_bucket{} {}\n",
+                extra_labels(ls, Some("+Inf".to_string())),
+                h.count()
+            ));
+            out.push_str(&format!(
+                "{metric}_sum{} {}\n",
+                extra_labels(ls, None),
+                h.sum as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "{metric}_count{} {}\n",
+                extra_labels(ls, None),
+                h.count()
+            ));
+        }
         out
     }
 }
@@ -218,6 +388,12 @@ fn help_text(name: &str) -> Option<&'static str> {
         "bravo_revocations" => "BRAVO fast-path revocations by writers.",
         "bravo_revocation_ns" => "Nanoseconds writers spent waiting out BRAVO revocations.",
         "trace_events_dropped" => "Trace events lost to event-ring overwrite.",
+        "serve_submitted" => "Graph instances admitted per tenant.",
+        "serve_completed" => "Graph instances that ran to completion per tenant.",
+        "serve_rejected" => "Submissions refused by admission control per tenant.",
+        "serve_failed" => "Graph instances whose scope recorded a failure per tenant.",
+        "serve_abandoned" => "Graph instances abandoned at engine shutdown.",
+        "serve_latency" => "Submit-to-completion latency of served graph instances.",
         "task_duration" => "Task body execution time.",
         "ready_delay" => "Delay between a task becoming ready and starting to run.",
         "message_latency" => "Remote message inbox residence time (receiver clock).",
@@ -424,6 +600,60 @@ ttg_bravo_revocations{rank=\"1\"} 5\n";
                 );
             }
         }
+    }
+
+    #[test]
+    fn labeled_counters_render_merge_and_roundtrip() {
+        let tenant = |t: &str| vec![("tenant".to_string(), t.to_string())];
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        m.labeled_counter("serve_submitted", tenant("acme"), 7);
+        m.labeled_counter("serve_submitted", tenant("globex"), 2);
+        m.labeled_counter("serve_rejected", tenant("acme"), 1);
+        let h = LatencyHistogram::new();
+        h.record(1_000);
+        m.labeled_histogram("serve_latency", tenant("acme"), h.snapshot());
+
+        let text = m.to_prometheus("ttg");
+        // Identity + extra labels merge; TYPE emitted once per name.
+        assert!(text.contains("ttg_serve_submitted{rank=\"0\",tenant=\"acme\"} 7"));
+        assert!(text.contains("ttg_serve_submitted{rank=\"0\",tenant=\"globex\"} 2"));
+        assert_eq!(
+            text.matches("# TYPE ttg_serve_submitted counter").count(),
+            1
+        );
+        assert!(text.contains("# HELP ttg_serve_submitted Graph instances admitted per tenant."));
+        assert!(text.contains("ttg_serve_latency_seconds_count{rank=\"0\",tenant=\"acme\"} 1"));
+        assert!(text.contains("le=\"+Inf\"}"));
+
+        // Merge matches on name AND labels.
+        let mut other = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        other.labeled_counter("serve_submitted", tenant("acme"), 3);
+        other.labeled_counter("serve_submitted", tenant("initech"), 1);
+        m.merge(&other);
+        assert_eq!(m.labeled_counters[0].2, 10);
+        assert_eq!(m.labeled_counters.len(), 4);
+
+        // JSON view exposes the labeled samples.
+        let v: Value = serde_json::from_str(&m.to_json()).unwrap();
+        let lc = v.get("labeled_counters").unwrap().as_array().unwrap();
+        assert_eq!(lc.len(), 4);
+        assert_eq!(lc[0].get("name").unwrap().as_str(), Some("serve_submitted"));
+        assert_eq!(
+            lc[0].get("labels").unwrap().get("tenant").unwrap().as_str(),
+            Some("acme")
+        );
+        assert_eq!(lc[0].get("value").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn labeled_metrics_absent_means_unchanged_output() {
+        // A snapshot without labeled samples renders exactly as before
+        // the labeled extension existed (no extra JSON keys, no extra
+        // exposition lines) — guards the golden tests' assumption.
+        let m = sample();
+        let v: Value = serde_json::from_str(&m.to_json()).unwrap();
+        assert!(v.get("labeled_counters").is_none());
+        assert!(v.get("labeled_histograms").is_none());
     }
 
     #[test]

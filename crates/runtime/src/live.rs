@@ -283,6 +283,7 @@ impl LiveTelemetry {
                     body: report.to_json(),
                 }
             }),
+            dynamic: None,
         }
     }
 

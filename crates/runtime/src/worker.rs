@@ -22,6 +22,9 @@ pub struct WorkerCtx<'rt> {
     /// Remaining inline-execution budget below the current top-level
     /// task (see `RuntimeConfig::inline_tasks`).
     inline_remaining: usize,
+    /// Instance scope whose completion the just-executed task deferred
+    /// (see [`WorkerCtx::defer_scope_completion`]).
+    completed_scope: Option<std::sync::Arc<ttg_termdet::InstanceScope>>,
 }
 
 impl<'rt> WorkerCtx<'rt> {
@@ -31,6 +34,7 @@ impl<'rt> WorkerCtx<'rt> {
             id,
             bundle: SortedChain::new(),
             inline_remaining: 0,
+            completed_scope: None,
         }
     }
 
@@ -56,6 +60,36 @@ impl<'rt> WorkerCtx<'rt> {
         self.inner.term.task_discovered(Some(self.id));
     }
 
+    /// Defers `scope.task_completed()` for the task that is currently
+    /// finishing on this worker until its execution frame has fully
+    /// unwound.
+    ///
+    /// A scope's zero-crossing can release a waiter that tears the
+    /// task's template down; firing the decrement from *inside* the
+    /// task's own `execute` (where `&self` references into the template
+    /// are still live) would let that teardown free memory under those
+    /// references. The worker instead fires the decrement after
+    /// `execute` has returned — in [`WorkerCtx::run_task`] for
+    /// queue-popped tasks and in the inline branch of
+    /// [`WorkerCtx::schedule`] for inlined ones.
+    #[inline]
+    pub fn defer_scope_completion(&mut self, scope: std::sync::Arc<ttg_termdet::InstanceScope>) {
+        debug_assert!(
+            self.completed_scope.is_none(),
+            "a task deferred two scope completions"
+        );
+        self.completed_scope = Some(scope);
+    }
+
+    /// Fires a deferred scope completion, if the just-finished task left
+    /// one. Must only run once that task's frames are fully unwound.
+    #[inline]
+    fn fire_scope_completion(&mut self) {
+        if let Some(scope) = self.completed_scope.take() {
+            scope.task_completed();
+        }
+    }
+
     /// Schedules an already-counted task: it joins the current bundle and
     /// is published when the running task finishes — unless task
     /// inlining is enabled and budget remains, in which case the task
@@ -72,6 +106,7 @@ impl<'rt> WorkerCtx<'rt> {
             self.inline_remaining -= 1;
             // SAFETY: forwarded caller contract; we own the task.
             unsafe { task.execute(self) };
+            self.fire_scope_completion();
             self.inner.term.task_executed(Some(self.id));
             let cell = &self.inner.worker_stats[self.id];
             cell.executed.set(cell.executed.get() + 1);
@@ -151,6 +186,10 @@ impl<'rt> WorkerCtx<'rt> {
             obs.record_task(self.id, name, ready, start, ttg_sync::clock::now_ns());
         }
         self.flush_bundle();
+        // Fire any deferred instance-scope completion only now: the
+        // task's frames are gone and its children are published, so a
+        // waiter released by the zero-crossing can safely tear down.
+        self.fire_scope_completion();
         self.inner.term.task_executed(Some(self.id));
         let cell = &self.inner.worker_stats[self.id];
         cell.executed.set(cell.executed.get() + 1);

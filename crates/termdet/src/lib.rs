@@ -27,11 +27,20 @@
 //! discovered by thread A but executed by thread B can be flushed by B
 //! first); quiescence is therefore only evaluated when every worker is
 //! idle and flushed, at which point the counter is exact.
+//!
+//! A fourth, orthogonal level serves the resident-runtime case:
+//! [`InstanceScope`] detects termination of *one graph instance* among
+//! many sharing a runtime, via a Dijkstra–Scholten-style credit scheme
+//! (the degenerate in-process form of a per-instance wave epoch), so a
+//! serving layer never needs to quiesce the whole runtime between
+//! requests.
 
 #![warn(missing_docs)]
 
 mod local;
+mod scope;
 mod wave;
 
 pub use local::{LocalTermination, TermDetKind};
+pub use scope::{InstanceScope, ScopeOutcome, SubmissionGuard};
 pub use wave::{TermWave, WaveBoard};

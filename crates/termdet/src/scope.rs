@@ -1,0 +1,389 @@
+//! Instance-scoped termination: per-graph-instance completion on a
+//! shared, resident runtime.
+//!
+//! The 4-counter wave answers "is the *whole job* quiescent?" — the
+//! right question for run-to-completion programs, and the wrong one for
+//! a serving runtime executing many independent graph instances
+//! concurrently: waiting for global quiescence would serialize
+//! instances behind each other.
+//!
+//! An [`InstanceScope`] is the instance-local analogue of one wave
+//! epoch. Instead of reducing (sent, received) message totals across
+//! processes, it exploits a structural property of in-process task
+//! scheduling: every task of an instance is *scheduled* either by the
+//! submitter (while it holds a [`SubmissionGuard`] credit) or by an
+//! already-running task of the same instance (whose own completion is
+//! still pending). Scheduling increments the scope's pending counter
+//! **before** the new task becomes visible, and a task's decrement
+//! happens only after its body — and therefore all of its scheduling —
+//! has finished. The counter consequently can never touch zero while
+//! more work can still appear: the first time it reaches zero *is*
+//! instance termination, with no second confirmation round needed (the
+//! wave's "two identical reductions" guard exists precisely because
+//! remote receives are asynchronous; here they are not). This is the
+//! classic Dijkstra–Scholten credit scheme, degenerate-wave framing:
+//! within one process, sent == received holds at every instant.
+//!
+//! Failure is a first-class outcome: a panicking task body marks the
+//! scope failed but does **not** end it early — remaining tasks drain
+//! normally so the instance still terminates, the runtime stays
+//! healthy, and sibling instances never notice.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How an instance's execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeOutcome {
+    /// Every scheduled task executed and none failed.
+    Completed,
+    /// All tasks drained, but at least one failed (first diagnostic).
+    Failed(String),
+}
+
+impl ScopeOutcome {
+    /// True for [`ScopeOutcome::Completed`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ScopeOutcome::Completed)
+    }
+}
+
+struct ScopeState {
+    complete: bool,
+    failure: Option<String>,
+    /// Fired exactly once, the moment the scope completes (or
+    /// immediately at registration if already complete).
+    on_complete: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// Termination-detection scope for one graph instance on a shared
+/// runtime (see the module docs for the credit-scheme protocol).
+///
+/// Counting contract:
+///
+/// - [`InstanceScope::task_scheduled`] **before** the task becomes
+///   reachable by any worker;
+/// - [`InstanceScope::task_completed`] only after the task's body (and
+///   thus all scheduling it performs) has fully finished;
+/// - external seeding happens under a [`SubmissionGuard`], whose credit
+///   keeps the counter positive until seeding is done.
+///
+/// Violating the ordering can announce termination early; the runtime
+/// integration (ttg-core's scoped graphs) honours it at every site.
+pub struct InstanceScope {
+    id: u64,
+    /// Outstanding credits: live tasks + open submission guards.
+    pending: AtomicI64,
+    scheduled: AtomicU64,
+    completed: AtomicU64,
+    state: Mutex<ScopeState>,
+    cv: Condvar,
+}
+
+impl InstanceScope {
+    /// Creates the scope for instance `id`. A scope with no credits is
+    /// *dormant*, not complete — completion is only announced by a
+    /// credit draining to zero, so take a [`SubmissionGuard`] even for
+    /// instances that schedule nothing.
+    pub fn new(id: u64) -> Arc<Self> {
+        Arc::new(InstanceScope {
+            id,
+            pending: AtomicI64::new(0),
+            scheduled: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            state: Mutex::new(ScopeState {
+                complete: false,
+                failure: None,
+                on_complete: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The instance id this scope tracks (namespaces diagnostics,
+    /// results, and metrics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Takes a submission credit: the scope cannot complete while the
+    /// guard is alive, so a seeder may schedule tasks without racing an
+    /// early zero-crossing. Dropping the guard releases the credit.
+    pub fn submission_guard(self: &Arc<Self>) -> SubmissionGuard {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        SubmissionGuard {
+            scope: Arc::clone(self),
+        }
+    }
+
+    /// Records that one task of this instance was scheduled. Must
+    /// happen-before the task is published to any queue.
+    #[inline]
+    pub fn task_scheduled(&self) {
+        self.scheduled.fetch_add(1, Ordering::Relaxed);
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records that one scheduled task finished (executed or was
+    /// disposed during teardown). The zero-crossing announces
+    /// completion.
+    #[inline]
+    pub fn task_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.release_credit();
+    }
+
+    #[inline]
+    fn release_credit(&self) {
+        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "instance scope credit underflow");
+        if prev == 1 {
+            self.finish();
+        }
+    }
+
+    fn finish(&self) {
+        let hook = {
+            let mut st = self.state.lock();
+            if st.complete {
+                return;
+            }
+            st.complete = true;
+            self.cv.notify_all();
+            st.on_complete.take()
+        };
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    /// Records a task failure (first one wins). The scope still drains
+    /// to completion; the failure is surfaced in the outcome.
+    pub fn fail(&self, reason: impl Into<String>) {
+        let mut st = self.state.lock();
+        if st.failure.is_none() {
+            st.failure = Some(reason.into());
+        }
+    }
+
+    /// Registers the completion hook. Fires exactly once — immediately
+    /// if the scope already completed, otherwise at the zero-crossing
+    /// (on whichever thread completes the final task).
+    pub fn set_on_complete(&self, hook: impl FnOnce() + Send + 'static) {
+        let hook: Box<dyn FnOnce() + Send> = Box::new(hook);
+        let mut st = self.state.lock();
+        if st.complete {
+            drop(st);
+            hook();
+        } else {
+            debug_assert!(st.on_complete.is_none(), "completion hook already set");
+            st.on_complete = Some(hook);
+        }
+    }
+
+    /// True once the instance has terminated.
+    pub fn is_complete(&self) -> bool {
+        self.state.lock().complete
+    }
+
+    /// The outcome, if the instance has terminated.
+    pub fn outcome(&self) -> Option<ScopeOutcome> {
+        let st = self.state.lock();
+        st.complete.then(|| match &st.failure {
+            Some(reason) => ScopeOutcome::Failed(reason.clone()),
+            None => ScopeOutcome::Completed,
+        })
+    }
+
+    /// Blocks until the instance terminates.
+    pub fn wait(&self) -> ScopeOutcome {
+        let mut st = self.state.lock();
+        while !st.complete {
+            self.cv.wait(&mut st);
+        }
+        match &st.failure {
+            Some(reason) => ScopeOutcome::Failed(reason.clone()),
+            None => ScopeOutcome::Completed,
+        }
+    }
+
+    /// [`InstanceScope::wait`] with a deadline; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ScopeOutcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while !st.complete {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+        Some(match &st.failure {
+            Some(reason) => ScopeOutcome::Failed(reason.clone()),
+            None => ScopeOutcome::Completed,
+        })
+    }
+
+    /// Total tasks ever scheduled under this scope.
+    pub fn tasks_scheduled(&self) -> u64 {
+        self.scheduled.load(Ordering::Relaxed)
+    }
+
+    /// Total tasks that finished (executed or disposed).
+    pub fn tasks_completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Outstanding credits (tasks in flight plus open submission
+    /// guards). Diagnostic only — racy by nature.
+    pub fn pending(&self) -> i64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for InstanceScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceScope")
+            .field("id", &self.id)
+            .field("pending", &self.pending())
+            .field("scheduled", &self.tasks_scheduled())
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+/// RAII submission credit (see [`InstanceScope::submission_guard`]).
+pub struct SubmissionGuard {
+    scope: Arc<InstanceScope>,
+}
+
+impl Drop for SubmissionGuard {
+    fn drop(&mut self) {
+        self.scope.release_credit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn zero_task_instance_completes_when_guard_drops() {
+        let s = InstanceScope::new(1);
+        assert!(!s.is_complete(), "dormant scope is not complete");
+        let g = s.submission_guard();
+        assert!(!s.is_complete());
+        drop(g);
+        assert!(s.is_complete());
+        assert_eq!(s.outcome(), Some(ScopeOutcome::Completed));
+    }
+
+    #[test]
+    fn guard_holds_off_completion_during_seeding() {
+        let s = InstanceScope::new(2);
+        let g = s.submission_guard();
+        s.task_scheduled();
+        s.task_completed(); // drains to the guard's credit, not to zero
+        assert!(!s.is_complete(), "guard credit must block completion");
+        s.task_scheduled();
+        drop(g);
+        assert!(!s.is_complete(), "a live task still blocks completion");
+        s.task_completed();
+        assert_eq!(s.wait(), ScopeOutcome::Completed);
+        assert_eq!(s.tasks_scheduled(), 2);
+        assert_eq!(s.tasks_completed(), 2);
+    }
+
+    #[test]
+    fn failure_is_recorded_but_scope_still_drains() {
+        let s = InstanceScope::new(3);
+        let g = s.submission_guard();
+        s.task_scheduled();
+        s.task_scheduled();
+        drop(g);
+        s.fail("task 'boom' panicked");
+        s.fail("later failure is dropped");
+        s.task_completed();
+        assert!(!s.is_complete());
+        s.task_completed();
+        assert_eq!(
+            s.wait(),
+            ScopeOutcome::Failed("task 'boom' panicked".to_string())
+        );
+    }
+
+    #[test]
+    fn completion_hook_fires_exactly_once_even_if_set_late() {
+        use std::sync::atomic::AtomicUsize;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let s = InstanceScope::new(4);
+        let f = Arc::clone(&fired);
+        s.set_on_complete(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        let g = s.submission_guard();
+        drop(g);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+        // Already-complete scope: a late registration fires immediately.
+        let s2 = InstanceScope::new(5);
+        drop(s2.submission_guard());
+        let fired2 = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired2);
+        s2.set_on_complete(move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired2.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_then_succeeds() {
+        let s = InstanceScope::new(6);
+        let g = s.submission_guard();
+        assert_eq!(s.wait_timeout(Duration::from_millis(20)), None);
+        let s2 = Arc::clone(&s);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            drop(g);
+            let _ = s2;
+        });
+        assert_eq!(
+            s.wait_timeout(Duration::from_secs(5)),
+            Some(ScopeOutcome::Completed)
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_schedulers_never_complete_early() {
+        // Hammer the credit protocol: N threads each schedule/complete
+        // under a shared guard; completion must only be announced after
+        // the guard drops and every task drained.
+        const THREADS: usize = 8;
+        const TASKS: usize = 2_000;
+        let s = InstanceScope::new(7);
+        let g = s.submission_guard();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    for _ in 0..TASKS {
+                        s.task_scheduled();
+                        assert!(!s.is_complete(), "completed while tasks in flight");
+                        s.task_completed();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!s.is_complete(), "guard still held");
+        drop(g);
+        assert_eq!(s.wait(), ScopeOutcome::Completed);
+        assert_eq!(s.tasks_scheduled(), (THREADS * TASKS) as u64);
+    }
+}
