@@ -8,7 +8,7 @@
 //! ttg-bench diff <old.json> <new.json> [--threshold 0.10]
 //! ttg-bench flame <trace.json|flight.json> [--out FILE]
 //! ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T]
-//!                 [--bench-json FILE]
+//!                 [--bench-json FILE] [--attribute]
 //! ```
 //!
 //! `analyze` runs the critical-path analysis over an exported Chrome
@@ -25,6 +25,11 @@
 //! in total on one resident runtime. It records sustained
 //! `serve_us_per_graph` plus p50/p99 submit-to-result latency, and
 //! with `--bench-json` writes a `BENCH_serve.json` regression record.
+//! `--attribute` turns on request-scoped span recording and, per
+//! tenant, splits the p50/p99 latency into queue/execute/wire
+//! components pulled from each instance's assembled span (needs the
+//! `obs-spans` build, which is the harness default). A shutdown that
+//! abandons instances exits non-zero.
 //!
 //! `analyze` and `flame` both accept a crash flight dump (the
 //! `ttg-flight-<rank>-<ms>.json` files the flight recorder leaves
@@ -38,7 +43,7 @@ const USAGE: &str = "usage:
   ttg-bench analyze <trace.json|flight.json> [--top K]
   ttg-bench diff <old.json> <new.json> [--threshold 0.10]
   ttg-bench flame <trace.json|flight.json> [--out FILE]
-  ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T] [--bench-json FILE]";
+  ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T] [--bench-json FILE] [--attribute]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -204,7 +209,19 @@ fn cmd_serve(argv: &[String]) {
     use ttg_runtime::{Runtime, RuntimeConfig};
     use ttg_serve::{ServeConfig, ServeEngine};
 
-    let (pos, opts) = split_args(argv);
+    // `--attribute` is the one value-less flag; strip it before the
+    // `--name value` parse.
+    let mut attribute = false;
+    let argv: Vec<String> = argv
+        .iter()
+        .filter(|a| {
+            let is_flag = a.as_str() == "--attribute";
+            attribute |= is_flag;
+            !is_flag
+        })
+        .cloned()
+        .collect();
+    let (pos, opts) = split_args(&argv);
     if !pos.is_empty() {
         fail("serve takes no positional arguments");
     }
@@ -218,8 +235,15 @@ fn cmd_serve(argv: &[String]) {
     let graphs: usize = opt(&opts, "graphs", 400).max(clients);
     let tasks: u64 = opt(&opts, "tasks", 16).max(1);
     let bench_json: String = opt(&opts, "bench-json", String::new());
+    if attribute && !cfg!(feature = "obs-spans") {
+        eprintln!("warning: --attribute without the obs-spans feature reports zeros");
+    }
 
-    let runtime = Arc::new(Runtime::new(RuntimeConfig::optimized(threads)));
+    let mut rc = RuntimeConfig::optimized(threads);
+    // Span assembly reads the event rings; recording is off unless the
+    // runtime traces.
+    rc.trace = attribute;
+    let runtime = Arc::new(Runtime::new(rc));
     let engine = Arc::new(ServeEngine::new(
         runtime,
         ServeConfig {
@@ -278,6 +302,7 @@ fn cmd_serve(argv: &[String]) {
             std::thread::spawn(move || {
                 let tenant = if c % 2 == 0 { "tenant-a" } else { "tenant-b" };
                 let mut latencies = Vec::with_capacity(per_client);
+                let mut splits = Vec::new();
                 for _ in 0..per_client {
                     let t0 = Instant::now();
                     let id = engine
@@ -287,15 +312,32 @@ fn cmd_serve(argv: &[String]) {
                         .wait_result(id, Duration::from_secs(60))
                         .expect("instance completes");
                     latencies.push(t0.elapsed());
+                    if attribute {
+                        // Assemble the span right away, while the event
+                        // rings still hold this instance and before the
+                        // result cache evicts its record.
+                        if let Ok(trace) = engine.trace_json(id) {
+                            let us = |f: &str| trace.get(f).and_then(Value::as_f64).unwrap_or(0.0);
+                            splits.push((
+                                tenant,
+                                us("queue_us"),
+                                us("execute_us"),
+                                us("wire_us"),
+                            ));
+                        }
+                    }
                 }
-                latencies
+                (latencies, splits)
             })
         })
         .collect();
-    let mut latencies: Vec<Duration> = handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("client thread"))
-        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(graphs);
+    let mut splits: Vec<(&str, f64, f64, f64)> = Vec::new();
+    for h in handles {
+        let (l, s) = h.join().expect("client thread");
+        latencies.extend(l);
+        splits.extend(s);
+    }
     let elapsed = start.elapsed();
     latencies.sort_unstable();
     let total = latencies.len().max(1);
@@ -314,9 +356,42 @@ fn cmd_serve(argv: &[String]) {
         "tenant-a: {} completed, {} rejected; tenant-b: {} completed, {} rejected",
         a.completed, a.rejected, b.completed, b.rejected
     );
+    if attribute {
+        for tenant in ["tenant-a", "tenant-b"] {
+            let mut queue: Vec<f64> = Vec::new();
+            let mut execute: Vec<f64> = Vec::new();
+            let mut wire: Vec<f64> = Vec::new();
+            for (t, q, e, w) in &splits {
+                if *t == tenant {
+                    queue.push(*q);
+                    execute.push(*e);
+                    wire.push(*w);
+                }
+            }
+            if queue.is_empty() {
+                println!("attribution {tenant}: no spans assembled");
+                continue;
+            }
+            for v in [&mut queue, &mut execute, &mut wire] {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            let pct = |v: &[f64], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+            println!(
+                "attribution {tenant} ({} spans): p50 queue {:.1} / execute {:.1} / wire {:.1} us, \
+                 p99 queue {:.1} / execute {:.1} / wire {:.1} us",
+                queue.len(),
+                pct(&queue, 0.50),
+                pct(&execute, 0.50),
+                pct(&wire, 0.50),
+                pct(&queue, 0.99),
+                pct(&execute, 0.99),
+                pct(&wire, 0.99),
+            );
+        }
+    }
     let report = engine.shutdown(Duration::from_secs(10));
     if !report.drained {
-        eprintln!("warning: shutdown abandoned {:?}", report.abandoned);
+        eprintln!("error: shutdown abandoned {:?}", report.abandoned);
     }
 
     if !bench_json.is_empty() {
@@ -335,6 +410,11 @@ fn cmd_serve(argv: &[String]) {
             std::process::exit(2);
         }
         println!("wrote {bench_json}");
+    }
+    // An abandoned shutdown is a failed run even though the record was
+    // written — CI must see it.
+    if !report.drained {
+        std::process::exit(3);
     }
 }
 

@@ -247,8 +247,10 @@ impl<'g, K: Key> TtBuilder<'g, K> {
         if let Some(hook) = runtime.pool_refill_hook() {
             pool.set_refill_observer(hook);
         }
+        let vtable = crate::shell::interned_vtable::<K>(&self.name);
         let inner = Arc::new(TtInner {
             name: self.name,
+            vtable,
             inputs: self.inputs,
             outputs: self.outputs,
             body: Box::new(body),

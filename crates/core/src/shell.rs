@@ -63,13 +63,32 @@ pub(crate) struct Shell<K: Key> {
 unsafe impl<K: Key> Send for Shell<K> {}
 unsafe impl<K: Key> Sync for Shell<K> {}
 
-impl<K: Key> Shell<K> {
-    pub(crate) const VTABLE: TaskVTable = TaskVTable {
-        execute: Self::execute,
-        dispose: Self::dispose,
-        name: "tt-shell",
-    };
+/// Interns one leaked [`TaskVTable`] per unique `(key type, TT name)`
+/// pair so task events and span breakdowns carry the TT's real name
+/// instead of the generic `"tt-shell"`. Interning (rather than leaking
+/// per TT) keeps the leak bounded: serving workloads instantiate fresh
+/// TTs per request, but template names form a small fixed set.
+pub(crate) fn interned_vtable<K: Key>(name: &str) -> &'static TaskVTable {
+    use std::any::TypeId;
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+    static VTABLES: OnceLock<Mutex<BTreeMap<(TypeId, String), &'static TaskVTable>>> =
+        OnceLock::new();
+    let registry = VTABLES.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut registry = registry.lock().unwrap();
+    if let Some(vt) = registry.get(&(TypeId::of::<K>(), name.to_string())) {
+        return vt;
+    }
+    let vt: &'static TaskVTable = Box::leak(Box::new(TaskVTable {
+        execute: Shell::<K>::execute,
+        dispose: Shell::<K>::dispose,
+        name: Box::leak(name.to_string().into_boxed_str()),
+    }));
+    registry.insert((TypeId::of::<K>(), name.to_string()), vt);
+    vt
+}
 
+impl<K: Key> Shell<K> {
     /// The erased task pointer for this shell.
     pub(crate) fn raw_task(shell: NonNull<Shell<K>>) -> RawTask {
         RawTask(shell.cast())

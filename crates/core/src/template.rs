@@ -215,10 +215,15 @@ impl GraphTemplate {
         input: Value,
     ) -> GraphInstance {
         let scope = InstanceScope::new(id);
+        let tenant = tenant.into();
+        // Link the scope to its span context before any task can be
+        // scheduled under it; packs to 0 (unattributed) with the
+        // `obs-spans` feature off.
+        scope.set_span(ttg_runtime::obs::pack_span(&tenant, id));
         let graph = Graph::with_runtime_scoped(Arc::clone(runtime), Arc::clone(&scope));
         let ctx = InstanceCtx {
             id,
-            tenant: tenant.into(),
+            tenant,
             input,
             sink: ResultSink::new(),
         };
@@ -303,9 +308,13 @@ impl GraphInstance {
     /// failed instead of unwinding.
     pub fn start(&mut self) {
         if let Some(seed) = self.seed.take() {
-            if let Err(payload) =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(seed))
-            {
+            // Seeding runs off-worker, so the request's identity enters
+            // the runtime via the ambient span: terminals invoked by the
+            // seeder stamp it onto the tasks they inject.
+            let span = self.scope.span();
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ttg_runtime::obs::spans::with_ambient_span(span, seed)
+            })) {
                 self.scope.fail(format!(
                     "seeding instance {} of template '{}' panicked: {}",
                     self.id,

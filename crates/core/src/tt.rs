@@ -76,6 +76,11 @@ pub(crate) type BodyFn<K> =
 /// Shared state of one template task.
 pub(crate) struct TtInner<K: Key> {
     pub(crate) name: String,
+    /// Interned vtable carrying this TT's name, so task events (and the
+    /// span breakdowns assembled from them) attribute executions to the
+    /// real TT instead of a generic shell. One leaked vtable per unique
+    /// `(key type, name)` pair — see [`crate::shell::interned_vtable`].
+    pub(crate) vtable: &'static ttg_runtime::TaskVTable,
     pub(crate) inputs: Vec<InputDecl<K>>,
     pub(crate) outputs: Vec<OutBinding>,
     pub(crate) body: BodyFn<K>,
@@ -138,16 +143,28 @@ impl<K: Key> TtInner<K> {
     fn new_shell(&self, key: K) -> NonNull<Shell<K>> {
         let goal = self.goal_for(&key);
         let priority = self.priority_for(&key);
-        self.pool
+        let shell = self
+            .pool
             .alloc(Shell {
-                header: TaskHeader::new(priority, &Shell::<K>::VTABLE),
+                header: TaskHeader::new(priority, self.vtable),
                 tt: NonNull::from(self),
                 key,
                 slots: std::array::from_fn(|_| InputSlot::Empty),
                 goal,
                 satisfied: CAtomicUsize::new(0),
             })
-            .into_raw()
+            .into_raw();
+        // Scoped instances stamp every shell with the request's span so
+        // the worker attributes execution (and downstream sends) to it;
+        // a ZST no-op without `obs-spans`. The scheduling path may later
+        // re-stamp-if-unset from the running task's span, which this
+        // explicit stamp takes precedence over.
+        if let Some(scope) = &self.scope {
+            // SAFETY: freshly allocated, exclusively owned until
+            // published.
+            unsafe { shell.as_ref().header.stamp_span(scope.span()) };
+        }
+        shell
     }
 
     /// Delivers one datum into input terminal `idx` of task `key`.

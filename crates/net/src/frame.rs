@@ -6,7 +6,7 @@
 //! than executed:
 //!
 //! ```text
-//! [u32 body_len (LE)] [u32 crc32 (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [payload ...]
+//! [u32 body_len (LE)] [u32 crc32 (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [u64 span (LE)] [payload ...]
 //! ```
 //!
 //! `body_len` counts everything after the CRC word; `crc32` is the
@@ -14,6 +14,14 @@
 //! a registered handler id plus an opaque payload; control frames reuse
 //! the same layout with `handler`/`priority` reinterpreted per kind (see
 //! [`FrameKind`]), which keeps the codec to a single code path.
+//!
+//! `span` is the request-scoped span context of the sending task
+//! (`ttg_obs::spans` packing; 0 = unattributed). It is part of the fixed
+//! header *unconditionally* — builds with the `obs-spans` feature off
+//! simply send 0 — so mixed-feature deployments stay wire-compatible.
+//! Note the header grew from 9 to 17 bytes when the field was added:
+//! peers from before the change cannot talk to peers after it (the CRC
+//! rejects the mismatch loudly rather than misparsing).
 //!
 //! Decoding distinguishes three outcomes ([`Decoded`]): a frame, a
 //! clean EOF at a frame boundary, and a *corrupt* frame (bad CRC, bad
@@ -80,6 +88,9 @@ pub struct Frame {
     pub priority: i32,
     /// Registered handler id (data) or kind-specific word (control).
     pub handler: u32,
+    /// Request-scoped span context of the sending task (0 =
+    /// unattributed; always 0 for control frames).
+    pub span: u64,
     /// Opaque handler payload (data) or kind-specific words (control).
     pub payload: Vec<u8>,
 }
@@ -101,8 +112,8 @@ pub enum Decoded {
     },
 }
 
-/// Fixed bytes after the CRC word: kind + priority + handler.
-const HEADER_LEN: usize = 1 + 4 + 4;
+/// Fixed bytes after the CRC word: kind + priority + handler + span.
+const HEADER_LEN: usize = 1 + 4 + 4 + 8;
 
 /// Refuse frames larger than this (corrupt length words otherwise turn
 /// into multi-gigabyte allocations).
@@ -149,12 +160,19 @@ fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
 }
 
 impl Frame {
-    /// Builds a data frame for a registered handler.
+    /// Builds a data frame for a registered handler (unattributed; use
+    /// [`Frame::data_with_span`] to carry a request span).
     pub fn data(handler: u32, priority: i32, payload: Vec<u8>) -> Self {
+        Frame::data_with_span(handler, priority, payload, 0)
+    }
+
+    /// Builds a data frame stamped with a request-scoped span context.
+    pub fn data_with_span(handler: u32, priority: i32, payload: Vec<u8>, span: u64) -> Self {
         Frame {
             kind: FrameKind::Data,
             priority,
             handler,
+            span,
             payload,
         }
     }
@@ -165,6 +183,7 @@ impl Frame {
             kind,
             priority: 0,
             handler,
+            span: 0,
             payload: Vec::new(),
         }
     }
@@ -179,6 +198,7 @@ impl Frame {
             kind,
             priority: 0,
             handler,
+            span: 0,
             payload,
         }
     }
@@ -205,11 +225,13 @@ impl Frame {
         let mut crc = crc32_update(0xFFFF_FFFF, &[self.kind as u8]);
         crc = crc32_update(crc, &self.priority.to_le_bytes());
         crc = crc32_update(crc, &self.handler.to_le_bytes());
+        crc = crc32_update(crc, &self.span.to_le_bytes());
         crc = crc32_update(crc, &self.payload) ^ 0xFFFF_FFFF;
         buf.extend_from_slice(&crc.to_le_bytes());
         buf.push(self.kind as u8);
         buf.extend_from_slice(&self.priority.to_le_bytes());
         buf.extend_from_slice(&self.handler.to_le_bytes());
+        buf.extend_from_slice(&self.span.to_le_bytes());
         buf.extend_from_slice(&self.payload);
     }
 
@@ -259,11 +281,13 @@ impl Frame {
         };
         let priority = i32::from_le_bytes(body[1..5].try_into().expect("4 bytes"));
         let handler = u32::from_le_bytes(body[5..9].try_into().expect("4 bytes"));
+        let span = u64::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
         let payload = body[HEADER_LEN..].to_vec();
         Ok(Decoded::Frame(Frame {
             kind,
             priority,
             handler,
+            span,
             payload,
         }))
     }
@@ -321,6 +345,18 @@ mod tests {
         f.encode_into(&mut buf);
         assert_eq!(buf.len(), f.encoded_len());
         let got = expect_frame(read_one(&buf).unwrap());
+        assert_eq!(got, f);
+        assert_eq!(got.span, 0);
+    }
+
+    #[test]
+    fn roundtrip_span_stamped_frame() {
+        // The span word is CRC-covered and survives the wire intact.
+        let f = Frame::data_with_span(7, -3, b"attributed".to_vec(), 0xBEEF_0000_0000_002A);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let got = expect_frame(read_one(&buf).unwrap());
+        assert_eq!(got.span, 0xBEEF_0000_0000_002A);
         assert_eq!(got, f);
     }
 
@@ -454,6 +490,7 @@ mod tests {
             kind: FrameKind::Abort,
             priority: 0,
             handler: 1,
+            span: 0,
             payload,
         };
         let mut buf = Vec::new();
@@ -469,6 +506,7 @@ mod tests {
             kind: FrameKind::Contribute,
             priority: 0,
             handler: 0,
+            span: 0,
             payload: vec![1, 2, 3], // not a multiple of 8
         };
         assert!(f.words().is_empty());

@@ -35,10 +35,13 @@ struct RuntimeSink {
 impl FrameSink for RuntimeSink {
     fn deliver(&self, src: usize, frame: Frame) {
         match frame.kind {
-            FrameKind::Data => {
-                self.rt
-                    .deliver_frame(src, frame.handler, frame.priority, frame.payload)
-            }
+            FrameKind::Data => self.rt.deliver_frame(
+                src,
+                frame.handler,
+                frame.priority,
+                frame.payload,
+                frame.span,
+            ),
             // Handshake/teardown/liveness frames are transport-level
             // concerns; a LocalTransport never produces them and the
             // TCP reader consumes them before the sink. Seeing one here
@@ -69,9 +72,10 @@ impl FrameSender for TransportSender {
         handler: u32,
         priority: i32,
         payload: Vec<u8>,
+        span: u64,
     ) -> io::Result<()> {
         self.0
-            .send(dst, Frame::data(handler, priority, payload))
+            .send(dst, Frame::data_with_span(handler, priority, payload, span))
             .map_err(|e| e.into_io())
     }
 }

@@ -274,6 +274,7 @@ impl NetWave {
                 kind: FrameKind::Abort,
                 priority: 0,
                 handler: self.rank as u32,
+                span: 0,
                 payload,
             };
             let out = self.transport();

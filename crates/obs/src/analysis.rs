@@ -523,6 +523,7 @@ mod tests {
             dur_ns: dur,
             arg0: 0,
             arg1: 0,
+            span: 0,
         }
     }
 
@@ -584,6 +585,7 @@ mod tests {
             dur_ns: 64,
             arg0: 1, // dst
             arg1: 7, // seq
+            span: 0,
         };
         let recv = Event {
             kind: EventKind::NetRecv,
@@ -593,6 +595,7 @@ mod tests {
             dur_ns: 64,
             arg0: 0, // src
             arg1: 7,
+            span: 0,
         };
         let t0 = chrome_trace(&[task("a", 0, 0, 10_000), send], 0, 1, 0, 0);
         let t1 = chrome_trace(&[recv, task("b", 0, 16_000, 5_000)], 1, 1, 0, 0);
@@ -635,6 +638,7 @@ mod tests {
             dur_ns: 64,
             arg0: dst,
             arg1: 0,
+            span: 0,
         };
         let recv = |ts: u64, tid: u32, src: u64| Event {
             kind: EventKind::NetRecv,
@@ -644,6 +648,7 @@ mod tests {
             dur_ns: 64,
             arg0: src,
             arg1: 0,
+            span: 0,
         };
         let t0 = chrome_trace(
             &[
@@ -743,6 +748,7 @@ mod tests {
             dur_ns: 64,
             arg0: 1,
             arg1: 0,
+            span: 0,
         };
         let recv = Event {
             kind: EventKind::NetRecv,
@@ -752,6 +758,7 @@ mod tests {
             dur_ns: 64,
             arg0: 0,
             arg1: 0,
+            span: 0,
         };
         let t0 = chrome_trace(&[task("a", 0, 0, 9_000), send], 0, 1, 0, 0);
         let t1 = chrome_trace(&[recv, task("b", 0, 3_000, 4_000)], 1, 1, 0, 0);
@@ -772,6 +779,7 @@ mod tests {
                 dur_ns: 2_000,
                 arg0: 0,
                 arg1: 0,
+                span: 0,
             },
             Event {
                 kind: EventKind::Steal,
@@ -781,6 +789,7 @@ mod tests {
                 dur_ns: 0,
                 arg0: 1,
                 arg1: 0,
+                span: 0,
             },
         ];
         let json = chrome_trace(&evs, 0, 1, 0, 0);

@@ -74,6 +74,7 @@ mod tests {
             dur_ns: dur,
             arg0: 0,
             arg1: 0,
+            span: 0,
         }
     }
 
@@ -93,6 +94,7 @@ mod tests {
                     dur_ns: 1_000_000,
                     arg0: 0,
                     arg1: 0,
+                    span: 0,
                 },
                 Event {
                     kind: EventKind::NetSend,
@@ -102,6 +104,7 @@ mod tests {
                     dur_ns: 64,
                     arg0: 1,
                     arg1: 0,
+                    span: 0,
                 },
             ],
             0,

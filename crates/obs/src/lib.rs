@@ -34,6 +34,7 @@ pub mod hist;
 pub mod http;
 pub mod metrics;
 pub mod ring;
+pub mod spans;
 pub mod timeseries;
 pub mod trace;
 
@@ -44,6 +45,10 @@ pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use http::{DynamicRoute, HealthVerdict, HttpRequest, HttpResponse, HttpRoutes, ObsHttpServer};
 pub use metrics::{LabelSet, MetricsSnapshot, PeriodicSampler};
 pub use ring::{Event, EventKind, EventRing};
+pub use spans::{
+    assemble_spans, pack_span, span_instance, span_tenant_tag, tenant_tag, InstanceSpan, SpanCell,
+    SpanTailStore,
+};
 pub use timeseries::TimeSeriesRecorder;
 pub use trace::{chrome_trace, flow_id, merge_chrome_traces};
 
@@ -198,9 +203,22 @@ impl Obs {
 
     // --- worker-thread recording (single-writer fast paths) ---
 
+    /// Whether request-scoped span recording is live: the `obs-spans`
+    /// feature is compiled in *and* timeline events are on. Callers use
+    /// this to decide whether stamping span context (and ready times
+    /// for queue-wait attribution) is worth the stores.
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        cfg!(feature = "obs-spans") && self.events_on
+    }
+
     /// Records a task execution: timeline slice plus duration and
     /// ready-delay histograms. `ready_ns == 0` means the enqueue time
-    /// was not stamped (histograms off at schedule time).
+    /// was not stamped (histograms off at schedule time). `span` is the
+    /// request-scoped span context (0 = unattributed); with `obs-spans`
+    /// compiled in, the Task event additionally carries the queue wait
+    /// (ready→start) in `arg0` so span assembly can split queue from
+    /// execute time without the histograms.
     #[inline]
     pub fn record_task(
         &self,
@@ -209,17 +227,24 @@ impl Obs {
         ready_ns: u64,
         start_ns: u64,
         end_ns: u64,
+        span: u64,
     ) {
         let w = self.worker(worker);
         if self.events_on {
+            let queue_ns = if cfg!(feature = "obs-spans") && ready_ns != 0 {
+                start_ns.saturating_sub(ready_ns)
+            } else {
+                0
+            };
             w.ring.push(Event {
                 kind: EventKind::Task,
                 name,
                 tid: worker as u32,
                 ts_ns: start_ns,
                 dur_ns: end_ns.saturating_sub(start_ns),
-                arg0: 0,
+                arg0: queue_ns,
                 arg1: 0,
+                span: if cfg!(feature = "obs-spans") { span } else { 0 },
             });
         }
         if self.hist_on {
@@ -244,6 +269,7 @@ impl Obs {
             dur_ns: 0,
             arg0: victim as u64,
             arg1: 0,
+            span: 0,
         });
     }
 
@@ -261,6 +287,7 @@ impl Obs {
             dur_ns: 0,
             arg0: 0,
             arg1: 0,
+            span: 0,
         });
     }
 
@@ -289,6 +316,7 @@ impl Obs {
             dur_ns,
             arg0: 0,
             arg1: 0,
+            span: 0,
         });
     }
 
@@ -310,6 +338,7 @@ impl Obs {
             dur_ns: 0,
             arg0: round,
             arg1: 0,
+            span: 0,
         });
     }
 
@@ -342,6 +371,7 @@ impl Obs {
                     dur_ns: 0,
                     arg0: value,
                     arg1: 0,
+                    span: 0,
                 });
             }
         };
@@ -363,8 +393,9 @@ impl Obs {
     /// Records a data-frame send to `dst`, assigning the next
     /// per-(self, dst) sequence number. Returns the sequence so
     /// in-process transports can stamp the matching receive with the
-    /// identical number (guaranteeing the flow pairs up).
-    pub fn record_net_send(&self, dst: usize, bytes: usize, ts_ns: u64) -> u64 {
+    /// identical number (guaranteeing the flow pairs up). `span` is the
+    /// sending request's span context (0 = unattributed).
+    pub fn record_net_send(&self, dst: usize, bytes: usize, ts_ns: u64, span: u64) -> u64 {
         let mut aux = self.aux.lock();
         if aux.send_seq.len() <= dst {
             aux.send_seq.resize(dst + 1, 0);
@@ -381,6 +412,7 @@ impl Obs {
                 dur_ns: bytes as u64,
                 arg0: dst as u64,
                 arg1: seq,
+                span: if cfg!(feature = "obs-spans") { span } else { 0 },
             });
         }
         seq
@@ -393,7 +425,7 @@ impl Obs {
     /// reader thread per peer; local: synchronous). Concurrent senders
     /// *on one rank* can still reorder between sequence assignment and
     /// the wire, so flows are best-effort diagnostics, not accounting.
-    pub fn record_net_recv(&self, src: usize, bytes: usize, ts_ns: u64, seq: Option<u64>) {
+    pub fn record_net_recv(&self, src: usize, bytes: usize, ts_ns: u64, seq: Option<u64>, span: u64) {
         let mut aux = self.aux.lock();
         if aux.recv_seq.len() <= src {
             aux.recv_seq.resize(src + 1, 0);
@@ -410,6 +442,7 @@ impl Obs {
                 dur_ns: bytes as u64,
                 arg0: src as u64,
                 arg1: seq,
+                span: if cfg!(feature = "obs-spans") { span } else { 0 },
             });
         }
     }
@@ -439,6 +472,7 @@ impl Obs {
             dur_ns: 0,
             arg0: count,
             arg1: 0,
+            span: 0,
         });
     }
 
@@ -537,7 +571,7 @@ mod tests {
     #[test]
     fn disabled_obs_records_nothing() {
         let o = obs(false, false);
-        o.record_task(0, "t", 0, 10, 20);
+        o.record_task(0, "t", 0, 10, 20, 0);
         o.record_steal(0, 1, 30);
         o.record_park(1, 40, 5);
         assert!(o.drain_events().is_empty());
@@ -578,8 +612,8 @@ mod tests {
         let sender = obs(true, false);
         let receiver = obs(true, false);
         for _ in 0..3 {
-            let seq = sender.record_net_send(1, 64, 100);
-            receiver.record_net_recv(0, 64, 200, Some(seq));
+            let seq = sender.record_net_send(1, 64, 100, 0);
+            receiver.record_net_recv(0, 64, 200, Some(seq), 0);
         }
         let s_evs = sender.drain_events();
         let r_evs = receiver.drain_events();
@@ -600,8 +634,8 @@ mod tests {
     #[test]
     fn derived_recv_seq_counts_arrivals() {
         let o = obs(true, false);
-        o.record_net_recv(2, 8, 10, None);
-        o.record_net_recv(2, 8, 20, None);
+        o.record_net_recv(2, 8, 10, None, 0);
+        o.record_net_recv(2, 8, 20, None, 0);
         let evs = o.drain_events();
         let seqs: Vec<u64> = evs
             .iter()
@@ -614,9 +648,9 @@ mod tests {
     #[test]
     fn peek_events_is_non_draining() {
         let o = obs(true, false);
-        o.record_task(0, "t", 0, 10, 20);
+        o.record_task(0, "t", 0, 10, 20, 0);
         o.record_steal(1, 0, 30);
-        o.record_net_send(1, 64, 40);
+        o.record_net_send(1, 64, 40, 0);
         let peeked = o.peek_events();
         assert_eq!(peeked.len(), 3);
         // Timestamps sorted across worker and aux rings.

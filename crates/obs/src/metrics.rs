@@ -33,6 +33,12 @@ pub struct MetricsSnapshot {
     /// Histograms carrying per-sample labels: name, extra labels,
     /// snapshot (values in ns).
     pub labeled_histograms: Vec<(String, LabelSet, HistogramSnapshot)>,
+    /// OpenMetrics exemplars for labeled histograms: metric name,
+    /// matching extra labels, exemplar labels (e.g. `instance_id`),
+    /// observed value in ns. Rendered on the matching histogram's
+    /// `+Inf` bucket line; absent exemplars leave the output
+    /// byte-identical.
+    pub labeled_exemplars: Vec<(String, LabelSet, LabelSet, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -44,6 +50,7 @@ impl MetricsSnapshot {
             histograms: Vec::new(),
             labeled_counters: Vec::new(),
             labeled_histograms: Vec::new(),
+            labeled_exemplars: Vec::new(),
         }
     }
 
@@ -73,6 +80,21 @@ impl MetricsSnapshot {
     ) {
         self.labeled_histograms
             .push((name.to_string(), labels, snap));
+    }
+
+    /// Attaches an OpenMetrics exemplar to the labeled histogram
+    /// matching `name`+`labels` (e.g. the instance id of the latest
+    /// SLO-breaching observation). `value_ns` is the exemplar's
+    /// observed latency.
+    pub fn labeled_exemplar(
+        &mut self,
+        name: &str,
+        labels: Vec<(String, String)>,
+        exemplar: Vec<(String, String)>,
+        value_ns: u64,
+    ) {
+        self.labeled_exemplars
+            .push((name.to_string(), labels, exemplar, value_ns));
     }
 
     /// Folds another snapshot in: counters with the same name add,
@@ -110,6 +132,23 @@ impl MetricsSnapshot {
             {
                 Some((_, _, mine)) => mine.merge(h),
                 None => self.labeled_histograms.push((name.clone(), ls.clone(), *h)),
+            }
+        }
+        for (name, ls, ex, v) in &other.labeled_exemplars {
+            // Exemplars don't add: the incoming one replaces (latest
+            // observation wins).
+            match self
+                .labeled_exemplars
+                .iter_mut()
+                .find(|(n, l, _, _)| n == name && l == ls)
+            {
+                Some(slot) => {
+                    slot.2 = ex.clone();
+                    slot.3 = *v;
+                }
+                None => self
+                    .labeled_exemplars
+                    .push((name.clone(), ls.clone(), ex.clone(), *v)),
             }
         }
     }
@@ -332,8 +371,23 @@ impl MetricsSnapshot {
                     extra_labels(ls, Some(format!("{le:e}")))
                 ));
             }
+            // OpenMetrics exemplar (latest observation for this series)
+            // rides on the +Inf bucket line.
+            let exemplar = self
+                .labeled_exemplars
+                .iter()
+                .find(|(n, l, _, _)| n == name && l == ls)
+                .map(|(_, _, ex, v)| {
+                    let ex_labels = ex
+                        .iter()
+                        .map(|(k, val)| format!("{k}=\"{val}\""))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!(" # {{{ex_labels}}} {}", *v as f64 / 1e9)
+                })
+                .unwrap_or_default();
             out.push_str(&format!(
-                "{metric}_bucket{} {}\n",
+                "{metric}_bucket{} {}{exemplar}\n",
                 extra_labels(ls, Some("+Inf".to_string())),
                 h.count()
             ));
@@ -394,6 +448,9 @@ fn help_text(name: &str) -> Option<&'static str> {
         "serve_failed" => "Graph instances whose scope recorded a failure per tenant.",
         "serve_abandoned" => "Graph instances abandoned at engine shutdown.",
         "serve_latency" => "Submit-to-completion latency of served graph instances.",
+        "serve_slo_target_us" => "Per-tenant SLO latency target in microseconds.",
+        "serve_slo_good" => "Instances that completed within their tenant's SLO target.",
+        "serve_slo_breached" => "Instances that failed or exceeded their tenant's SLO target.",
         "task_duration" => "Task body execution time.",
         "ready_delay" => "Delay between a task becoming ready and starting to run.",
         "message_latency" => "Remote message inbox residence time (receiver clock).",

@@ -69,6 +69,12 @@ pub struct Event {
     pub arg0: u64,
     /// Kind-specific argument (sequence number).
     pub arg1: u64,
+    /// Request-scoped span context (`ttg_obs::spans` packing: tenant
+    /// tag in the top 16 bits, instance id below). Zero when the event
+    /// is not attributable to an instance or the `obs-spans` feature is
+    /// off — the field is always present so the ring-slot layout (and
+    /// wire/tooling structs) never depend on the feature.
+    pub span: u64,
 }
 
 impl Event {
@@ -82,6 +88,7 @@ impl Event {
             dur_ns: 0,
             arg0: 0,
             arg1: 0,
+            span: 0,
         }
     }
 }
@@ -220,6 +227,7 @@ mod tests {
             dur_ns: 1,
             arg0: 0,
             arg1: 0,
+            span: 0,
         }
     }
 

@@ -244,6 +244,7 @@ mod tests {
             dur_ns: 500,
             arg0: 0,
             arg1: 0,
+            span: 0,
         }
     }
 
@@ -266,6 +267,7 @@ mod tests {
                 dur_ns: 64,
                 arg0: 1,
                 arg1: 0,
+                span: 0,
             },
         ];
         let json = chrome_trace(&events, 3, 2, 10_000, 10_000);

@@ -35,6 +35,9 @@ pub(crate) enum RemoteMsg {
         /// process's clock: in-memory senders share it, and network
         /// frames are stamped on arrival in `deliver_frame`.
         enqueued_ns: u64,
+        /// Request-scoped span context of the sending task (0 =
+        /// unattributed); stamped onto the handler task on arrival.
+        span: u64,
     },
     Framed {
         priority: Priority,
@@ -42,6 +45,8 @@ pub(crate) enum RemoteMsg {
         payload: Vec<u8>,
         /// See `Closure::enqueued_ns`.
         enqueued_ns: u64,
+        /// See `Closure::span`; network frames carry it in the header.
+        span: u64,
     },
 }
 
@@ -52,6 +57,7 @@ pub(crate) fn send_remote_from(
     dst: usize,
     priority: Priority,
     job: Box<dyn FnOnce(&mut WorkerCtx<'_>) + Send>,
+    span: u64,
 ) {
     let peers = src
         .peers
@@ -61,7 +67,10 @@ pub(crate) fn send_remote_from(
         // Local "message": execute as an ordinary injected task; the wave
         // only counts *inter*-process messages.
         src.term.task_discovered(None);
-        src.inject(crate::task::ClosureTask::allocate(priority, job));
+        let task = crate::task::ClosureTask::allocate(priority, job);
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe { task.0.as_ref().stamp_span(span) };
+        src.inject(task);
         return;
     }
     let peer = peers[dst]
@@ -79,6 +88,7 @@ pub(crate) fn send_remote_from(
             priority,
             job,
             enqueued_ns: ttg_sync::clock::now_ns(),
+            span,
         })
         .expect("peer inbox closed");
     peer.wake_sleepers();
@@ -93,6 +103,7 @@ pub(crate) fn send_msg_from(
     priority: Priority,
     handler: u32,
     payload: Vec<u8>,
+    span: u64,
 ) {
     use std::sync::atomic::Ordering;
     if dst == src.rank {
@@ -100,10 +111,12 @@ pub(crate) fn send_msg_from(
         // task; no inter-process message accounting.
         let h = src.handler(handler);
         src.term.task_discovered(None);
-        src.inject(crate::task::ClosureTask::allocate(
-            priority,
-            move |ctx: &mut WorkerCtx<'_>| h(ctx, payload),
-        ));
+        let task = crate::task::ClosureTask::allocate(priority, move |ctx: &mut WorkerCtx<'_>| {
+            h(ctx, payload)
+        });
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe { task.0.as_ref().stamp_span(span) };
+        src.inject(task);
         return;
     }
     src.maybe_new_session();
@@ -124,9 +137,9 @@ pub(crate) fn send_msg_from(
         // pair up exactly in the merged trace.
         let now = ttg_sync::clock::now_ns();
         if let Some(obs) = src.obs.as_deref() {
-            let seq = obs.record_net_send(dst, payload.len(), now);
+            let seq = obs.record_net_send(dst, payload.len(), now, span);
             if let Some(peer_obs) = peer.obs.as_deref() {
-                peer_obs.record_net_recv(src.rank, payload.len(), now, Some(seq));
+                peer_obs.record_net_recv(src.rank, payload.len(), now, Some(seq), span);
             }
         }
         peer.inbox_tx
@@ -135,6 +148,7 @@ pub(crate) fn send_msg_from(
                 handler,
                 payload,
                 enqueued_ns: now,
+                span,
             })
             .expect("peer inbox closed");
         peer.wake_sleepers();
@@ -148,9 +162,9 @@ pub(crate) fn send_msg_from(
         if let Some(obs) = src.obs.as_deref() {
             // The receiving rank derives the matching sequence from
             // per-peer arrival order (TCP delivers in order per peer).
-            obs.record_net_send(dst, payload.len(), ttg_sync::clock::now_ns());
+            obs.record_net_send(dst, payload.len(), ttg_sync::clock::now_ns(), span);
         }
-        if let Err(e) = out.send_data(dst, handler, priority, payload) {
+        if let Err(e) = out.send_data(dst, handler, priority, payload, span) {
             // The frame never left, but `message_sent` was already
             // counted: the wave can no longer balance. Record the typed
             // error and abort the epoch instead of hanging in wait().

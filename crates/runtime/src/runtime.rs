@@ -32,6 +32,7 @@ pub trait FrameSender: Send + Sync {
         handler: u32,
         priority: Priority,
         payload: Vec<u8>,
+        span: u64,
     ) -> std::io::Result<()>;
 }
 
@@ -228,10 +229,19 @@ impl Inner {
 
     /// Pushes an externally produced task into the injection queue.
     pub(crate) fn inject(&self, task: RawTask) {
+        // External injections (graph seeding, submit) inherit the
+        // thread's ambient span unless the caller stamped one already;
+        // a ZST no-op without `obs-spans`.
+        // SAFETY: the caller exclusively owns the task until the queue
+        // publication below.
+        unsafe {
+            task.0
+                .as_ref()
+                .stamp_span_if_unset(ttg_obs::spans::ambient_span())
+        };
         if let Some(obs) = self.obs.as_deref() {
-            if obs.histograms_enabled() {
-                // SAFETY: the caller exclusively owns the task until the
-                // queue publication below.
+            if obs.histograms_enabled() || obs.spans_enabled() {
+                // SAFETY: as above.
                 unsafe { task.0.as_ref().stamp_ready(ttg_sync::clock::now_ns()) };
             }
         }
@@ -786,7 +796,13 @@ impl Runtime {
         priority: Priority,
         job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
     ) {
-        crate::comm::send_remote_from(&self.inner, dst, priority, Box::new(job));
+        crate::comm::send_remote_from(
+            &self.inner,
+            dst,
+            priority,
+            Box::new(job),
+            ttg_obs::spans::ambient_span(),
+        );
     }
 
     /// Registers a typed-message handler and returns its id. SPMD
@@ -809,7 +825,14 @@ impl Runtime {
     /// and over a bound network transport alike; `dst == rank` executes
     /// locally without counting as an inter-process message.
     pub fn send_msg(&self, dst: usize, priority: Priority, handler: u32, payload: Vec<u8>) {
-        crate::comm::send_msg_from(&self.inner, dst, priority, handler, payload);
+        crate::comm::send_msg_from(
+            &self.inner,
+            dst,
+            priority,
+            handler,
+            payload,
+            ttg_obs::spans::ambient_span(),
+        );
     }
 
     /// Binds the outbound network transport. Called once by `ttg-net`
@@ -834,7 +857,14 @@ impl Runtime {
     /// queued into the inbox and drained by a worker, which counts
     /// `message_received` and schedules the handler at `priority` — the
     /// same path in-memory peer messages take.
-    pub fn deliver_frame(&self, src: usize, handler: u32, priority: Priority, payload: Vec<u8>) {
+    pub fn deliver_frame(
+        &self,
+        src: usize,
+        handler: u32,
+        priority: Priority,
+        payload: Vec<u8>,
+        span: u64,
+    ) {
         self.inner
             .comm
             .bytes_received
@@ -843,7 +873,7 @@ impl Runtime {
         if let Some(obs) = self.inner.obs.as_deref() {
             // Sequence derived from per-peer arrival order, matching the
             // sender's assignment (the transport is per-peer ordered).
-            obs.record_net_recv(src, payload.len(), now, None);
+            obs.record_net_recv(src, payload.len(), now, None, span);
         }
         // The inbox can only be gone mid-teardown; a frame arriving in
         // that window is dropped, not a panic in the receiver thread.
@@ -852,6 +882,7 @@ impl Runtime {
             handler,
             payload,
             enqueued_ns: now,
+            span,
         });
         self.inner.wake_sleepers();
     }

@@ -45,6 +45,10 @@ pub struct TaskHeader {
     /// scheduling thread before the task is published to a queue, read
     /// by the executing worker — the queue hand-off orders the accesses.
     ready_ns: std::cell::Cell<u64>,
+    /// Request-scoped span context (`ttg_obs::spans`); a ZST unless the
+    /// `obs-spans` feature is on. Same single-stamper-before-publication
+    /// discipline as `ready_ns`.
+    span: ttg_obs::SpanCell,
 }
 
 impl TaskHeader {
@@ -54,6 +58,7 @@ impl TaskHeader {
             node: SchedNode::new(priority),
             vtable,
             ready_ns: std::cell::Cell::new(0),
+            span: ttg_obs::SpanCell::new(),
         }
     }
 
@@ -69,6 +74,29 @@ impl TaskHeader {
     #[inline]
     pub fn ready_ns(&self) -> u64 {
         self.ready_ns.get()
+    }
+
+    /// Stamps the request-scoped span context (no-op without the
+    /// `obs-spans` feature). Same ownership contract as
+    /// [`TaskHeader::stamp_ready`].
+    #[inline]
+    pub fn stamp_span(&self, span: u64) {
+        self.span.set(span);
+    }
+
+    /// Stamps the span only if the task is still unattributed — used by
+    /// scheduling paths that inherit the scheduler's span without
+    /// overriding an explicit instance stamp.
+    #[inline]
+    pub fn stamp_span_if_unset(&self, span: u64) {
+        self.span.set_if_unset(span);
+    }
+
+    /// The stamped span context, or 0 (also always 0 with `obs-spans`
+    /// off).
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.span.get()
     }
 
     /// The task's scheduling priority.

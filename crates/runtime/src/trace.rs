@@ -103,6 +103,7 @@ mod tests {
                 dur_ns: 50,
                 arg0: 0,
                 arg1: 0,
+                span: 0,
             },
             Event {
                 kind: EventKind::Steal,
@@ -112,6 +113,7 @@ mod tests {
                 dur_ns: 0,
                 arg0: 0,
                 arg1: 0,
+                span: 0,
             },
         ];
         let tasks = task_events(&evs);

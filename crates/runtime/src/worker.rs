@@ -25,6 +25,10 @@ pub struct WorkerCtx<'rt> {
     /// Instance scope whose completion the just-executed task deferred
     /// (see [`WorkerCtx::defer_scope_completion`]).
     completed_scope: Option<std::sync::Arc<ttg_termdet::InstanceScope>>,
+    /// Span context of the task currently executing on this worker
+    /// (0 = unattributed). Children scheduled or messages sent from the
+    /// task body inherit it; always 0 with `obs-spans` off.
+    current_span: u64,
 }
 
 impl<'rt> WorkerCtx<'rt> {
@@ -35,7 +39,14 @@ impl<'rt> WorkerCtx<'rt> {
             bundle: SortedChain::new(),
             inline_remaining: 0,
             completed_scope: None,
+            current_span: 0,
         }
+    }
+
+    /// Span context of the currently executing task (0 = unattributed).
+    #[inline]
+    pub fn current_span(&self) -> u64 {
+        self.current_span
     }
 
     /// The memory-ordering policy of this runtime (used by data copies).
@@ -102,10 +113,19 @@ impl<'rt> WorkerCtx<'rt> {
     /// [`TaskHeader`] layout contract, already accounted as discovered.
     #[inline]
     pub unsafe fn schedule(&mut self, task: RawTask) {
+        // SAFETY: we own the task until it executes or is published.
+        unsafe { task.0.as_ref().stamp_span_if_unset(self.current_span) };
         if self.inline_remaining > 0 {
             self.inline_remaining -= 1;
+            let prev_span = self.current_span;
+            // SAFETY: the task is live until execute consumes it.
+            let span = unsafe { task.0.as_ref().span() };
+            if span != 0 {
+                self.current_span = span;
+            }
             // SAFETY: forwarded caller contract; we own the task.
             unsafe { task.execute(self) };
+            self.current_span = prev_span;
             self.fire_scope_completion();
             self.inner.term.task_executed(Some(self.id));
             let cell = &self.inner.worker_stats[self.id];
@@ -115,7 +135,7 @@ impl<'rt> WorkerCtx<'rt> {
             return;
         }
         if let Some(obs) = self.inner.obs.as_deref() {
-            if obs.histograms_enabled() {
+            if obs.histograms_enabled() || obs.spans_enabled() {
                 // SAFETY: we own the task until the bundle publishes it.
                 unsafe { task.0.as_ref().stamp_ready(ttg_sync::clock::now_ns()) };
             }
@@ -143,14 +163,21 @@ impl<'rt> WorkerCtx<'rt> {
         priority: Priority,
         job: impl FnOnce(&mut WorkerCtx<'_>) + Send + 'static,
     ) {
-        crate::comm::send_remote_from(self.inner, dst, priority, Box::new(job));
+        crate::comm::send_remote_from(self.inner, dst, priority, Box::new(job), self.current_span);
     }
 
     /// Sends a serialized active message to rank `dst`: the payload runs
     /// there under the handler registered with that id (works over a
     /// process group or a bound network transport alike).
     pub fn send_msg(&self, dst: usize, priority: Priority, handler: u32, payload: Vec<u8>) {
-        crate::comm::send_msg_from(self.inner, dst, priority, handler, payload);
+        crate::comm::send_msg_from(
+            self.inner,
+            dst,
+            priority,
+            handler,
+            payload,
+            self.current_span,
+        );
     }
 
     /// Publishes the accumulated bundle to this worker's queue.
@@ -170,8 +197,12 @@ impl<'rt> WorkerCtx<'rt> {
     /// Executes one task: body, release bundle, executed accounting.
     fn run_task(&mut self, task: RawTask) {
         self.inline_remaining = self.inner.config.inline_tasks.unwrap_or(0);
+        // A queue-popped task defines the attribution context for
+        // everything it schedules or sends (0 clears a stale context).
+        // SAFETY: the task is live until execute consumes it.
+        self.current_span = unsafe { task.0.as_ref().span() };
         let observed = self.inner.obs.as_deref().map(|obs| {
-            // SAFETY: the task is live until execute consumes it.
+            // SAFETY: as above.
             let header = unsafe { task.0.as_ref() };
             (
                 obs,
@@ -183,7 +214,14 @@ impl<'rt> WorkerCtx<'rt> {
         // SAFETY: ownership of `task` came from the queue pop.
         unsafe { task.execute(self) };
         if let Some((obs, name, ready, start)) = observed {
-            obs.record_task(self.id, name, ready, start, ttg_sync::clock::now_ns());
+            obs.record_task(
+                self.id,
+                name,
+                ready,
+                start,
+                ttg_sync::clock::now_ns(),
+                self.current_span,
+            );
         }
         self.flush_bundle();
         // Fire any deferred instance-scope completion only now: the
@@ -232,17 +270,19 @@ impl<'rt> WorkerCtx<'rt> {
                 .comm
                 .messages_received
                 .fetch_add(1, Ordering::Relaxed);
-            let (task, enqueued_ns) = match msg {
+            let (task, enqueued_ns, span) = match msg {
                 crate::comm::RemoteMsg::Closure {
                     priority,
                     job,
                     enqueued_ns,
-                } => (ClosureTask::allocate(priority, job), enqueued_ns),
+                    span,
+                } => (ClosureTask::allocate(priority, job), enqueued_ns, span),
                 crate::comm::RemoteMsg::Framed {
                     priority,
                     handler,
                     payload,
                     enqueued_ns,
+                    span,
                 } => {
                     // The handler id arrived over the wire: an unknown
                     // value (a confused or malicious peer) drops the
@@ -258,14 +298,19 @@ impl<'rt> WorkerCtx<'rt> {
                             h(ctx, payload)
                         }),
                         enqueued_ns,
+                        span,
                     )
                 }
             };
+            // SAFETY: freshly allocated, exclusively owned.
+            unsafe { task.0.as_ref().stamp_span(span) };
             self.inner.term.task_discovered(Some(self.id));
             if let Some(obs) = self.inner.obs.as_deref() {
-                if obs.histograms_enabled() {
+                if obs.histograms_enabled() || obs.spans_enabled() {
                     let now = ttg_sync::clock::now_ns();
-                    obs.record_message_latency(self.id, now.saturating_sub(enqueued_ns));
+                    if obs.histograms_enabled() {
+                        obs.record_message_latency(self.id, now.saturating_sub(enqueued_ns));
+                    }
                     // SAFETY: freshly allocated, exclusively owned.
                     unsafe { task.0.as_ref().stamp_ready(now) };
                 }

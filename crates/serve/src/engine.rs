@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ttg_core::{GraphInstance, GraphTemplate};
-use ttg_obs::{LatencyHistogram, MetricsSnapshot};
+use ttg_obs::{LatencyHistogram, MetricsSnapshot, SpanTailStore};
 use ttg_runtime::{Runtime, RuntimeSlot};
 use ttg_termdet::ScopeOutcome;
 
@@ -38,6 +38,19 @@ pub struct ServeConfig {
     /// How long [`ServeEngine::shutdown`] (and drop) waits for queued
     /// and running instances to drain before abandoning them.
     pub drain_timeout: Duration,
+    /// Default per-tenant SLO target for submit-to-completion latency.
+    /// Completions above it — and all failures — count as breached
+    /// (`ttg_serve_slo_breached`) and are tail-sampled into the slow
+    /// store.
+    pub slo_target: Duration,
+    /// Per-tenant SLO overrides; tenants not listed use
+    /// [`ServeConfig::slo_target`].
+    pub slo_overrides: Vec<(String, Duration)>,
+    /// Capacity of the tail-sampling store: how many full span trees
+    /// of SLO-breaching (or failed) instances are retained for
+    /// `GET /instance/<id>/trace.json` and `GET /slow.json`. Oldest
+    /// entries are evicted.
+    pub tail_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,7 +60,21 @@ impl Default for ServeConfig {
             max_inflight: 8,
             result_capacity: 256,
             drain_timeout: Duration::from_secs(5),
+            slo_target: Duration::from_millis(250),
+            slo_overrides: Vec::new(),
+            tail_capacity: 32,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The SLO latency target that applies to `tenant`.
+    pub fn slo_for(&self, tenant: &str) -> Duration {
+        self.slo_overrides
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, d)| *d)
+            .unwrap_or(self.slo_target)
     }
 }
 
@@ -197,6 +224,9 @@ struct InstanceRecord {
     template: String,
     status: InstanceStatus,
     submitted_at: Instant,
+    /// Submit-to-completion latency, fixed at finalization
+    /// (`submitted_at.elapsed()` keeps growing afterwards).
+    latency_ns: Option<u64>,
     /// `Some` once finished and still retained; `None` before
     /// completion or after eviction (`evicted` disambiguates).
     results: Option<Vec<(String, Value)>>,
@@ -212,6 +242,13 @@ struct TenantState {
     rejected: u64,
     failed: u64,
     latency: LatencyHistogram,
+    /// Instances that finished within the tenant's SLO target.
+    slo_good: u64,
+    /// Instances that failed or exceeded the tenant's SLO target.
+    slo_breached: u64,
+    /// Most recent breaching instance: `(id, latency_ns)` — surfaced
+    /// as an exemplar on the tenant's latency histogram.
+    exemplar: Option<(u64, u64)>,
 }
 
 #[derive(Default)]
@@ -245,6 +282,9 @@ struct EngineInner {
     cv_done: Condvar,
     next_id: AtomicU64,
     stop: AtomicBool,
+    /// Tail-sampling store: full trace trees of SLO-breaching or
+    /// failed instances, bounded at `config.tail_capacity`.
+    tail: SpanTailStore,
 }
 
 /// The multi-tenant graph-serving engine (crate docs have the tour).
@@ -265,6 +305,7 @@ impl ServeEngine {
     pub fn new(runtime: Arc<Runtime>, config: ServeConfig) -> ServeEngine {
         let slot = RuntimeSlot::new();
         slot.set(Arc::clone(&runtime));
+        let tail = SpanTailStore::new(config.tail_capacity);
         let inner = Arc::new(EngineInner {
             config,
             runtime,
@@ -278,6 +319,7 @@ impl ServeEngine {
             cv_done: Condvar::new(),
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
+            tail,
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -353,6 +395,7 @@ impl ServeEngine {
                 template: template.to_string(),
                 status: InstanceStatus::Queued,
                 submitted_at: Instant::now(),
+                latency_ns: None,
                 results: None,
                 evicted: false,
             },
@@ -494,6 +537,26 @@ impl ServeEngine {
             snap.labeled_counter("serve_completed", labels.clone(), t.completed);
             snap.labeled_counter("serve_rejected", labels.clone(), t.rejected);
             snap.labeled_counter("serve_failed", labels.clone(), t.failed);
+            // SLO attribution only exists with spans on, so the
+            // spans-off snapshot stays byte-identical.
+            if cfg!(feature = "obs-spans") {
+                let slo = self.inner.config.slo_for(name);
+                snap.labeled_counter(
+                    "serve_slo_target_us",
+                    labels.clone(),
+                    slo.as_micros().min(u128::from(u64::MAX)) as u64,
+                );
+                snap.labeled_counter("serve_slo_good", labels.clone(), t.slo_good);
+                snap.labeled_counter("serve_slo_breached", labels.clone(), t.slo_breached);
+                if let Some((id, latency_ns)) = t.exemplar {
+                    snap.labeled_exemplar(
+                        "serve_latency",
+                        labels.clone(),
+                        vec![("instance_id".to_string(), id.to_string())],
+                        latency_ns,
+                    );
+                }
+            }
             snap.labeled_histogram("serve_latency", labels, t.latency.snapshot());
         }
         snap.counter("serve_abandoned", st.abandoned_ids.len() as u64);
@@ -505,6 +568,76 @@ impl ServeEngine {
         let mut snap = MetricsSnapshot::default();
         self.metrics_into(&mut snap);
         snap
+    }
+
+    /// The `GET /instance/<id>/trace.json` view: the instance's SLO
+    /// verdict plus a latency breakdown and span tree assembled from
+    /// the runtime's event rings. Tail-sampled (breached or failed)
+    /// instances are served from the retained store; anything else is
+    /// assembled live, which only reconstructs the span tree while the
+    /// bounded rings still hold the instance's events.
+    pub fn trace_json(&self, id: u64) -> Result<Value, ServeError> {
+        if let Some(tree) = self.inner.tail.get(id) {
+            return Ok(tree);
+        }
+        let (tenant, template, status, latency_ns) = {
+            let st = self.inner.state.lock();
+            let rec = st
+                .instances
+                .get(&id)
+                .ok_or(ServeError::UnknownInstance(id))?;
+            let latency_ns = rec.latency_ns.unwrap_or_else(|| {
+                rec.submitted_at
+                    .elapsed()
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64
+            });
+            (
+                rec.tenant.clone(),
+                rec.template.clone(),
+                rec.status.clone(),
+                latency_ns,
+            )
+        };
+        Ok(build_trace(
+            &self.inner,
+            id,
+            &tenant,
+            &template,
+            &status,
+            latency_ns,
+        ))
+    }
+
+    /// The `GET /slow.json` view: every tail-sampled trace — instances
+    /// that breached their tenant's SLO target or failed — oldest
+    /// first, bounded at [`ServeConfig::tail_capacity`].
+    pub fn slow_json(&self) -> Value {
+        let slow: Vec<Value> = self
+            .inner
+            .tail
+            .list()
+            .into_iter()
+            .map(|(_, tree)| tree)
+            .collect();
+        Value::Object(vec![
+            (
+                "capacity".to_string(),
+                Value::UInt(self.inner.tail.capacity() as u64),
+            ),
+            ("count".to_string(), Value::UInt(slow.len() as u64)),
+            ("slow".to_string(), Value::Array(slow)),
+        ])
+    }
+
+    /// Per-tenant `(name, queued, inflight)` — the `/healthz` load
+    /// view.
+    pub fn tenant_load(&self) -> Vec<(String, usize, usize)> {
+        let st = self.inner.state.lock();
+        st.tenants
+            .iter()
+            .map(|(name, t)| (name.clone(), t.queue.len(), t.inflight))
+            .collect()
     }
 
     /// Instance ids abandoned at shutdown (empty before shutdown and
@@ -669,6 +802,11 @@ fn finalize_locked(
         }
     };
     rec.results = Some(results);
+    let latency_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+    rec.latency_ns = Some(latency_ns);
+    let template = rec.template.clone();
+    let status = rec.status.clone();
+    let breached = failed || elapsed > config.slo_for(&tenant);
     if let Some(t) = st.tenants.get_mut(&tenant) {
         t.inflight = t.inflight.saturating_sub(1);
         if failed {
@@ -676,8 +814,20 @@ fn finalize_locked(
         } else {
             t.completed += 1;
         }
-        t.latency
-            .record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        t.latency.record(latency_ns);
+        if breached {
+            t.slo_breached += 1;
+            t.exemplar = Some((id, latency_ns));
+        } else {
+            t.slo_good += 1;
+        }
+    }
+    // Tail sampling: breached (or failed) instances get their full
+    // trace tree assembled and retained while the rest are dropped.
+    // `peek_events` reads the worker rings without the engine lock.
+    if breached && cfg!(feature = "obs-spans") {
+        let trace = build_trace(inner, id, &tenant, &template, &status, latency_ns);
+        inner.tail.insert(id, trace);
     }
     st.inflight_total = st.inflight_total.saturating_sub(1);
     st.finished.push_back(id);
@@ -695,6 +845,64 @@ fn finalize_locked(
     // Wake result waiters and the shutdown drain loop.
     inner.cv_done.notify_all();
     true
+}
+
+/// Assembles the trace JSON for one instance: SLO verdict, latency
+/// breakdown (queue/execute/wire plus the unattributed remainder
+/// `other_us`, so for serialized graphs the components sum to the
+/// measured latency), and the instance's span tree when the event
+/// rings still hold its records. With `obs-spans` off every event
+/// carries span 0, so no tree matches and the breakdown is all
+/// `other_us`.
+fn build_trace(
+    inner: &EngineInner,
+    id: u64,
+    tenant: &str,
+    template: &str,
+    status: &InstanceStatus,
+    latency_ns: u64,
+) -> Value {
+    let slo = inner.config.slo_for(tenant);
+    let breached = matches!(status, InstanceStatus::Failed(_) | InstanceStatus::Abandoned)
+        || Duration::from_nanos(latency_ns) > slo;
+    let span_id = ttg_obs::pack_span(tenant, id);
+    let events = inner.runtime.peek_events();
+    let rank = inner.runtime.rank();
+    let spans = ttg_obs::assemble_spans(&[(rank, events)]);
+    let tree = spans.iter().find(|s| s.span == span_id);
+    let (queue_ns, execute_ns, wire_ns) = tree
+        .map(|s| (s.queue_ns, s.execute_ns, s.wire_ns))
+        .unwrap_or((0, 0, 0));
+    let other_ns = latency_ns.saturating_sub(queue_ns + execute_ns + wire_ns);
+    Value::Object(vec![
+        ("instance".to_string(), Value::UInt(id)),
+        ("tenant".to_string(), Value::String(tenant.to_string())),
+        ("template".to_string(), Value::String(template.to_string())),
+        (
+            "status".to_string(),
+            Value::String(status.wire_name().to_string()),
+        ),
+        (
+            "latency_us".to_string(),
+            Value::Float(latency_ns as f64 / 1e3),
+        ),
+        (
+            "slo_target_us".to_string(),
+            Value::UInt(slo.as_micros().min(u128::from(u64::MAX)) as u64),
+        ),
+        ("breached".to_string(), Value::Bool(breached)),
+        ("queue_us".to_string(), Value::Float(queue_ns as f64 / 1e3)),
+        (
+            "execute_us".to_string(),
+            Value::Float(execute_ns as f64 / 1e3),
+        ),
+        ("wire_us".to_string(), Value::Float(wire_ns as f64 / 1e3)),
+        ("other_us".to_string(), Value::Float(other_ns as f64 / 1e3)),
+        (
+            "span_tree".to_string(),
+            tree.map(|s| s.to_json()).unwrap_or(Value::Null),
+        ),
+    ])
 }
 
 impl EngineState {

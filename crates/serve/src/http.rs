@@ -10,7 +10,9 @@
 //! | `/poll/<id>`          | GET    | `{"id","status","error"?}`            |
 //! | `/result/<id>`        | GET    | `{"id","status","results":[...]}` (202 while running, 410 after eviction) |
 //! | `/tenants.json`       | GET    | per-tenant counters + engine state    |
-//! | `/healthz`            | GET    | engine-aware: `draining` + `abandoned` ids, 503 once instances were abandoned |
+//! | `/instance/<id>/trace.json` | GET | SLO verdict + queue/execute/wire breakdown + span tree |
+//! | `/slow.json`          | GET    | tail-sampled traces of SLO-breaching / failed instances |
+//! | `/healthz`            | GET    | engine-aware: `draining` + `abandoned` ids + per-tenant `load` (queued/inflight), 503 once instances were abandoned |
 //!
 //! Error responses are `{"error": "<message>"}` with the status from
 //! [`ServeError::http_status`].
@@ -67,6 +69,21 @@ fn submit(engine: &ServeEngine, req: &HttpRequest) -> HttpResponse {
 
 fn parse_id(path: &str, prefix: &str) -> Option<u64> {
     path.strip_prefix(prefix)?.parse().ok()
+}
+
+/// `/instance/<id>/trace.json` → `<id>`.
+fn parse_trace_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/instance/")?
+        .strip_suffix("/trace.json")?
+        .parse()
+        .ok()
+}
+
+fn trace(engine: &ServeEngine, id: u64) -> HttpResponse {
+    match engine.trace_json(id) {
+        Ok(tree) => HttpResponse::json(200, serde_json::to_string(&tree).unwrap()),
+        Err(e) => error_response(&e),
+    }
 }
 
 fn poll(engine: &ServeEngine, id: u64) -> HttpResponse {
@@ -175,6 +192,24 @@ pub fn serve_routes(engine: Arc<ServeEngine>) -> HttpRoutes {
                     "abandoned".to_string(),
                     Value::Array(abandoned.into_iter().map(Value::UInt).collect()),
                 ),
+                (
+                    "load".to_string(),
+                    Value::Object(
+                        health_engine
+                            .tenant_load()
+                            .into_iter()
+                            .map(|(tenant, queued, inflight)| {
+                                (
+                                    tenant,
+                                    Value::Object(vec![
+                                        ("queued".to_string(), Value::UInt(queued as u64)),
+                                        ("inflight".to_string(), Value::UInt(inflight as u64)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
             ]);
             HealthVerdict {
                 healthy,
@@ -188,11 +223,17 @@ pub fn serve_routes(engine: Arc<ServeEngine>) -> HttpRoutes {
                     200,
                     serde_json::to_string(&dyn_engine.tenants_json()).unwrap(),
                 )),
+                ("GET", "/slow.json") => Some(HttpResponse::json(
+                    200,
+                    serde_json::to_string(&dyn_engine.slow_json()).unwrap(),
+                )),
                 ("GET", path) => {
                     if let Some(id) = parse_id(path, "/poll/") {
                         Some(poll(&dyn_engine, id))
+                    } else if let Some(id) = parse_id(path, "/result/") {
+                        Some(result(&dyn_engine, id))
                     } else {
-                        parse_id(path, "/result/").map(|id| result(&dyn_engine, id))
+                        parse_trace_id(path).map(|id| trace(&dyn_engine, id))
                     }
                 }
                 _ => None,

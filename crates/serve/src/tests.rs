@@ -502,3 +502,226 @@ fn round_robin_interleaves_tenants_under_contention() {
     assert_eq!(e.tenant_counters("a").unwrap().completed, 4);
     assert_eq!(e.tenant_counters("b").unwrap().completed, 4);
 }
+
+/// With spans off there is no SLO attribution: the metrics snapshot
+/// must look exactly as it did before tracing existed (no
+/// `serve_slo_*` families, no exemplars), and the tail store stays
+/// empty — breaches are not even classified into the output.
+#[cfg(not(feature = "obs-spans"))]
+#[test]
+fn spans_off_keeps_metrics_and_tail_untouched() {
+    let e = engine(
+        2,
+        ServeConfig {
+            slo_target: Duration::from_millis(1), // everything "breaches"
+            ..ServeConfig::default()
+        },
+    );
+    let id = e
+        .submit("acme", "slow", obj(vec![("ms", Value::UInt(10))]))
+        .unwrap();
+    e.wait_result(id, Duration::from_secs(5)).unwrap();
+    let prom = e.metrics().to_prometheus("ttg");
+    assert!(!prom.contains("serve_slo"), "no SLO families: {prom}");
+    assert!(!prom.contains("instance_id"), "no exemplars: {prom}");
+    let v = e.slow_json();
+    assert_eq!(
+        v.get("count").and_then(Value::as_u64),
+        Some(0),
+        "tail store never written with spans off"
+    );
+}
+
+#[cfg(feature = "obs-spans")]
+mod spans_on {
+    use super::*;
+
+    /// Span assembly reads the runtime's event rings, so these tests
+    /// run with `RuntimeConfig::trace` on (a serving deployment that
+    /// wants trace trees enables the same flag).
+    fn traced_engine(threads: usize, config: ServeConfig) -> Arc<ServeEngine> {
+        let mut rc = RuntimeConfig::optimized(threads);
+        rc.trace = true;
+        let rt = Arc::new(Runtime::new(rc));
+        let engine = Arc::new(ServeEngine::new(rt, config));
+        engine.register_template(doubling_template());
+        engine.register_template(slow_template());
+        engine
+    }
+
+    /// Satellite: a burst of SLO-breaching instances never grows the
+    /// tail store past its capacity; the newest breaches are the ones
+    /// retained, and evicted ids still answer via live assembly.
+    #[test]
+    fn tail_store_bounded_under_slow_burst() {
+        let e = traced_engine(
+            2,
+            ServeConfig {
+                slo_target: Duration::from_millis(1),
+                tail_capacity: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let ids: Vec<u64> = (0..10)
+            .map(|_| {
+                let id = e
+                    .submit("burst", "slow", obj(vec![("ms", Value::UInt(10))]))
+                    .unwrap();
+                e.wait_result(id, Duration::from_secs(10)).unwrap();
+                id
+            })
+            .collect();
+        let v = e.slow_json();
+        assert_eq!(v.get("capacity").and_then(Value::as_u64), Some(4));
+        let slow = v.get("slow").unwrap().as_array().unwrap();
+        assert_eq!(slow.len(), 4, "tail store bounded at capacity");
+        let kept: Vec<u64> = slow
+            .iter()
+            .map(|t| t.get("instance").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(kept, ids[6..].to_vec(), "oldest breaches evicted");
+        assert!(
+            e.trace_json(ids[0]).is_ok(),
+            "evicted id still live-assembles"
+        );
+    }
+
+    /// Only instances over their tenant's threshold land in
+    /// `/slow.json`; fast tenants count as good and stay out.
+    #[test]
+    fn slow_json_lists_only_breaching_tenants() {
+        let e = traced_engine(
+            2,
+            ServeConfig {
+                // Generous default; one tenant gets an impossible SLO.
+                slo_target: Duration::from_secs(30),
+                slo_overrides: vec![("slowpoke".to_string(), Duration::from_millis(1))],
+                ..ServeConfig::default()
+            },
+        );
+        let fast = e
+            .submit("speedy", "doubling", obj(vec![("n", Value::UInt(1))]))
+            .unwrap();
+        let slow = e
+            .submit("slowpoke", "slow", obj(vec![("ms", Value::UInt(20))]))
+            .unwrap();
+        e.wait_result(fast, Duration::from_secs(5)).unwrap();
+        e.wait_result(slow, Duration::from_secs(5)).unwrap();
+
+        let v = e.slow_json();
+        let listed: Vec<u64> = v
+            .get("slow")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| t.get("instance").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(listed, vec![slow], "only the breaching instance");
+
+        let prom = e.metrics().to_prometheus("ttg");
+        assert!(
+            prom.contains("ttg_serve_slo_good{tenant=\"speedy\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("ttg_serve_slo_breached{tenant=\"slowpoke\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("ttg_serve_slo_target_us{tenant=\"slowpoke\"} 1000"),
+            "{prom}"
+        );
+        // The breaching instance id rides the latency histogram as an
+        // OpenMetrics exemplar.
+        assert!(
+            prom.contains(&format!("# {{instance_id=\"{slow}\"}}")),
+            "{prom}"
+        );
+    }
+
+    /// The trace breakdown accounts for the whole submit-to-completion
+    /// latency: queue + execute + wire + other == latency, with the
+    /// sleep dominating execute for a single-task slow instance.
+    #[test]
+    fn trace_breakdown_sums_to_latency() {
+        let e = traced_engine(
+            2,
+            ServeConfig {
+                slo_target: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let id = e
+            .submit("acme", "slow", obj(vec![("ms", Value::UInt(30))]))
+            .unwrap();
+        e.wait_result(id, Duration::from_secs(5)).unwrap();
+        let trace = e.trace_json(id).unwrap();
+        let f = |k: &str| trace.get(k).and_then(Value::as_f64).unwrap();
+        assert_eq!(trace.get("breached").and_then(Value::as_bool), Some(true));
+        assert!(f("execute_us") >= 25_000.0, "sleep dominates execute");
+        let sum = f("queue_us") + f("execute_us") + f("wire_us") + f("other_us");
+        let latency = f("latency_us");
+        assert!(
+            (sum - latency).abs() < 1.0,
+            "components account for the measured latency: {sum} vs {latency}"
+        );
+        let tree = trace.get("span_tree").unwrap();
+        assert_eq!(tree.get("tasks").and_then(Value::as_u64), Some(1));
+    }
+
+    /// The HTTP surface: `/instance/<id>/trace.json`, `/slow.json`,
+    /// and the per-tenant load block in `/healthz`.
+    #[test]
+    fn http_trace_routes() {
+        let e = traced_engine(
+            2,
+            ServeConfig {
+                slo_overrides: vec![("acme".to_string(), Duration::from_millis(1))],
+                ..ServeConfig::default()
+            },
+        );
+        let server = ttg_obs::ObsHttpServer::serve(0, serve_routes(Arc::clone(&e))).expect("bind");
+        let port = server.port();
+        let id = e
+            .submit("acme", "slow", obj(vec![("ms", Value::UInt(20))]))
+            .unwrap();
+        e.wait_result(id, Duration::from_secs(5)).unwrap();
+
+        let (status, body) = http_request(port, "GET", &format!("/instance/{id}/trace.json"), None);
+        assert_eq!(status, 200, "{body}");
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("instance").and_then(Value::as_u64), Some(id));
+        assert_eq!(
+            v.get("tenant").and_then(Value::as_str),
+            Some("acme"),
+            "{body}"
+        );
+        for key in ["queue_us", "execute_us", "wire_us", "other_us"] {
+            assert!(v.get(key).is_some(), "trace has {key}: {body}");
+        }
+
+        let (status, body) = http_request(port, "GET", "/instance/999999/trace.json", None);
+        assert_eq!(status, 404, "{body}");
+
+        let (status, body) = http_request(port, "GET", "/slow.json", None);
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(1), "{body}");
+
+        let (status, body) = http_request(port, "GET", "/healthz", None);
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        let acme = v.get("load").unwrap().get("acme").expect("load block");
+        assert_eq!(acme.get("queued").and_then(Value::as_u64), Some(0));
+        assert_eq!(acme.get("inflight").and_then(Value::as_u64), Some(0));
+
+        // SLO families flow through the metrics route.
+        let (status, metrics) = http_request(port, "GET", "/metrics", None);
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("ttg_serve_slo_breached{"),
+            "slo lines in /metrics: {metrics}"
+        );
+    }
+}

@@ -78,6 +78,10 @@ pub struct InstanceScope {
     pending: AtomicI64,
     scheduled: AtomicU64,
     completed: AtomicU64,
+    /// Request-scoped span context for this instance (`ttg_obs::spans`
+    /// packing: tenant tag ‖ instance id); 0 = unattributed. Written
+    /// once at instantiation, read by every task-shell stamp.
+    span: AtomicU64,
     state: Mutex<ScopeState>,
     cv: Condvar,
 }
@@ -93,6 +97,7 @@ impl InstanceScope {
             pending: AtomicI64::new(0),
             scheduled: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            span: AtomicU64::new(0),
             state: Mutex::new(ScopeState {
                 complete: false,
                 failure: None,
@@ -106,6 +111,19 @@ impl InstanceScope {
     /// results, and metrics).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Links this scope to a request-scoped span context (packed tenant
+    /// tag ‖ instance id). Called once at instantiation, before any
+    /// task is scheduled under the scope.
+    pub fn set_span(&self, span: u64) {
+        self.span.store(span, Ordering::Release);
+    }
+
+    /// The linked span context, or 0 if the instance is unattributed.
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.span.load(Ordering::Acquire)
     }
 
     /// Takes a submission credit: the scope cannot complete while the

@@ -14,8 +14,15 @@
 //! ```
 //!
 //! Flags: `--port <p>` (default 8080, `0` = ephemeral), `--demo` (also
-//! drive a burst of local submissions from two tenants), and
-//! `--serve-secs <s>` (exit after s seconds; default: serve forever).
+//! drive a burst of local submissions from two tenants),
+//! `--serve-secs <s>` (exit after s seconds; default: serve forever),
+//! and `--slo-ms <ms>` (per-tenant SLO target; breaching instances
+//! land in `/slow.json` and `/instance/<id>/trace.json` when built
+//! with `--features obs-spans`).
+//!
+//! The deliberately slow `nap` template (input `{"ms": N}` sleeps N ms
+//! in a task body) exists to demonstrate SLO breach tracing. Exits
+//! non-zero if shutdown abandons instances.
 
 use serde_json::Value;
 use std::sync::Arc;
@@ -86,6 +93,21 @@ fn doubler_template() -> GraphTemplate {
     .expect("doubler template is valid")
 }
 
+/// `nap` sleeps the request's `ms` inside one task body — a
+/// deliberately slow template for demonstrating SLO breach tracing.
+fn nap_template() -> GraphTemplate {
+    GraphTemplate::compile("nap", |graph, ctx| {
+        let ms = ctx.input.get("ms").and_then(Value::as_u64).unwrap_or(50);
+        let sink = ctx.sink.clone();
+        let nap = graph.tt::<u64>("nap").build(move |_k, _in, _out| {
+            std::thread::sleep(Duration::from_millis(ms));
+            sink.emit("slept_ms", Value::UInt(ms));
+        });
+        Box::new(move || nap.invoke(0))
+    })
+    .expect("nap template is valid")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| args.iter().position(|a| a == name);
@@ -97,11 +119,24 @@ fn main() {
     let serve_secs: Option<u64> = flag("--serve-secs")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let slo_ms: Option<u64> = flag("--slo-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
-    let runtime = Arc::new(Runtime::new(RuntimeConfig::optimized(4)));
-    let engine = Arc::new(ServeEngine::new(runtime, ServeConfig::default()));
+    // Trace on: span recording feeds the trace routes; without
+    // `obs-spans` the stamps compile to no-ops and this only enables
+    // the chrome-trace ring.
+    let mut rc = RuntimeConfig::optimized(4);
+    rc.trace = true;
+    let runtime = Arc::new(Runtime::new(rc));
+    let mut config = ServeConfig::default();
+    if let Some(ms) = slo_ms {
+        config.slo_target = Duration::from_millis(ms);
+    }
+    let engine = Arc::new(ServeEngine::new(runtime, config));
     engine.register_template(sum_squares_template());
     engine.register_template(doubler_template());
+    engine.register_template(nap_template());
 
     let server =
         ttg_obs::ObsHttpServer::serve(port, serve_routes(Arc::clone(&engine))).expect("bind port");
@@ -153,4 +188,7 @@ fn main() {
         "shutdown: drained={} abandoned={:?}",
         report.drained, report.abandoned
     );
+    if !report.drained {
+        std::process::exit(1);
+    }
 }
