@@ -318,12 +318,7 @@ fn cmd_serve(argv: &[String]) {
                         // result cache evicts its record.
                         if let Ok(trace) = engine.trace_json(id) {
                             let us = |f: &str| trace.get(f).and_then(Value::as_f64).unwrap_or(0.0);
-                            splits.push((
-                                tenant,
-                                us("queue_us"),
-                                us("execute_us"),
-                                us("wire_us"),
-                            ));
+                            splits.push((tenant, us("queue_us"), us("execute_us"), us("wire_us")));
                         }
                     }
                 }

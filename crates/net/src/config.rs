@@ -9,11 +9,21 @@
 //! | `heartbeat_interval` | `TTG_NET_HEARTBEAT_MS`        | 500 ms   |
 //! | `peer_dead_after`    | `TTG_NET_PEER_DEAD_MS`        | 5000 ms  |
 //! | `stall_timeout`      | `TTG_NET_STALL_MS`            | off (0)  |
+//! | `recover_deadline`   | `TTG_NET_RECOVER_DEADLINE_MS` | 5000 ms  |
+//! | `resend_buffer_limit`| `TTG_NET_RESEND_BUFFER_BYTES` | 4 MiB    |
 //!
 //! The stall timeout is opt-in because a genuinely lost *data* frame is
 //! indistinguishable from a long-running remote task without
 //! application knowledge; when set, a fenced epoch making no wave
 //! progress for that long aborts with a diagnostic instead of hanging.
+//!
+//! The recover deadline extends the reconnect window beyond
+//! `peer_dead_after`: a dropped connection has `peer_dead_after +
+//! recover_deadline` to rejoin (same or new incarnation) before the
+//! peer is declared permanently dead. The resend buffer limit bounds
+//! how many bytes of unacknowledged sequenced frames are retained per
+//! peer for replay-on-rejoin; exceeding it fails sends with a typed
+//! [`NetError::ResendOverflow`](crate::NetError::ResendOverflow).
 
 use std::time::Duration;
 
@@ -38,6 +48,13 @@ pub struct NetConfig {
     /// Abort a fenced epoch whose termination wave makes no progress
     /// for this long (`None` = wait forever; the default).
     pub stall_timeout: Option<Duration>,
+    /// Extra grace beyond `peer_dead_after` during which a dropped peer
+    /// may rejoin (reconnect with the same or a new incarnation) before
+    /// being declared permanently dead.
+    pub recover_deadline: Duration,
+    /// Per-peer byte budget for the resend buffer of unacknowledged
+    /// sequenced frames retained for replay-on-rejoin.
+    pub resend_buffer_limit: u64,
     /// Per-dial-retry hook (`None` = silent).
     pub retry_observer: Option<RetryObserver>,
 }
@@ -49,6 +66,8 @@ impl std::fmt::Debug for NetConfig {
             .field("heartbeat_interval", &self.heartbeat_interval)
             .field("peer_dead_after", &self.peer_dead_after)
             .field("stall_timeout", &self.stall_timeout)
+            .field("recover_deadline", &self.recover_deadline)
+            .field("resend_buffer_limit", &self.resend_buffer_limit)
             .field("retry_observer", &self.retry_observer.is_some())
             .finish()
     }
@@ -67,6 +86,8 @@ impl NetConfig {
             heartbeat_interval: Duration::from_millis(500),
             peer_dead_after: Duration::from_secs(5),
             stall_timeout: None,
+            recover_deadline: Duration::from_secs(5),
+            resend_buffer_limit: 4 * 1024 * 1024,
             retry_observer: None,
         }
     }
@@ -87,6 +108,12 @@ impl NetConfig {
         if let Some(ms) = env_ms("TTG_NET_STALL_MS") {
             cfg.stall_timeout = (ms > 0).then(|| Duration::from_millis(ms));
         }
+        if let Some(ms) = env_ms("TTG_NET_RECOVER_DEADLINE_MS") {
+            cfg.recover_deadline = Duration::from_millis(ms);
+        }
+        if let Some(bytes) = env_ms("TTG_NET_RESEND_BUFFER_BYTES") {
+            cfg.resend_buffer_limit = bytes;
+        }
         cfg
     }
 
@@ -99,6 +126,19 @@ impl NetConfig {
     /// Builder-style retry observer.
     pub fn with_retry_observer(mut self, obs: RetryObserver) -> NetConfig {
         self.retry_observer = Some(obs);
+        self
+    }
+
+    /// Builder-style recovery deadline (grace beyond `peer_dead_after`
+    /// for a dropped peer to rejoin).
+    pub fn with_recover_deadline(mut self, deadline: Duration) -> NetConfig {
+        self.recover_deadline = deadline;
+        self
+    }
+
+    /// Builder-style resend buffer byte budget.
+    pub fn with_resend_buffer_limit(mut self, bytes: u64) -> NetConfig {
+        self.resend_buffer_limit = bytes;
         self
     }
 }

@@ -64,6 +64,19 @@ pub enum NetError {
         /// Human-readable diagnostic carried with the abort.
         reason: String,
     },
+    /// The bounded per-peer resend buffer is full: the peer has been
+    /// unreachable (or unacknowledging) for long enough that buffering
+    /// one more frame would exceed the configured byte budget. The
+    /// frame was **not** buffered and will **not** be sent — overflow
+    /// is a typed refusal, never silent loss.
+    ResendOverflow {
+        /// The peer whose buffer is full.
+        rank: usize,
+        /// Bytes currently held for that peer.
+        buffered_bytes: u64,
+        /// The configured per-peer budget (`TTG_NET_RESEND_BUFFER_BYTES`).
+        limit_bytes: u64,
+    },
     /// The endpoint is shut down (or was never connected to `rank`).
     NotConnected {
         /// The unreachable rank.
@@ -95,6 +108,7 @@ impl NetError {
             | NetError::PeerClosed { rank, .. }
             | NetError::FrameCorrupt { rank, .. }
             | NetError::HeartbeatLost { rank, .. }
+            | NetError::ResendOverflow { rank, .. }
             | NetError::NotConnected { rank } => Some(*rank),
             NetError::EpochAborted { .. } | NetError::Io { .. } => None,
         }
@@ -110,6 +124,7 @@ impl NetError {
             NetError::FrameCorrupt { .. } => io::ErrorKind::InvalidData,
             NetError::HeartbeatLost { .. } => io::ErrorKind::TimedOut,
             NetError::EpochAborted { .. } => io::ErrorKind::Interrupted,
+            NetError::ResendOverflow { .. } => io::ErrorKind::OutOfMemory,
             NetError::NotConnected { .. } => io::ErrorKind::NotConnected,
             NetError::Io { kind, .. } => *kind,
         };
@@ -141,6 +156,14 @@ impl fmt::Display for NetError {
             NetError::EpochAborted { epoch, reason } => {
                 write!(f, "epoch {epoch} aborted: {reason}")
             }
+            NetError::ResendOverflow {
+                rank,
+                buffered_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "resend buffer for rank {rank} overflowed ({buffered_bytes} bytes buffered, limit {limit_bytes})"
+            ),
             NetError::NotConnected { rank } => write!(f, "not connected to rank {rank}"),
             NetError::Io { kind, msg } => write!(f, "io error ({kind:?}): {msg}"),
         }

@@ -19,9 +19,15 @@
 //! 2:corrupt@5->*    # rank 2: flip a bit in its 5th frame to any peer
 //! 0:delay:50@2->1   # rank 0: delay its 2nd frame to rank 1 by 50ms
 //! 1:kill@4          # rank 1: exit the process at its 4th send (no goodbye)
+//! 2:bounce:80@6     # rank 2: sever all its links at its 6th send, dwell 80ms
 //! ```
 //!
-//! Actions: `drop`, `dup`, `corrupt`, `delay:MS`, `sever`, `kill`.
+//! Actions: `drop`, `dup`, `corrupt`, `delay:MS`, `sever`, `kill`,
+//! `bounce[:MS]` (default dwell 50ms). `bounce` cuts every live socket
+//! the way a network blip would and relies on the transport's session
+//! rejoin + replay to restore the link — unlike `sever` it is a
+//! *recoverable* fault, so a bounced run is expected to finish with
+//! fault-free results, not a typed error.
 //! `NTH` is 1-based and counted per destination peer. A missing `RANK:`
 //! prefix applies the rule on every rank; a missing `->PEER` suffix
 //! matches any destination. `kill` is meant for multi-process runs
@@ -54,6 +60,11 @@ pub enum FaultAction {
     /// Exit the process abruptly (exit code 137, like SIGKILL): the
     /// ultimate fault, for multi-process chaos runs only.
     Kill,
+    /// Sever every live connection of this endpoint (no Goodbye), dwell
+    /// for the given duration, then send the triggering frame normally.
+    /// The transport's rejoin + replay machinery is expected to absorb
+    /// the outage, so the run completes with fault-free results.
+    Bounce(Duration),
 }
 
 /// One rule of a [`FaultPlan`].
@@ -152,6 +163,12 @@ impl FaultPlan {
                     .parse()
                     .map_err(|_| format!("rule '{token}': bad delay '{ms}'"))?,
             )),
+            ["bounce"] => FaultAction::Bounce(Duration::from_millis(50)),
+            ["bounce", ms] => FaultAction::Bounce(Duration::from_millis(
+                ms.trim()
+                    .parse()
+                    .map_err(|_| format!("rule '{token}': bad bounce dwell '{ms}'"))?,
+            )),
             _ => return Err(format!("rule '{token}': unknown action")),
         };
         Ok(FaultRule {
@@ -192,11 +209,12 @@ impl FaultPlan {
         let nrules = 1 + (next() % 3) as usize;
         let rules = (0..nrules)
             .map(|_| {
-                let action = match next() % 5 {
+                let action = match next() % 6 {
                     0 => FaultAction::Drop,
                     1 => FaultAction::Duplicate,
                     2 => FaultAction::Corrupt,
                     3 => FaultAction::Sever,
+                    4 => FaultAction::Bounce(Duration::from_millis(1 + next() % 50)),
                     _ => FaultAction::Delay(Duration::from_millis(1 + next() % 20)),
                 };
                 let rank = Some((next() % nranks as u64) as usize);
@@ -293,6 +311,14 @@ impl FaultyTransport {
                 // Crash like a kill -9 would: no Goodbye, no teardown.
                 std::process::exit(137);
             }
+            Some(FaultAction::Bounce(dwell)) => {
+                self.inner.drop_connections();
+                std::thread::sleep(dwell);
+                // The transport buffers this send through the outage
+                // and replays it on rejoin (no-op severing on local
+                // transports degrades the bounce to a plain delay).
+                self.inner.send(dst, frame)
+            }
         }
     }
 }
@@ -316,6 +342,10 @@ impl Transport for FaultyTransport {
         self.check_severed(dst)?;
         let _ = self.next_action(dst); // raw frames advance the ordinal
         self.inner.send_raw(dst, bytes)
+    }
+
+    fn drop_connections(&self) {
+        self.inner.drop_connections();
     }
 
     fn shutdown(&self) {
@@ -392,15 +422,38 @@ mod tests {
     #[test]
     fn rejects_malformed_rules() {
         for bad in [
-            "drop",         // no trigger
-            "drop@0",       // 0 is not a valid 1-based ordinal
-            "drop@x",       // non-numeric ordinal
-            "explode@3",    // unknown action
-            "delay@3",      // delay needs :MS
-            "drop@3->zero", // non-numeric peer
+            "drop",          // no trigger
+            "drop@0",        // 0 is not a valid 1-based ordinal
+            "drop@x",        // non-numeric ordinal
+            "explode@3",     // unknown action
+            "delay@3",       // delay needs :MS
+            "drop@3->zero",  // non-numeric peer
+            "bounce:oops@2", // non-numeric bounce dwell
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should not parse");
         }
+    }
+
+    #[test]
+    fn bounce_parses_with_and_without_dwell() {
+        let plan = FaultPlan::parse("bounce@2, 2:bounce:80@6->1").unwrap();
+        assert_eq!(
+            plan.rules,
+            vec![
+                FaultRule {
+                    rank: None,
+                    action: FaultAction::Bounce(Duration::from_millis(50)),
+                    nth: 2,
+                    peer: None,
+                },
+                FaultRule {
+                    rank: Some(2),
+                    action: FaultAction::Bounce(Duration::from_millis(80)),
+                    nth: 6,
+                    peer: Some(1),
+                },
+            ]
+        );
     }
 
     #[test]

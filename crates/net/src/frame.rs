@@ -6,7 +6,7 @@
 //! than executed:
 //!
 //! ```text
-//! [u32 body_len (LE)] [u32 crc32 (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [u64 span (LE)] [payload ...]
+//! [u32 body_len (LE)] [u32 crc32 (LE)] [u8 kind] [i32 priority (LE)] [u32 handler (LE)] [u64 span (LE)] [u64 seq (LE)] [payload ...]
 //! ```
 //!
 //! `body_len` counts everything after the CRC word; `crc32` is the
@@ -22,6 +22,14 @@
 //! Note the header grew from 9 to 17 bytes when the field was added:
 //! peers from before the change cannot talk to peers after it (the CRC
 //! rejects the mismatch loudly rather than misparsing).
+//!
+//! `seq` is the per-peer delivery sequence number assigned by the
+//! transport to replayable frames (0 = unsequenced, e.g. handshake and
+//! heartbeat traffic, or transports without a resend buffer). It drives
+//! receiver-side duplicate suppression when unacknowledged frames are
+//! replayed after a connection rejoin. Like `span`, adding it grew the
+//! header (17 → 25 bytes): old and new peers cannot interoperate, and
+//! the CRC makes the mismatch loud.
 //!
 //! Decoding distinguishes three outcomes ([`Decoded`]): a frame, a
 //! clean EOF at a frame boundary, and a *corrupt* frame (bad CRC, bad
@@ -60,6 +68,11 @@ pub enum FrameKind {
     /// A rank aborts a wave epoch: `handler` = origin rank, payload =
     /// u64 epoch followed by a UTF-8 diagnostic.
     Abort = 8,
+    /// Cumulative delivery acknowledgement: `handler` = sender's rank,
+    /// payload = u64 highest sequence number received in order from the
+    /// destination. Lets the destination trim its resend buffer; never
+    /// delivered to the sink, never itself sequenced.
+    Ack = 9,
 }
 
 impl FrameKind {
@@ -74,6 +87,7 @@ impl FrameKind {
             6 => FrameKind::Goodbye,
             7 => FrameKind::Heartbeat,
             8 => FrameKind::Abort,
+            9 => FrameKind::Ack,
             _ => return None,
         })
     }
@@ -91,6 +105,10 @@ pub struct Frame {
     /// Request-scoped span context of the sending task (0 =
     /// unattributed; always 0 for control frames).
     pub span: u64,
+    /// Per-peer delivery sequence number (0 = unsequenced). Assigned by
+    /// the transport when the frame enters a resend buffer; receivers
+    /// use it for duplicate suppression after a rejoin replay.
+    pub seq: u64,
     /// Opaque handler payload (data) or kind-specific words (control).
     pub payload: Vec<u8>,
 }
@@ -112,8 +130,9 @@ pub enum Decoded {
     },
 }
 
-/// Fixed bytes after the CRC word: kind + priority + handler + span.
-const HEADER_LEN: usize = 1 + 4 + 4 + 8;
+/// Fixed bytes after the CRC word: kind + priority + handler + span +
+/// seq.
+const HEADER_LEN: usize = 1 + 4 + 4 + 8 + 8;
 
 /// Refuse frames larger than this (corrupt length words otherwise turn
 /// into multi-gigabyte allocations).
@@ -173,6 +192,7 @@ impl Frame {
             priority,
             handler,
             span,
+            seq: 0,
             payload,
         }
     }
@@ -184,6 +204,7 @@ impl Frame {
             priority: 0,
             handler,
             span: 0,
+            seq: 0,
             payload: Vec::new(),
         }
     }
@@ -199,6 +220,7 @@ impl Frame {
             priority: 0,
             handler,
             span: 0,
+            seq: 0,
             payload,
         }
     }
@@ -226,12 +248,14 @@ impl Frame {
         crc = crc32_update(crc, &self.priority.to_le_bytes());
         crc = crc32_update(crc, &self.handler.to_le_bytes());
         crc = crc32_update(crc, &self.span.to_le_bytes());
+        crc = crc32_update(crc, &self.seq.to_le_bytes());
         crc = crc32_update(crc, &self.payload) ^ 0xFFFF_FFFF;
         buf.extend_from_slice(&crc.to_le_bytes());
         buf.push(self.kind as u8);
         buf.extend_from_slice(&self.priority.to_le_bytes());
         buf.extend_from_slice(&self.handler.to_le_bytes());
         buf.extend_from_slice(&self.span.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
         buf.extend_from_slice(&self.payload);
     }
 
@@ -282,12 +306,14 @@ impl Frame {
         let priority = i32::from_le_bytes(body[1..5].try_into().expect("4 bytes"));
         let handler = u32::from_le_bytes(body[5..9].try_into().expect("4 bytes"));
         let span = u64::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
+        let seq = u64::from_le_bytes(body[17..25].try_into().expect("8 bytes"));
         let payload = body[HEADER_LEN..].to_vec();
         Ok(Decoded::Frame(Frame {
             kind,
             priority,
             handler,
             span,
+            seq,
             payload,
         }))
     }
@@ -441,6 +467,8 @@ mod tests {
             let mut body = vec![200u8];
             body.extend_from_slice(&0i32.to_le_bytes());
             body.extend_from_slice(&0u32.to_le_bytes());
+            body.extend_from_slice(&0u64.to_le_bytes()); // span
+            body.extend_from_slice(&0u64.to_le_bytes()); // seq
             let mut b = (body.len() as u32).to_le_bytes().to_vec();
             b.extend_from_slice(&crc32(&body).to_le_bytes());
             b.extend_from_slice(&body);
@@ -491,6 +519,7 @@ mod tests {
             priority: 0,
             handler: 1,
             span: 0,
+            seq: 0,
             payload,
         };
         let mut buf = Vec::new();
@@ -507,8 +536,29 @@ mod tests {
             priority: 0,
             handler: 0,
             span: 0,
+            seq: 0,
             payload: vec![1, 2, 3], // not a multiple of 8
         };
         assert!(f.words().is_empty());
+    }
+
+    #[test]
+    fn sequenced_and_ack_frames_roundtrip() {
+        // The seq word is CRC-covered and survives the wire intact.
+        let mut f = Frame::data(4, 1, b"replayable".to_vec());
+        f.seq = 0x1122_3344_5566_7788;
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let got = expect_frame(read_one(&buf).unwrap());
+        assert_eq!(got.seq, 0x1122_3344_5566_7788);
+        assert_eq!(got, f);
+
+        let ack = Frame::control_with_words(FrameKind::Ack, 1, &[42]);
+        let mut buf = Vec::new();
+        ack.encode_into(&mut buf);
+        let got = expect_frame(read_one(&buf).unwrap());
+        assert_eq!(got.kind, FrameKind::Ack);
+        assert_eq!(got.seq, 0, "acks are never themselves sequenced");
+        assert_eq!(got.words(), vec![42]);
     }
 }

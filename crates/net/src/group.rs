@@ -56,9 +56,27 @@ impl FrameSink for RuntimeSink {
             rank: peer,
             during: error.to_string(),
         });
+        self.rt.notify_peer_dead(peer);
         // Poison (not a one-epoch abort): the peer is not coming back,
         // so every future fence must fail fast too.
         self.wave.poison(&format!("peer rank {peer} lost: {error}"));
+    }
+
+    fn peer_recovering(&self, peer: usize) {
+        self.rt.notify_peer_recovering(peer);
+    }
+
+    fn peer_rejoined(&self, peer: usize, same_incarnation: bool) {
+        self.wave.peer_rejoined(peer, same_incarnation);
+        self.rt.notify_peer_rejoined(peer, same_incarnation);
+    }
+
+    fn peer_session_reset(&self, peer: usize, lost_sent: u64, lost_received: u64) {
+        // Messages exchanged with the dead incarnation of `peer` can
+        // never be matched; strike them from this rank's wave totals so
+        // the reduction can re-balance with the new incarnation.
+        let _ = peer;
+        self.rt.retract_peer_messages(lost_sent, lost_received);
     }
 }
 
@@ -135,6 +153,10 @@ impl NetRuntime {
                     heartbeats_sent: c.heartbeats_sent.load(Ordering::Relaxed),
                     peers_lost: c.peers_lost.load(Ordering::Relaxed),
                     reconnects: c.reconnects.load(Ordering::Relaxed),
+                    rejoins: c.rejoins.load(Ordering::Relaxed),
+                    frames_replayed: c.frames_replayed.load(Ordering::Relaxed),
+                    frames_deduped: c.frames_deduped.load(Ordering::Relaxed),
+                    resend_buffer_bytes: c.resend_buffer_bytes.load(Ordering::Relaxed),
                 },
                 None => NetStats::default(),
             }));

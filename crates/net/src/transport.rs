@@ -31,6 +31,33 @@ pub trait FrameSink: Send + Sync {
     fn peer_lost(&self, peer: usize, error: &NetError) {
         let _ = (peer, error);
     }
+
+    /// The connection to `peer` dropped but the recovery window is
+    /// still open: the transport is buffering sends and waiting for a
+    /// rejoin rather than declaring death. May be called more than once
+    /// per peer (once per drop). Default: ignore.
+    fn peer_recovering(&self, peer: usize) {
+        let _ = peer;
+    }
+
+    /// A previously-dropped `peer` reconnected and the session
+    /// handshake completed; unacked frames have been replayed.
+    /// `same_incarnation` is false when the peer *process* restarted
+    /// (its receive state was reset — buffered-but-unacked deliveries
+    /// into the old incarnation are gone). Default: ignore.
+    fn peer_rejoined(&self, peer: usize, same_incarnation: bool) {
+        let _ = (peer, same_incarnation);
+    }
+
+    /// A rejoining `peer` came back under a *new* incarnation, so this
+    /// endpoint discarded the non-replayable session state it held for
+    /// the old one: `lost_sent` frames we had sent (counted toward the
+    /// termination wave) and `lost_received` frames we had received
+    /// from it. The runtime uses these to rebalance message totals.
+    /// Default: ignore.
+    fn peer_session_reset(&self, peer: usize, lost_sent: u64, lost_received: u64) {
+        let _ = (peer, lost_sent, lost_received);
+    }
 }
 
 /// Moves frames between ranks.
@@ -57,6 +84,12 @@ pub trait Transport: Send + Sync {
             msg: "transport does not support raw frame injection".into(),
         })
     }
+
+    /// Severs every live connection abruptly without tearing the
+    /// endpoint down, as if the network blinked — the transport's own
+    /// recovery machinery (if any) is expected to rejoin and replay.
+    /// Default: no-op (in-process transports have no sockets to cut).
+    fn drop_connections(&self) {}
 
     /// Tears the endpoint down (joins receiver threads, closes sockets).
     /// Idempotent.
@@ -97,6 +130,17 @@ pub struct TransportCounters {
     pub reconnects: AtomicU64,
     /// Failed dial attempts across all connects and reconnects.
     pub connect_retries: AtomicU64,
+    /// Session-level rejoins completed (handshake + replay) after a
+    /// connection drop.
+    pub rejoins: AtomicU64,
+    /// Unacked sequenced frames re-sent to a rejoining peer.
+    pub frames_replayed: AtomicU64,
+    /// Duplicate sequenced frames suppressed on receive (already
+    /// delivered under the sender's current incarnation).
+    pub frames_deduped: AtomicU64,
+    /// Bytes currently held across all per-peer resend buffers
+    /// (a gauge, not a monotonic counter).
+    pub resend_buffer_bytes: AtomicU64,
 }
 
 /// In-process transport: every rank lives in the same address space and

@@ -241,9 +241,13 @@ impl NetWave {
                     self.abort_epoch(epoch, &reason, false);
                 }
             }
-            // Data/handshake/liveness traffic is not wave business; a
-            // peer sending it here is confused, not lethal.
-            FrameKind::Data | FrameKind::Hello | FrameKind::Goodbye | FrameKind::Heartbeat => {}
+            // Data/handshake/liveness/ack traffic is not wave business;
+            // a peer sending it here is confused, not lethal.
+            FrameKind::Data
+            | FrameKind::Hello
+            | FrameKind::Goodbye
+            | FrameKind::Heartbeat
+            | FrameKind::Ack => {}
         }
     }
 
@@ -275,6 +279,7 @@ impl NetWave {
                 priority: 0,
                 handler: self.rank as u32,
                 span: 0,
+                seq: 0,
                 payload,
             };
             let out = self.transport();
@@ -305,6 +310,23 @@ impl NetWave {
     fn client_round_begin(&self, epoch: u64, round: u64) {
         let mut st = self.state.lock();
         st.last_activity = Instant::now();
+        if epoch > st.epoch {
+            // A rank that restarted mid-epoch comes back with its epoch
+            // counter reset to zero while the mesh is at epoch *e*. The
+            // coordinator alone opens rounds, so a future-epoch
+            // `RoundBegin` (the rejoin re-offer, or the next round of
+            // an epoch this incarnation never saw) is authoritative:
+            // fast-forward into the mesh's epoch and contribute. In
+            // steady state this cannot fire — round *r* of epoch *e* is
+            // only broadcast after every rank's `EnterFence(e)`, which
+            // follows that rank's reset into *e*, and the per-link
+            // channel is ordered.
+            st.epoch = epoch;
+            st.entered = true;
+            st.last_round = round;
+            st.pending_round = Some(round);
+            return;
+        }
         if st.epoch == epoch && round > st.last_round {
             st.last_round = round;
             st.pending_round = Some(round);
@@ -314,8 +336,36 @@ impl NetWave {
     fn client_terminated(&self, epoch: u64) {
         let mut st = self.state.lock();
         st.last_activity = Instant::now();
-        if st.epoch == epoch {
+        if epoch >= st.epoch {
+            // `>` only happens to a rank that restarted as the epoch
+            // closed (see `client_round_begin` for why steady state
+            // cannot produce a future-epoch verdict): adopt the mesh
+            // epoch so the post-termination reset lands in sync.
+            st.epoch = epoch;
             self.terminated.store(true, Ordering::Release);
+        }
+    }
+
+    /// A peer rejoined after a connection drop. With the *same*
+    /// incarnation nothing is needed: every wave control frame is
+    /// sequenced, so whatever the peer missed was replayed by the
+    /// transport. A *new* incarnation (the peer restarted) discarded
+    /// the sender-side resend buffer with the old session, so a
+    /// coordinator with a round in flight re-offers the current
+    /// `RoundBegin` — otherwise the restarted rank never learns which
+    /// round to contribute to and the reduction waits on it forever.
+    pub fn peer_rejoined(&self, peer: usize, same_incarnation: bool) {
+        if same_incarnation || peer == self.rank {
+            return;
+        }
+        let Some(coord) = &self.coord else { return };
+        let reoffer = {
+            let st = coord.lock();
+            (st.round > 0).then(|| (st.epoch, st.round))
+        };
+        if let Some((epoch, round)) = reoffer {
+            let frame = Frame::control_with_words(FrameKind::RoundBegin, round as u32, &[epoch]);
+            let _ = self.transport().send(peer, frame);
         }
     }
 
@@ -327,7 +377,14 @@ impl NetWave {
         let Some(coord) = &self.coord else { return };
         let verdict = {
             let mut st = coord.lock();
-            st.fenced[rank] = st.fenced[rank].max(epoch + 1);
+            // A restarted rank fences with a reset epoch counter; its
+            // entry means "ready for the mesh's *current* epoch". In
+            // steady state an `EnterFence` can never lag the
+            // coordinator's epoch (the epoch only advances after every
+            // rank's in-order contributions, which follow that rank's
+            // fence entry), so clamping to the current epoch only moves
+            // restarted ranks forward.
+            st.fenced[rank] = st.fenced[rank].max(epoch + 1).max(st.epoch + 1);
             Self::maybe_open_first_round(&mut st)
         };
         self.broadcast(verdict);
@@ -750,6 +807,50 @@ mod tests {
             .on_control(0, Frame::control_with_words(FrameKind::EnterFence, 0, &[0])); // coord frame at non-coordinator
         assert!(!w.is_terminated());
         assert!(w.aborted().is_none());
+    }
+
+    #[test]
+    fn restarted_client_adopts_mesh_epoch_from_round_begin() {
+        let ranks = wave_mesh(2);
+        let w = &ranks[1].0;
+        // The mesh is at epoch 5; this client restarted back at epoch 0.
+        // The coordinator's (re-offered) RoundBegin is authoritative and
+        // fast-forwards the client into the mesh's epoch.
+        w.on_control(0, Frame::control_with_words(FrameKind::RoundBegin, 2, &[5]));
+        assert_eq!(w.epoch(), 5);
+        assert!(!w.is_terminated());
+        // A stale round for the adopted epoch still does nothing...
+        w.on_control(0, Frame::control_with_words(FrameKind::RoundBegin, 1, &[5]));
+        assert_eq!(w.epoch(), 5);
+        // ...and the epoch's verdict lands normally after adoption.
+        w.on_control(0, Frame::control_with_words(FrameKind::Terminated, 0, &[5]));
+        assert!(w.is_terminated());
+    }
+
+    #[test]
+    fn coordinator_clamps_restarted_enter_fence_to_current_epoch() {
+        let ranks = wave_mesh(2);
+        for _ in 0..2u64 {
+            ranks[0].0.enter_fence();
+            ranks[1].0.enter_fence();
+            while !(ranks[0].0.try_contribute(0, 0, 0) & ranks[1].0.try_contribute(1, 0, 0)) {}
+            ranks[0].0.reset();
+            ranks[1].0.reset();
+        }
+        // Rank 1 "restarted": its fence entry announces epoch 0 while
+        // the mesh is at epoch 2. The coordinator must read it as entry
+        // into the *current* epoch, or round 1 never opens.
+        ranks[0].0.enter_fence();
+        ranks[0]
+            .0
+            .on_control(1, Frame::control_with_words(FrameKind::EnterFence, 1, &[0]));
+        for _ in 0..1000 {
+            if ranks[0].0.try_contribute(0, 0, 0) & ranks[1].0.try_contribute(1, 0, 0) {
+                break;
+            }
+        }
+        assert!(ranks[0].0.is_terminated(), "epoch 2 never opened a round");
+        assert!(ranks[1].0.is_terminated());
     }
 
     #[test]

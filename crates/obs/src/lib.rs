@@ -425,7 +425,14 @@ impl Obs {
     /// reader thread per peer; local: synchronous). Concurrent senders
     /// *on one rank* can still reorder between sequence assignment and
     /// the wire, so flows are best-effort diagnostics, not accounting.
-    pub fn record_net_recv(&self, src: usize, bytes: usize, ts_ns: u64, seq: Option<u64>, span: u64) {
+    pub fn record_net_recv(
+        &self,
+        src: usize,
+        bytes: usize,
+        ts_ns: u64,
+        seq: Option<u64>,
+        span: u64,
+    ) {
         let mut aux = self.aux.lock();
         if aux.recv_seq.len() <= src {
             aux.recv_seq.resize(src + 1, 0);

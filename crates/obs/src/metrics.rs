@@ -424,6 +424,14 @@ fn help_text(name: &str) -> Option<&'static str> {
         "heartbeats_sent" => "Payload-free liveness heartbeats sent to idle peer links.",
         "peers_lost" => "Peers declared dead (liveness deadline or unrecoverable link).",
         "reconnects" => "Successful link re-establishments after a dropped connection.",
+        "rejoins" => "Session-epoch rejoin handshakes completed with a recovering peer.",
+        "frames_replayed" => "Unacked sequenced frames re-sent to a peer after a rejoin.",
+        "frames_deduped" => "Duplicate sequenced frames suppressed by the receiver after a replay.",
+        "resend_buffer_bytes" => "Bytes currently held in per-peer resend buffers awaiting acks.",
+        "instances_quarantined" => {
+            "Graph instances currently quarantined while a peer's rejoin is pending."
+        }
+        "instances_retried" => "Graph instances re-executed after a peer-loss failure.",
         "queue_local_pops" => "Tasks popped from a worker's own queue.",
         "queue_steals" => "Tasks stolen from another worker's queue.",
         "queue_overflow" => "Tasks pushed to the global overflow FIFO (local queue full).",
@@ -451,6 +459,7 @@ fn help_text(name: &str) -> Option<&'static str> {
         "serve_slo_target_us" => "Per-tenant SLO latency target in microseconds.",
         "serve_slo_good" => "Instances that completed within their tenant's SLO target.",
         "serve_slo_breached" => "Instances that failed or exceeded their tenant's SLO target.",
+        "serve_retried" => "Graph instances requeued after a peer-loss failure, per tenant.",
         "task_duration" => "Task body execution time.",
         "ready_delay" => "Delay between a task becoming ready and starting to run.",
         "message_latency" => "Remote message inbox residence time (receiver clock).",

@@ -484,7 +484,6 @@ fn critical_path(tasks: &[SpanTask], hops: &[(usize, usize, u64, u64)]) -> (u64,
         .iter()
         .enumerate()
         .max_by_key(|(_, v)| **v)
-        .map(|(i, v)| (i, v))
         .unwrap_or((0, &0));
     let mut names = Vec::new();
     loop {
@@ -575,7 +574,7 @@ impl std::fmt::Debug for SpanTailStore {
 mod tests {
     use super::*;
 
-    fn task(span: u64, rank: usize, tid: u32, ts: u64, dur: u64, queue: u64) -> Event {
+    fn task(span: u64, _rank: usize, tid: u32, ts: u64, dur: u64, queue: u64) -> Event {
         Event {
             kind: EventKind::Task,
             name: "t",

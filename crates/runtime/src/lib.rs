@@ -42,7 +42,10 @@ pub use comm::ProcessGroup;
 pub use copy::DataCopy;
 pub use error::RunError;
 pub use live::{LiveConfig, LiveTelemetry, RuntimeSlot};
-pub use runtime::{FrameSender, HealthReport, Runtime, RuntimeConfig, DEFAULT_TRACE_CAPACITY};
+pub use runtime::{
+    FrameSender, HealthReport, RecoveryEvent, RecoveryObserver, Runtime, RuntimeConfig,
+    DEFAULT_TRACE_CAPACITY,
+};
 pub use stats::{ContentionStats, NetStats, RuntimeStats};
 
 // Observability vocabulary (event kinds, metrics snapshots, trace

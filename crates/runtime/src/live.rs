@@ -276,6 +276,9 @@ impl LiveTelemetry {
                         rank,
                         reason: None,
                         peers_lost: 0,
+                        degraded: false,
+                        recovering_peers: Vec::new(),
+                        quarantined_instances: 0,
                     },
                 };
                 HealthVerdict {

@@ -7,8 +7,8 @@ use crate::task::{ClosureTask, RawTask};
 use crate::worker::{self, WorkerCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use ttg_hashtable::LockKind;
 use ttg_sched::{Priority, SchedKind, TaskQueue};
@@ -18,6 +18,39 @@ use ttg_termdet::{LocalTermination, TermDetKind, TermWave, WaveBoard};
 /// A registered typed-message handler: executes on the destination with
 /// the carried payload.
 pub(crate) type HandlerFn = dyn Fn(&mut WorkerCtx<'_>, Vec<u8>) + Send + Sync;
+
+/// A peer-liveness transition reported by the bound transport, fanned
+/// out to observers registered with [`Runtime::add_recovery_observer`]
+/// (the serve engine uses these to quarantine, release, or re-execute
+/// the instances a bouncing rank touches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A peer's connection dropped; it has `peer_dead_after +
+    /// recover_deadline` to rejoin before being declared dead.
+    PeerRecovering {
+        /// The affected peer rank.
+        rank: usize,
+    },
+    /// The peer rejoined within its recovery window.
+    PeerRejoined {
+        /// The affected peer rank.
+        rank: usize,
+        /// `true` when the same process reconnected (unacked frames were
+        /// replayed; nothing was lost). `false` means the peer
+        /// *restarted*: its in-memory state is gone and work that
+        /// depended on it must be failed or re-executed.
+        same_incarnation: bool,
+    },
+    /// The recovery window expired; the peer is permanently dead.
+    PeerDead {
+        /// The affected peer rank.
+        rank: usize,
+    },
+}
+
+/// Callback receiving [`RecoveryEvent`]s. Invoked from transport
+/// monitor/reader threads — must not block.
+pub type RecoveryObserver = Arc<dyn Fn(RecoveryEvent) + Send + Sync>;
 
 /// Outbound side of a network transport, bound via
 /// [`Runtime::set_frame_sender`]. `ttg-net` implements this over sockets;
@@ -151,6 +184,16 @@ pub(crate) struct Inner {
     /// Resilience-counter source installed by the bound transport, so
     /// `stats()` can fold transport counters into [`crate::RuntimeStats`].
     pub(crate) net_stats: OnceLock<Arc<dyn Fn() -> NetStats + Send + Sync>>,
+    /// Peers currently inside their recovery window (connection lost,
+    /// rejoin pending). Drives the `/healthz` degraded verdict.
+    pub(crate) recovering: Mutex<BTreeSet<usize>>,
+    /// Fan-out list for peer-liveness transitions.
+    pub(crate) recovery_observers: RwLock<Vec<RecoveryObserver>>,
+    /// Instance scopes currently quarantined by peer loss — a gauge
+    /// maintained by the layer that owns the scopes (ttg-serve).
+    pub(crate) instances_quarantined: AtomicU64,
+    /// Instances re-executed after a peer-loss failure (ttg-serve).
+    pub(crate) instances_retried: AtomicU64,
     /// Typed-message handlers, indexed by registration order. SPMD
     /// programs register identically on every rank so ids agree.
     pub(crate) handlers: RwLock<Vec<Arc<HandlerFn>>>,
@@ -227,6 +270,14 @@ impl Inner {
         self.announce_termination();
     }
 
+    /// Fans a peer-liveness transition out to registered observers.
+    pub(crate) fn fire_recovery(&self, event: RecoveryEvent) {
+        let observers = self.recovery_observers.read().clone();
+        for obs in &observers {
+            obs(event);
+        }
+    }
+
     /// Pushes an externally produced task into the injection queue.
     pub(crate) fn inject(&self, task: RawTask) {
         // External injections (graph seeding, submit) inherit the
@@ -282,6 +333,15 @@ pub struct HealthReport {
     pub reason: Option<String>,
     /// Transport-level count of peers declared dead.
     pub peers_lost: u64,
+    /// The rank is operational but a peer is inside its recovery window
+    /// or instances sit quarantined awaiting its verdict. Degraded is
+    /// *not* unhealthy: `/healthz` still answers 200 so orchestrators
+    /// don't kill a rank that is about to recover on its own.
+    pub degraded: bool,
+    /// Peer ranks currently inside their recovery window.
+    pub recovering_peers: Vec<usize>,
+    /// Instance scopes currently quarantined by peer loss.
+    pub quarantined_instances: u64,
 }
 
 impl HealthReport {
@@ -303,6 +363,20 @@ impl HealthReport {
             (
                 "peers_lost".to_string(),
                 serde::Value::UInt(self.peers_lost),
+            ),
+            ("degraded".to_string(), serde::Value::Bool(self.degraded)),
+            (
+                "recovering_peers".to_string(),
+                serde::Value::Array(
+                    self.recovering_peers
+                        .iter()
+                        .map(|&r| serde::Value::UInt(r as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "quarantined_instances".to_string(),
+                serde::Value::UInt(self.quarantined_instances),
             ),
         ]);
         serde_json::to_string_pretty(&v).expect("health serialization")
@@ -375,6 +449,10 @@ impl Runtime {
             frame_out: OnceLock::new(),
             run_error: Mutex::new(None),
             net_stats: OnceLock::new(),
+            recovering: Mutex::new(BTreeSet::new()),
+            recovery_observers: RwLock::new(Vec::new()),
+            instances_quarantined: AtomicU64::new(0),
+            instances_retried: AtomicU64::new(0),
             handlers: RwLock::new(Vec::new()),
             comm: CommCounters::default(),
             idle_count: AtomicUsize::new(0),
@@ -637,11 +715,16 @@ impl Runtime {
         let reason = pending
             .or(poison)
             .or_else(|| (peers_lost > 0).then(|| format!("{peers_lost} peer(s) declared dead")));
+        let recovering_peers: Vec<usize> = self.inner.recovering.lock().iter().copied().collect();
+        let quarantined_instances = self.inner.instances_quarantined.load(Ordering::Relaxed);
         HealthReport {
             healthy: reason.is_none(),
+            degraded: !recovering_peers.is_empty() || quarantined_instances > 0,
             rank: self.inner.rank,
             reason,
             peers_lost,
+            recovering_peers,
+            quarantined_instances,
         }
     }
 
@@ -710,6 +793,27 @@ impl Runtime {
         m.counter("heartbeats_sent", s.heartbeats_sent);
         m.counter("peers_lost", s.peers_lost);
         m.counter("reconnects", s.reconnects);
+        // Recovery counters appear only once recovery machinery has
+        // actually fired, keeping fault-free snapshots byte-identical
+        // with pre-recovery versions (golden-file stability).
+        if s.rejoins > 0 {
+            m.counter("rejoins", s.rejoins);
+        }
+        if s.frames_replayed > 0 {
+            m.counter("frames_replayed", s.frames_replayed);
+        }
+        if s.frames_deduped > 0 {
+            m.counter("frames_deduped", s.frames_deduped);
+        }
+        if s.resend_buffer_bytes > 0 {
+            m.counter("resend_buffer_bytes", s.resend_buffer_bytes);
+        }
+        if s.instances_quarantined > 0 {
+            m.counter("instances_quarantined", s.instances_quarantined);
+        }
+        if s.instances_retried > 0 {
+            m.counter("instances_retried", s.instances_retried);
+        }
         m.counter("queue_local_pops", s.queue.local_pops as u64);
         m.counter("queue_steals", s.queue.steals as u64);
         m.counter("queue_overflow", s.queue.overflow as u64);
@@ -766,7 +870,13 @@ impl Runtime {
             s.heartbeats_sent = n.heartbeats_sent;
             s.peers_lost = n.peers_lost;
             s.reconnects = n.reconnects;
+            s.rejoins = n.rejoins;
+            s.frames_replayed = n.frames_replayed;
+            s.frames_deduped = n.frames_deduped;
+            s.resend_buffer_bytes = n.resend_buffer_bytes;
         }
+        s.instances_quarantined = self.inner.instances_quarantined.load(Ordering::Relaxed);
+        s.instances_retried = self.inner.instances_retried.load(Ordering::Relaxed);
         s.trace_events_dropped = self
             .inner
             .obs
@@ -850,6 +960,72 @@ impl Runtime {
     /// ignored (the transport is bound once).
     pub fn set_net_stats_source(&self, source: Arc<dyn Fn() -> NetStats + Send + Sync>) {
         let _ = self.inner.net_stats.set(source);
+    }
+
+    /// Registers an observer for peer-liveness transitions
+    /// ([`RecoveryEvent`]). Observers run on transport threads and must
+    /// not block; the serve engine uses them to quarantine/release/
+    /// re-execute the instances a bouncing rank touches.
+    pub fn add_recovery_observer(&self, observer: impl Fn(RecoveryEvent) + Send + Sync + 'static) {
+        self.inner
+            .recovery_observers
+            .write()
+            .push(Arc::new(observer));
+    }
+
+    /// Transport upcall: `rank`'s connection dropped and its recovery
+    /// window opened. Marks the peer recovering (degraded `/healthz`)
+    /// and fans out [`RecoveryEvent::PeerRecovering`].
+    pub fn notify_peer_recovering(&self, rank: usize) {
+        self.inner.recovering.lock().insert(rank);
+        self.inner
+            .fire_recovery(RecoveryEvent::PeerRecovering { rank });
+    }
+
+    /// Transport upcall: `rank` rejoined within its recovery window.
+    /// Clears the degraded marker and fans out
+    /// [`RecoveryEvent::PeerRejoined`].
+    pub fn notify_peer_rejoined(&self, rank: usize, same_incarnation: bool) {
+        self.inner.recovering.lock().remove(&rank);
+        self.inner.fire_recovery(RecoveryEvent::PeerRejoined {
+            rank,
+            same_incarnation,
+        });
+    }
+
+    /// Transport upcall: `rank`'s recovery window expired without a
+    /// rejoin. Fans out [`RecoveryEvent::PeerDead`]; the caller is
+    /// expected to also record the fatal run error as before.
+    pub fn notify_peer_dead(&self, rank: usize) {
+        self.inner.recovering.lock().remove(&rank);
+        self.inner.fire_recovery(RecoveryEvent::PeerDead { rank });
+    }
+
+    /// Transport upcall: a peer rejoined with a *new* incarnation and
+    /// `sent`/`received` messages exchanged with the dead incarnation
+    /// were struck from the session. Retracts them from this rank's
+    /// wave contribution so global termination can still balance.
+    pub fn retract_peer_messages(&self, sent: u64, received: u64) {
+        self.inner.term.retract_messages(sent, received);
+    }
+
+    /// Peer ranks currently inside their recovery window.
+    pub fn recovering_peers(&self) -> Vec<usize> {
+        self.inner.recovering.lock().iter().copied().collect()
+    }
+
+    /// Sets the quarantined-instances gauge reported by
+    /// [`Runtime::health`] / [`Runtime::stats`]. Maintained by the
+    /// layer that owns the instance scopes (ttg-serve).
+    pub fn set_quarantined_instances(&self, count: u64) {
+        self.inner
+            .instances_quarantined
+            .store(count, Ordering::Relaxed);
+    }
+
+    /// Counts one instance re-executed after a peer-loss failure.
+    pub fn note_instance_retried(&self) {
+        self.inner.instances_retried.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Ingests a data message that arrived over the network for this

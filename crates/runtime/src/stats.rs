@@ -80,6 +80,20 @@ pub struct RuntimeStats {
     pub peers_lost: u64,
     /// Connections the transport successfully re-established.
     pub reconnects: u64,
+    /// Session rejoins completed (reconnects whose handshake resumed or
+    /// reset a sequenced-frame session).
+    pub rejoins: u64,
+    /// Unacknowledged sequenced frames re-sent on rejoin.
+    pub frames_replayed: u64,
+    /// Duplicate sequenced frames suppressed by the receiver.
+    pub frames_deduped: u64,
+    /// Bytes currently buffered for replay across all peers (a gauge,
+    /// not a monotone counter).
+    pub resend_buffer_bytes: u64,
+    /// Instance scopes currently quarantined by peer loss (a gauge).
+    pub instances_quarantined: u64,
+    /// Serve instances re-executed after a peer-loss failure.
+    pub instances_retried: u64,
     /// Scheduler behaviour counters.
     pub queue: QueueStats,
     /// Lock-contention counters from `ttg-sync` (feature
@@ -142,6 +156,14 @@ pub struct NetStats {
     pub peers_lost: u64,
     /// Connections re-established after a drop.
     pub reconnects: u64,
+    /// Session rejoins completed.
+    pub rejoins: u64,
+    /// Unacknowledged sequenced frames re-sent on rejoin.
+    pub frames_replayed: u64,
+    /// Duplicate sequenced frames suppressed by the receiver.
+    pub frames_deduped: u64,
+    /// Bytes currently held in resend buffers (gauge).
+    pub resend_buffer_bytes: u64,
 }
 
 pub(crate) fn new_cells(workers: usize) -> Box<[CachePadded<WorkerStatsCell>]> {

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ttg_core::{GraphInstance, GraphTemplate};
 use ttg_obs::{LatencyHistogram, MetricsSnapshot, SpanTailStore};
-use ttg_runtime::{Runtime, RuntimeSlot};
-use ttg_termdet::ScopeOutcome;
+use ttg_runtime::{RecoveryEvent, Runtime, RuntimeSlot};
+use ttg_termdet::{InstanceScope, ScopeOutcome};
 
 /// Sizing and policy knobs for a [`ServeEngine`].
 #[derive(Debug, Clone)]
@@ -51,6 +51,12 @@ pub struct ServeConfig {
     /// `GET /instance/<id>/trace.json` and `GET /slow.json`. Oldest
     /// entries are evicted.
     pub tail_capacity: usize,
+    /// How many times an instance failed by *peer loss* (quarantined
+    /// when a rank's connection dropped, force-failed when the rank
+    /// restarted or died) is automatically re-executed before the
+    /// failure becomes client-visible. Failures from the instance's
+    /// own tasks are never retried.
+    pub max_retries: u32,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +69,7 @@ impl Default for ServeConfig {
             slo_target: Duration::from_millis(250),
             slo_overrides: Vec::new(),
             tail_capacity: 32,
+            max_retries: 1,
         }
     }
 }
@@ -193,6 +200,8 @@ pub struct TenantCounters {
     pub rejected: u64,
     /// Instances that terminated with a failure.
     pub failed: u64,
+    /// Instances re-executed after a peer-loss failure.
+    pub retried: u64,
     /// Currently queued submissions.
     pub queued: usize,
     /// Currently executing instances.
@@ -231,6 +240,11 @@ struct InstanceRecord {
     /// completion or after eviction (`evicted` disambiguates).
     results: Option<Vec<(String, Value)>>,
     evicted: bool,
+    /// The submitted input, retained so a peer-loss failure can be
+    /// re-executed from scratch.
+    input: Value,
+    /// Peer-loss re-executions consumed so far.
+    retries: u32,
 }
 
 #[derive(Default)]
@@ -241,6 +255,8 @@ struct TenantState {
     completed: u64,
     rejected: u64,
     failed: u64,
+    /// Instances re-executed after a peer-loss failure.
+    retried: u64,
     latency: LatencyHistogram,
     /// Instances that finished within the tenant's SLO target.
     slo_good: u64,
@@ -321,6 +337,16 @@ impl ServeEngine {
             stop: AtomicBool::new(false),
             tail,
         });
+        // Peer-liveness transitions drive instance quarantine/release/
+        // re-execution. Weak: an engine that shut down must not be kept
+        // alive (or called into) by the resident runtime's observer
+        // list.
+        let recovery_inner = Arc::downgrade(&inner);
+        inner.runtime.add_recovery_observer(move |event| {
+            if let Some(inner) = recovery_inner.upgrade() {
+                on_recovery(&inner, event);
+            }
+        });
         let dispatcher = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -386,7 +412,7 @@ impl ServeEngine {
             id,
             tenant: tenant.to_string(),
             template: tmpl,
-            input,
+            input: input.clone(),
         });
         st.instances.insert(
             id,
@@ -398,6 +424,8 @@ impl ServeEngine {
                 latency_ns: None,
                 results: None,
                 evicted: false,
+                input,
+                retries: 0,
             },
         );
         drop(st);
@@ -482,6 +510,7 @@ impl ServeEngine {
             completed: t.completed,
             rejected: t.rejected,
             failed: t.failed,
+            retried: t.retried,
             queued: t.queue.len(),
             inflight: t.inflight,
         })
@@ -503,6 +532,7 @@ impl ServeEngine {
                             ("completed".to_string(), Value::UInt(t.completed)),
                             ("rejected".to_string(), Value::UInt(t.rejected)),
                             ("failed".to_string(), Value::UInt(t.failed)),
+                            ("retried".to_string(), Value::UInt(t.retried)),
                             ("queued".to_string(), Value::UInt(t.queue.len() as u64)),
                             ("inflight".to_string(), Value::UInt(t.inflight as u64)),
                             ("p50_ms".to_string(), Value::Float(h.p50() as f64 / 1e6)),
@@ -537,6 +567,11 @@ impl ServeEngine {
             snap.labeled_counter("serve_completed", labels.clone(), t.completed);
             snap.labeled_counter("serve_rejected", labels.clone(), t.rejected);
             snap.labeled_counter("serve_failed", labels.clone(), t.failed);
+            // Only present once a peer-loss re-execution happened, so
+            // fault-free snapshots stay byte-identical.
+            if t.retried > 0 {
+                snap.labeled_counter("serve_retried", labels.clone(), t.retried);
+            }
             // SLO attribution only exists with spans on, so the
             // spans-off snapshot stays byte-identical.
             if cfg!(feature = "obs-spans") {
@@ -767,6 +802,62 @@ impl std::fmt::Debug for ServeEngine {
     }
 }
 
+/// Peer-liveness transitions → instance lifecycle. Serve instances are
+/// rank-local graphs, but their tasks may have exchanged messages with
+/// the affected peer, so the engine is conservative: every running
+/// instance is quarantined while a peer's rejoin is pending, released
+/// when the same incarnation returns (transport replay made the outage
+/// invisible), and force-failed — which routes it through the bounded
+/// re-execution path in [`finalize_locked`] — when the peer restarted
+/// or died.
+fn on_recovery(inner: &Arc<EngineInner>, event: RecoveryEvent) {
+    match event {
+        RecoveryEvent::PeerRecovering { .. } => {
+            let st = inner.state.lock();
+            for inst in st.running.values() {
+                inst.scope().quarantine();
+            }
+            inner
+                .runtime
+                .set_quarantined_instances(st.running.len() as u64);
+        }
+        RecoveryEvent::PeerRejoined {
+            same_incarnation: true,
+            ..
+        } => {
+            let st = inner.state.lock();
+            for inst in st.running.values() {
+                inst.scope().release_quarantine();
+            }
+            inner.runtime.set_quarantined_instances(0);
+        }
+        RecoveryEvent::PeerRejoined {
+            rank,
+            same_incarnation: false,
+        } => force_fail_running(
+            inner,
+            &format!("peer-loss: rank {rank} restarted mid-instance"),
+        ),
+        RecoveryEvent::PeerDead { rank } => {
+            force_fail_running(inner, &format!("peer-loss: rank {rank} declared dead"))
+        }
+    }
+}
+
+/// Force-fails every running instance with `reason`. The completion
+/// hooks fired by `force_fail` take the engine lock, so the scopes are
+/// collected under the lock and failed outside it.
+fn force_fail_running(inner: &Arc<EngineInner>, reason: &str) {
+    let scopes: Vec<Arc<InstanceScope>> = {
+        let st = inner.state.lock();
+        st.running.values().map(|i| Arc::clone(i.scope())).collect()
+    };
+    inner.runtime.set_quarantined_instances(0);
+    for scope in scopes {
+        scope.force_fail(reason);
+    }
+}
+
 /// Moves a completed instance out of `running` into the result store;
 /// false if the id is not (yet) in `running` — the caller re-queues.
 /// The instance itself is pushed onto `to_drop` for teardown outside
@@ -781,9 +872,60 @@ fn finalize_locked(
     let Some(inst) = st.running.remove(&id) else {
         return false;
     };
+    // The departing instance no longer counts toward the quarantine
+    // gauge; recompute it from the survivors.
+    let quarantined = st
+        .running
+        .values()
+        .filter(|i| i.scope().is_quarantined())
+        .count() as u64;
+    inner.runtime.set_quarantined_instances(quarantined);
     let outcome = inst
         .outcome()
         .expect("completion hook fired, scope is terminal");
+    // Peer-loss failures are infrastructure faults, not application
+    // bugs: re-execute from the retained input, up to `max_retries`,
+    // before letting the failure become client-visible. The force-
+    // failed graph may still have straggler tasks on the resident
+    // runtime, so it is abandoned (leaked), never dropped.
+    if let ScopeOutcome::Failed(msg) = &outcome {
+        if msg.starts_with("peer-loss:") && !st.draining {
+            let (tenant, template, retries) = {
+                let rec = st
+                    .instances
+                    .get(&id)
+                    .expect("running instance has a record");
+                (rec.tenant.clone(), rec.template.clone(), rec.retries)
+            };
+            if retries < config.max_retries {
+                if let Some(tmpl) = inner.templates.read().get(&template).cloned() {
+                    let rec = st
+                        .instances
+                        .get_mut(&id)
+                        .expect("running instance has a record");
+                    rec.retries += 1;
+                    rec.status = InstanceStatus::Queued;
+                    rec.submitted_at = Instant::now();
+                    let input = rec.input.clone();
+                    if let Some(t) = st.tenants.get_mut(&tenant) {
+                        t.inflight = t.inflight.saturating_sub(1);
+                        t.retried += 1;
+                        t.queue.push_back(Pending {
+                            id,
+                            tenant: tenant.clone(),
+                            template: tmpl,
+                            input,
+                        });
+                    }
+                    st.inflight_total = st.inflight_total.saturating_sub(1);
+                    inner.runtime.note_instance_retried();
+                    inst.abandon();
+                    inner.cv_dispatch.notify_one();
+                    return true;
+                }
+            }
+        }
+    }
     let results = inst.take_results();
     let rec = st
         .instances
@@ -791,6 +933,8 @@ fn finalize_locked(
         .expect("running instance has a record");
     let tenant = rec.tenant.clone();
     let elapsed = rec.submitted_at.elapsed();
+    let force_failed =
+        matches!(&outcome, ScopeOutcome::Failed(msg) if msg.starts_with("peer-loss:"));
     let failed = match outcome {
         ScopeOutcome::Completed => {
             rec.status = InstanceStatus::Completed;
@@ -841,7 +985,15 @@ fn finalize_locked(
         }
         st.evicted_overflow_trim(config);
     }
-    to_drop.push(inst);
+    if force_failed {
+        // Force-failed scopes never saw a real zero-crossing: straggler
+        // tasks may still execute on the resident runtime. Leak the
+        // graph (as `shutdown` does for cut-loose instances) instead of
+        // freeing memory under them.
+        inst.abandon();
+    } else {
+        to_drop.push(inst);
+    }
     // Wake result waiters and the shutdown drain loop.
     inner.cv_done.notify_all();
     true
@@ -863,8 +1015,10 @@ fn build_trace(
     latency_ns: u64,
 ) -> Value {
     let slo = inner.config.slo_for(tenant);
-    let breached = matches!(status, InstanceStatus::Failed(_) | InstanceStatus::Abandoned)
-        || Duration::from_nanos(latency_ns) > slo;
+    let breached = matches!(
+        status,
+        InstanceStatus::Failed(_) | InstanceStatus::Abandoned
+    ) || Duration::from_nanos(latency_ns) > slo;
     let span_id = ttg_obs::pack_span(tenant, id);
     let events = inner.runtime.peek_events();
     let rank = inner.runtime.rank();

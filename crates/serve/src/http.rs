@@ -12,7 +12,7 @@
 //! | `/tenants.json`       | GET    | per-tenant counters + engine state    |
 //! | `/instance/<id>/trace.json` | GET | SLO verdict + queue/execute/wire breakdown + span tree |
 //! | `/slow.json`          | GET    | tail-sampled traces of SLO-breaching / failed instances |
-//! | `/healthz`            | GET    | engine-aware: `draining` + `abandoned` ids + per-tenant `load` (queued/inflight), 503 once instances were abandoned |
+//! | `/healthz`            | GET    | engine-aware: `draining` + `abandoned` ids + per-tenant `load` (queued/inflight), 503 once instances were abandoned; `degraded`/`recovering_peers`/`quarantined_instances` stay 200 while a peer's rejoin is pending |
 //!
 //! Error responses are `{"error": "<message>"}` with the status from
 //! [`ServeError::http_status`].
@@ -180,6 +180,13 @@ pub fn serve_routes(engine: Arc<ServeEngine>) -> HttpRoutes {
                             "unhealthy"
                         } else if draining {
                             "draining"
+                        } else if rt_health.degraded {
+                            // Degraded is still 200: a peer is inside
+                            // its recovery window (or instances sit
+                            // quarantined), and the rank expects to
+                            // heal on its own — an orchestrator must
+                            // not kill it for that.
+                            "degraded"
                         } else {
                             "ok"
                         }
@@ -187,6 +194,21 @@ pub fn serve_routes(engine: Arc<ServeEngine>) -> HttpRoutes {
                     ),
                 ),
                 ("runtime_ok".to_string(), Value::Bool(rt_health.healthy)),
+                ("degraded".to_string(), Value::Bool(rt_health.degraded)),
+                (
+                    "recovering_peers".to_string(),
+                    Value::Array(
+                        rt_health
+                            .recovering_peers
+                            .iter()
+                            .map(|&r| Value::UInt(r as u64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "quarantined_instances".to_string(),
+                    Value::UInt(rt_health.quarantined_instances),
+                ),
                 ("draining".to_string(), Value::Bool(draining)),
                 (
                     "abandoned".to_string(),

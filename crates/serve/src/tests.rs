@@ -725,3 +725,132 @@ mod spans_on {
         );
     }
 }
+
+/// Peer-loss recovery (DESIGN.md §13): a rank restarting mid-instance
+/// force-fails the running instances with a `peer-loss:` marker, and
+/// the engine re-executes them from the retained input instead of
+/// surfacing the failure to the client.
+#[test]
+fn peer_loss_failure_is_retried_and_completes() {
+    let e = engine(2, ServeConfig::default());
+    let rt = Arc::clone(e.runtime());
+    let id = e
+        .submit("acme", "slow", obj(vec![("ms", Value::UInt(300))]))
+        .unwrap();
+    // Wait for the instance to actually be running before bouncing.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while e.poll(id).unwrap() != InstanceStatus::Running {
+        assert!(std::time::Instant::now() < deadline, "never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The peer's connection drops: running instances are quarantined
+    // and the rank reports degraded (but still healthy).
+    rt.notify_peer_recovering(2);
+    let h = rt.health();
+    assert!(h.healthy && h.degraded, "degraded, not unhealthy");
+    assert_eq!(h.recovering_peers, vec![2]);
+    assert!(h.quarantined_instances >= 1, "running instance quarantined");
+    // The peer comes back as a *new* incarnation: the quarantined
+    // instance is force-failed and must be re-executed transparently.
+    rt.notify_peer_rejoined(2, false);
+    let view = e.wait_result(id, Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        view.status,
+        InstanceStatus::Completed,
+        "retry hid the peer loss from the client"
+    );
+    let h = rt.health();
+    assert!(!h.degraded, "recovery window closed");
+    assert_eq!(h.quarantined_instances, 0);
+    let c = e.tenant_counters("acme").unwrap();
+    assert_eq!((c.completed, c.failed, c.retried), (1, 0, 1));
+    assert_eq!(rt.stats().instances_retried, 1);
+    let prom = e.metrics().to_prometheus("ttg");
+    assert!(
+        prom.contains("ttg_serve_retried{tenant=\"acme\"} 1"),
+        "{prom}"
+    );
+    // A same-incarnation rejoin releases quarantine without failing.
+    let id2 = e
+        .submit("acme", "slow", obj(vec![("ms", Value::UInt(100))]))
+        .unwrap();
+    while e.poll(id2).unwrap() != InstanceStatus::Running {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    rt.notify_peer_recovering(1);
+    rt.notify_peer_rejoined(1, true);
+    let view = e.wait_result(id2, Duration::from_secs(10)).unwrap();
+    assert_eq!(view.status, InstanceStatus::Completed);
+    assert_eq!(
+        e.tenant_counters("acme").unwrap().retried,
+        1,
+        "no new retry"
+    );
+}
+
+/// Retries are bounded: once `max_retries` peer-loss re-executions are
+/// used up, the failure becomes client-visible with its diagnostic.
+#[test]
+fn peer_loss_retries_are_bounded() {
+    let e = engine(
+        2,
+        ServeConfig {
+            max_retries: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let rt = Arc::clone(e.runtime());
+    let id = e
+        .submit("acme", "slow", obj(vec![("ms", Value::UInt(300))]))
+        .unwrap();
+    while e.poll(id).unwrap() != InstanceStatus::Running {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    rt.notify_peer_rejoined(2, false);
+    let view = e.wait_result(id, Duration::from_secs(5)).unwrap();
+    match view.status {
+        InstanceStatus::Failed(msg) => {
+            assert!(msg.starts_with("peer-loss:"), "{msg}")
+        }
+        other => panic!("expected a visible failure, got {other:?}"),
+    }
+    let c = e.tenant_counters("acme").unwrap();
+    assert_eq!((c.failed, c.retried), (1, 0));
+}
+
+/// The `/healthz` route walks healthy → degraded (still 200) →
+/// healthy as a peer's recovery window opens and closes.
+#[test]
+fn healthz_degrades_and_recovers_over_http() {
+    let e = engine(2, ServeConfig::default());
+    let server = ttg_obs::ObsHttpServer::serve(0, serve_routes(Arc::clone(&e))).expect("bind");
+    let port = server.port();
+    let rt = Arc::clone(e.runtime());
+
+    let (status, body) = http_request(port, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(false));
+
+    rt.notify_peer_recovering(1);
+    let (status, body) = http_request(port, "GET", "/healthz", None);
+    assert_eq!(status, 200, "degraded is NOT 503: {body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("degraded"));
+    assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(true));
+    let peers = v.get("recovering_peers").unwrap().as_array().unwrap();
+    assert_eq!(peers.len(), 1, "{body}");
+    assert!(v.get("quarantined_instances").is_some(), "{body}");
+
+    rt.notify_peer_rejoined(1, true);
+    let (status, body) = http_request(port, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        v.get("recovering_peers").unwrap().as_array().unwrap().len(),
+        0
+    );
+}

@@ -45,6 +45,12 @@ pub struct LocalTermination {
     /// Messages sent to / received from other processes.
     sent: CAtomicU64,
     received: CAtomicU64,
+    /// Messages retracted from the totals after a peer session reset:
+    /// traffic exchanged with an incarnation that no longer exists must
+    /// not count toward the wave, or the surviving ranks would wait for
+    /// matches that can never arrive.
+    retracted_sent: CAtomicU64,
+    retracted_received: CAtomicU64,
 }
 
 impl LocalTermination {
@@ -60,6 +66,8 @@ impl LocalTermination {
             pending: CAtomicI64::new(0),
             sent: CAtomicU64::new(0),
             received: CAtomicU64::new(0),
+            retracted_sent: CAtomicU64::new(0),
+            retracted_received: CAtomicU64::new(0),
         }
     }
 
@@ -122,11 +130,31 @@ impl LocalTermination {
         self.received.fetch_add(1, self.policy.rmw());
     }
 
-    /// Totals of (sent, received) messages — the wave contribution.
+    /// Retracts `sent`/`received` messages from the wave contribution.
+    ///
+    /// Called when a peer rejoins with a *new* incarnation: the frames
+    /// exchanged with the dead incarnation will never be matched on the
+    /// other side, so they are subtracted from [`message_totals`]
+    /// (saturating — a retraction can race a concurrent count) rather
+    /// than left to deadlock the termination wave.
+    ///
+    /// [`message_totals`]: LocalTermination::message_totals
+    pub fn retract_messages(&self, sent: u64, received: u64) {
+        self.retracted_sent.fetch_add(sent, self.policy.rmw());
+        self.retracted_received
+            .fetch_add(received, self.policy.rmw());
+    }
+
+    /// Totals of (sent, received) messages — the wave contribution —
+    /// net of any [`retract_messages`] adjustments.
+    ///
+    /// [`retract_messages`]: LocalTermination::retract_messages
     pub fn message_totals(&self) -> (u64, u64) {
+        let sent = self.sent.load(self.policy.load());
+        let received = self.received.load(self.policy.load());
         (
-            self.sent.load(self.policy.load()),
-            self.received.load(self.policy.load()),
+            sent.saturating_sub(self.retracted_sent.load(self.policy.load())),
+            received.saturating_sub(self.retracted_received.load(self.policy.load())),
         )
     }
 
@@ -149,6 +177,8 @@ impl LocalTermination {
         self.pending.store(0, Ordering::Relaxed);
         self.sent.store(0, Ordering::Relaxed);
         self.received.store(0, Ordering::Relaxed);
+        self.retracted_sent.store(0, Ordering::Relaxed);
+        self.retracted_received.store(0, Ordering::Relaxed);
         for l in self.locals.iter() {
             l.pending.set(0);
         }
@@ -223,6 +253,23 @@ mod tests {
         assert_eq!(t.message_totals(), (2, 1));
         t.reset();
         assert_eq!(t.message_totals(), (0, 0));
+    }
+
+    #[test]
+    fn retraction_subtracts_from_totals_saturating() {
+        let t = LocalTermination::new(TermDetKind::ThreadLocal, OrderingPolicy::Relaxed, 1);
+        t.message_sent();
+        t.message_sent();
+        t.message_sent();
+        t.message_received();
+        t.retract_messages(2, 1);
+        assert_eq!(t.message_totals(), (1, 0));
+        // Over-retraction (a racing count) saturates instead of wrapping.
+        t.retract_messages(10, 10);
+        assert_eq!(t.message_totals(), (0, 0));
+        t.reset();
+        t.message_sent();
+        assert_eq!(t.message_totals(), (1, 0), "reset clears retractions");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! healthy, and sibling instances never notice.
 
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -82,6 +82,11 @@ pub struct InstanceScope {
     /// packing: tenant tag ‖ instance id); 0 = unattributed. Written
     /// once at instantiation, read by every task-shell stamp.
     span: AtomicU64,
+    /// Set while the instance is held hostage by a recovering peer:
+    /// its outcome must not be finalized (failed *or* completed) until
+    /// the peer rejoins or the recovery deadline expires. Advisory —
+    /// the credit protocol keeps running underneath.
+    quarantined: AtomicBool,
     state: Mutex<ScopeState>,
     cv: Condvar,
 }
@@ -98,6 +103,7 @@ impl InstanceScope {
             scheduled: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             span: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
             state: Mutex::new(ScopeState {
                 complete: false,
                 failure: None,
@@ -183,6 +189,50 @@ impl InstanceScope {
         let mut st = self.state.lock();
         if st.failure.is_none() {
             st.failure = Some(reason.into());
+        }
+    }
+
+    /// Marks the instance quarantined: a recovering peer holds work (or
+    /// routed sends) this instance depends on, so its fate is unknown
+    /// until the peer rejoins or the recovery deadline passes.
+    /// Idempotent.
+    pub fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Release);
+    }
+
+    /// Clears the quarantine (the peer rejoined with its session
+    /// intact). Idempotent.
+    pub fn release_quarantine(&self) {
+        self.quarantined.store(false, Ordering::Release);
+    }
+
+    /// True while the instance is quarantined behind a recovering peer.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// Force-terminates a scope that can never drain on its own (its
+    /// peer died for good, taking in-flight work with it): records the
+    /// failure, clears the quarantine, marks the scope complete, and
+    /// fires the completion hook. Outstanding credits are abandoned —
+    /// a straggler decrement hitting zero later finds `finish()`
+    /// already idempotently latched. No-op if already complete.
+    pub fn force_fail(&self, reason: impl Into<String>) {
+        self.quarantined.store(false, Ordering::Release);
+        let hook = {
+            let mut st = self.state.lock();
+            if st.complete {
+                return;
+            }
+            if st.failure.is_none() {
+                st.failure = Some(reason.into());
+            }
+            st.complete = true;
+            self.cv.notify_all();
+            st.on_complete.take()
+        };
+        if let Some(hook) = hook {
+            hook();
         }
     }
 
@@ -373,6 +423,42 @@ mod tests {
             Some(ScopeOutcome::Completed)
         );
         h.join().unwrap();
+    }
+
+    #[test]
+    fn quarantine_is_advisory_and_force_fail_terminates_a_stuck_scope() {
+        use std::sync::atomic::AtomicUsize;
+        let s = InstanceScope::new(8);
+        let _g = s.submission_guard();
+        s.task_scheduled(); // a task that will never complete (peer died)
+        s.quarantine();
+        assert!(s.is_quarantined());
+        s.release_quarantine();
+        assert!(!s.is_quarantined());
+        s.quarantine();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        s.set_on_complete(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        s.force_fail("peer-loss: rank 2 never rejoined");
+        assert!(s.is_complete());
+        assert!(!s.is_quarantined(), "force_fail clears the quarantine");
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            s.wait(),
+            ScopeOutcome::Failed("peer-loss: rank 2 never rejoined".into())
+        );
+        // Straggler credits draining later must not re-fire the hook.
+        s.task_completed();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        s.force_fail("second call is a no-op");
+        assert_eq!(
+            s.outcome(),
+            Some(ScopeOutcome::Failed(
+                "peer-loss: rank 2 never rejoined".into()
+            ))
+        );
     }
 
     #[test]

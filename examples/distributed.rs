@@ -66,11 +66,30 @@
 //! aborted wave) prints the diagnostic and exits with code 3; the
 //! parent then exits 3 as well (or 1 if any rank panicked) — so CI can
 //! assert *typed* failure, never a hang, never a panic.
+//!
+//! Recovery drills (TCP mode): `--drill bounce` and `--drill restart`
+//! replace the workload with an elastic-recovery exercise. Rank 0 runs
+//! a [`ttg_serve::ServeEngine`] on its resident runtime and streams
+//! slow instances while chattering sequenced messages at every peer;
+//! the highest rank severs all of its sockets mid-stream (`bounce`) or
+//! kills itself with exit code 137 and is respawned by the parent as a
+//! fresh incarnation (`restart`). The drill passes only if every rank
+//! exits 0 with **zero client-visible instance failures**, at least one
+//! session rejoin, and (bounce) at least one replayed frame or
+//! (restart) at least one automatic instance re-execution:
+//!
+//! ```text
+//! cargo run --release -p ttg-examples --bin distributed -- \
+//!     --tcp --ranks 3 --drill restart --metrics drill.prom
+//! ```
 
+use serde_json::Value;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use ttg_net::{FaultPlan, FaultyTransport, NetConfig, NetRuntime, TcpTransport, Transport};
 use ttg_runtime::{LiveConfig, LiveTelemetry, ProcessGroup, RuntimeConfig, WorkerCtx};
+use ttg_serve::{InstanceStatus, ServeConfig, ServeEngine};
 
 const DEFAULT_RANKS: usize = 4;
 const ITEMS: usize = 64;
@@ -194,6 +213,7 @@ fn main() {
     let mut port = DEFAULT_PORT;
     let mut obs = ObsArgs::default();
     let mut fault_plan: Option<String> = None;
+    let mut drill: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -221,6 +241,10 @@ fn main() {
             "--fault-plan" => {
                 i += 1;
                 fault_plan = Some(args[i].clone());
+            }
+            "--drill" => {
+                i += 1;
+                drill = Some(args[i].clone());
             }
             "--analyze" => obs.analyze = true,
             "--flame" => {
@@ -254,6 +278,17 @@ fn main() {
         obs.trace_temp = true;
     }
 
+    if let Some(mode) = &drill {
+        if !matches!(mode.as_str(), "bounce" | "restart") {
+            eprintln!("--drill takes 'bounce' or 'restart', got {mode:?}");
+            std::process::exit(2);
+        }
+        if !tcp || ranks < 2 {
+            eprintln!("--drill requires --tcp with at least 2 ranks");
+            std::process::exit(2);
+        }
+    }
+
     if let Some(spec) = &fault_plan {
         // Validate up front so a typo fails the parent with a parse
         // diagnostic instead of three children dying obscurely.
@@ -268,7 +303,7 @@ fn main() {
     }
 
     if tcp {
-        spawn_tcp_job(ranks, port, &obs, fault_plan.as_deref());
+        spawn_tcp_job(ranks, port, &obs, fault_plan.as_deref(), drill.as_deref());
     } else {
         run_simulated(ranks, &obs);
     }
@@ -454,7 +489,18 @@ fn run_simulated(ranks: usize, obs: &ObsArgs) {
 /// Exit codes: 0 all ranks clean; 1 a rank panicked (which the
 /// resilience layer promises never happens on network faults); 3 a
 /// rank reported a typed failure (or was fault-killed).
-fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs, fault_plan: Option<&str>) {
+///
+/// In the `restart` drill the highest rank kills itself with exit code
+/// 137 mid-stream; the parent respawns it once (marked as a respawn so
+/// it does not re-arm its own kill) and the job must still end with
+/// every rank — including the fresh incarnation — exiting 0.
+fn spawn_tcp_job(
+    ranks: usize,
+    port: u16,
+    obs: &ObsArgs,
+    fault_plan: Option<&str>,
+    drill: Option<&str>,
+) {
     let exe = std::env::current_exe().expect("current_exe");
     println!("tcp job: spawning {ranks} rank processes on 127.0.0.1:{port}+");
     // One wall-clock trace epoch for the whole job: every rank shifts
@@ -465,49 +511,91 @@ fn spawn_tcp_job(ranks: usize, port: u16, obs: &ObsArgs, fault_plan: Option<&str
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0);
     let rank_path = |base: &str, rank: usize| format!("{base}.rank{rank}");
-    let children: Vec<_> = (0..ranks)
-        .map(|rank| {
-            let mut cmd = std::process::Command::new(&exe);
-            cmd.env("TTG_NET_RANK", rank.to_string())
-                .env("TTG_NET_RANKS", ranks.to_string())
-                .env("TTG_NET_PORT", port.to_string());
-            if let Some(plan) = fault_plan {
-                cmd.env("TTG_NET_FAULT_PLAN", plan);
-            }
-            if obs.serve {
-                // Each child computes its own port as base + rank.
-                cmd.env("TTG_OBS_SERVE", "1");
-                if std::env::var("TTG_OBS_HTTP_PORT").is_err() {
-                    cmd.env("TTG_OBS_HTTP_PORT", DEFAULT_OBS_PORT.to_string());
-                }
-            }
-            if let Some(p) = &obs.trace {
-                cmd.env("TTG_NET_TRACE_OUT", rank_path(p, rank))
-                    .env("TTG_NET_TRACE_EPOCH", trace_epoch_ns.to_string());
-            }
-            if let Some(p) = &obs.stats_json {
-                cmd.env("TTG_NET_STATS_OUT", rank_path(p, rank));
-            }
-            if let Some(p) = &obs.metrics {
-                cmd.env("TTG_NET_METRICS_OUT", rank_path(p, rank));
-            }
-            cmd.spawn().expect("spawn rank process")
-        })
-        .collect();
-    let mut any_failed = false;
-    let mut any_panicked = false;
-    for (rank, child) in children.into_iter().enumerate() {
-        let status = child.wait_with_output().expect("wait for rank");
-        if !status.status.success() {
-            eprintln!("rank {rank} exited with {:?}", status.status);
-            any_failed = true;
-            // Exit code 101 is a Rust panic — the one outcome the
-            // resilience layer promises never happens on network
-            // faults, kept distinguishable for CI.
-            if status.status.code() == Some(101) {
-                any_panicked = true;
+    let spawn_rank = |rank: usize, respawned: bool| -> std::process::Child {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.env("TTG_NET_RANK", rank.to_string())
+            .env("TTG_NET_RANKS", ranks.to_string())
+            .env("TTG_NET_PORT", port.to_string());
+        if let Some(plan) = fault_plan {
+            cmd.env("TTG_NET_FAULT_PLAN", plan);
+        }
+        if let Some(mode) = drill {
+            cmd.env("TTG_NET_DRILL", mode);
+        }
+        if respawned {
+            cmd.env("TTG_NET_DRILL_RESPAWNED", "1");
+        }
+        if obs.serve {
+            // Each child computes its own port as base + rank.
+            cmd.env("TTG_OBS_SERVE", "1");
+            if std::env::var("TTG_OBS_HTTP_PORT").is_err() {
+                cmd.env("TTG_OBS_HTTP_PORT", DEFAULT_OBS_PORT.to_string());
             }
         }
+        if let Some(p) = &obs.trace {
+            cmd.env("TTG_NET_TRACE_OUT", rank_path(p, rank))
+                .env("TTG_NET_TRACE_EPOCH", trace_epoch_ns.to_string());
+        }
+        if let Some(p) = &obs.stats_json {
+            cmd.env("TTG_NET_STATS_OUT", rank_path(p, rank));
+        }
+        if let Some(p) = &obs.metrics {
+            cmd.env("TTG_NET_METRICS_OUT", rank_path(p, rank));
+        }
+        cmd.spawn().expect("spawn rank process")
+    };
+    let mut children: Vec<Option<std::process::Child>> = (0..ranks)
+        .map(|rank| Some(spawn_rank(rank, false)))
+        .collect();
+    let restart_drill = drill == Some("restart");
+    let bounce_rank = ranks - 1;
+    let mut respawned = false;
+    let mut any_failed = false;
+    let mut any_panicked = false;
+    loop {
+        let mut live = 0;
+        for (rank, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot.as_mut() else {
+                continue;
+            };
+            match child.try_wait().expect("wait for rank") {
+                None => live += 1,
+                Some(status) => {
+                    *slot = None;
+                    if restart_drill
+                        && rank == bounce_rank
+                        && !respawned
+                        && status.code() == Some(137)
+                    {
+                        // The drill kill fired: bring the rank back as a
+                        // fresh incarnation after a short outage.
+                        println!("tcp job: rank {rank} died (137, drill kill); respawning");
+                        std::thread::sleep(Duration::from_millis(300));
+                        *slot = Some(spawn_rank(rank, true));
+                        respawned = true;
+                        live += 1;
+                    } else if !status.success() {
+                        eprintln!("rank {rank} exited with {status:?}");
+                        any_failed = true;
+                        // Exit code 101 is a Rust panic — the one
+                        // outcome the resilience layer promises never
+                        // happens on network faults, kept
+                        // distinguishable for CI.
+                        if status.code() == Some(101) {
+                            any_panicked = true;
+                        }
+                    }
+                }
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if restart_drill && !respawned {
+        eprintln!("tcp job: restart drill never observed the 137 kill");
+        any_failed = true;
     }
     if any_failed {
         eprintln!("tcp job: one or more ranks failed");
@@ -648,6 +736,12 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         println!("tcp mesh connected: {nranks} ranks x 2 workers each");
     }
 
+    if let Ok(mode) = std::env::var("TTG_NET_DRILL") {
+        let engine = run_drill(&mode, rank, nranks, &net, &run_phase);
+        finish_tcp_rank(rank, &net, engine.as_ref(), obs, live);
+        return;
+    }
+
     // SPMD handler registration: identical order on every rank.
     // Handler 0 — ring hop: payload = [remaining u64][visited u64].
     let ring_done = Arc::new(AtomicUsize::new(0));
@@ -688,6 +782,16 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
     });
     assert_eq!((h_ring, h_scatter, h_gather), (0, 1, 2));
 
+    // ---- Phase 0: registration barrier ---------------------------------
+    // An empty fenced epoch: it terminates only once every rank has
+    // fenced, i.e. passed the handler registrations above. Without it a
+    // fast rank 0 can land the ring token on a peer that has not
+    // registered handler 0 yet — the message is dropped-but-counted (by
+    // design, so the wave stays balanced), the phase terminates
+    // "cleanly" with zero ring progress, and the workload assert below
+    // panics instead of the run failing typed.
+    run_phase("registration barrier");
+
     // ---- Phase 1: token ring (seeded by rank 0) ------------------------
     if rank == 0 {
         let mut p = (2 * nranks as u64).to_le_bytes().to_vec();
@@ -720,13 +824,196 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         assert_eq!(gathered.load(Ordering::Relaxed), gather_expected());
     }
 
+    finish_tcp_rank(rank, &net, None, obs, live);
+    if rank == 0 {
+        println!("global termination detected twice by the 4-counter wave over TCP — done.");
+    }
+}
+
+/// The drill's serving workload: each instance sleeps `ms` (default
+/// 120) in a task and emits one result — long enough that the bounce
+/// target's outage lands while instances are in flight.
+fn drill_template() -> ttg_core::GraphTemplate {
+    ttg_core::GraphTemplate::compile("drill", |graph, ctx| {
+        let sink = ctx.sink.clone();
+        let ms = ctx.input.get("ms").and_then(Value::as_u64).unwrap_or(120);
+        let tt = graph.tt::<u64>("sleep").build(move |k, _in, _out| {
+            std::thread::sleep(Duration::from_millis(ms));
+            sink.emit(format!("slept/{k}"), Value::UInt(ms));
+        });
+        Box::new(move || tt.invoke(0))
+    })
+    .expect("valid template")
+}
+
+/// One rank of the elastic-recovery drill. Rank 0 serves a stream of
+/// slow instances while chattering sequenced messages at every peer;
+/// the highest rank severs its sockets (`bounce`) or kills itself for
+/// the parent to respawn (`restart`) mid-stream. Rank 0 verifies the
+/// recovery contract once the epoch closes: zero client-visible
+/// instance failures, at least one session rejoin, and at least one
+/// replayed frame (bounce) or automatic re-execution (restart).
+fn run_drill(
+    mode: &str,
+    rank: usize,
+    nranks: usize,
+    net: &NetRuntime,
+    run_phase: &impl Fn(&str),
+) -> Option<Arc<ServeEngine>> {
+    const TICKS: u64 = 200;
+    const TICK_MS: u64 = 10;
+    let rt = net.runtime();
+    let bounce_rank = nranks - 1;
+    let respawned = std::env::var("TTG_NET_DRILL_RESPAWNED").is_ok();
+
+    // Handler 0 — chatter sink. The payload doesn't matter; the traffic
+    // exists so sequenced frames are in flight (and buffered) across
+    // the outage, exercising resend, replay, and dedup.
+    let h_chatter = rt.register_handler(|_ctx, _payload| {});
+    assert_eq!(h_chatter, 0);
+
+    if rank == bounce_rank && !respawned {
+        match mode {
+            "bounce" => {
+                // Sever all sockets three times across the stream. Each
+                // bounce is a ~150 ms *storm* — the sockets are torn
+                // down every 5 ms so reconnects keep getting cut — not
+                // a single drop: on loopback a lone sever heals faster
+                // than the 10 ms chatter cadence and nothing would be
+                // in flight to replay. The storm guarantees sends land
+                // while the link is down, so they sit in the resend
+                // buffer and the final rejoin has frames to replay.
+                let transport = Arc::clone(net.transport());
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        std::thread::sleep(Duration::from_millis(400));
+                        for _ in 0..75 {
+                            transport.drop_connections();
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                });
+            }
+            "restart" => {
+                // Die abruptly mid-stream — no Goodbye, no unwinding —
+                // and rely on the parent to respawn a fresh incarnation.
+                std::thread::spawn(|| {
+                    std::thread::sleep(Duration::from_millis(500));
+                    std::process::exit(137);
+                });
+            }
+            other => {
+                eprintln!("rank {rank}: unknown drill mode {other:?}");
+                std::process::exit(2);
+            }
+        }
+        println!("rank {rank}: drill armed ({mode})");
+    }
+
+    let engine = (rank == 0).then(|| {
+        let engine = Arc::new(ServeEngine::new(net.runtime_arc(), ServeConfig::default()));
+        engine.register_template(drill_template());
+        engine
+    });
+
+    let mut unrecovered = 0usize;
+    if let Some(engine) = &engine {
+        let mut ids = Vec::new();
+        for tick in 0..TICKS {
+            // A burst of four frames per peer per tick: only the bounce
+            // rank's links are ever severed, so the denser the traffic
+            // on them, the more frames straddle an outage and exercise
+            // the resend buffer.
+            for burst in 0..4u64 {
+                for peer in 1..nranks {
+                    rt.send_msg(
+                        peer,
+                        0,
+                        h_chatter,
+                        ((tick << 8) | burst).to_le_bytes().to_vec(),
+                    );
+                }
+            }
+            if tick % 10 == 0 {
+                let input = Value::Object(vec![("ms".to_string(), Value::UInt(120))]);
+                let id = engine
+                    .submit("drill", "drill", input)
+                    .expect("drill submission admitted");
+                ids.push(id);
+            }
+            std::thread::sleep(Duration::from_millis(TICK_MS));
+        }
+        // Every submitted instance must come back Completed — retries
+        // after a peer loss are the engine's job, not the client's.
+        for id in &ids {
+            match engine.wait_result(*id, Duration::from_secs(30)) {
+                Ok(view) if view.status == InstanceStatus::Completed => {}
+                Ok(view) => {
+                    unrecovered += 1;
+                    eprintln!("drill: instance {id} ended {:?}", view.status);
+                }
+                Err(e) => {
+                    unrecovered += 1;
+                    eprintln!("drill: instance {id}: {e}");
+                }
+            }
+        }
+    }
+
+    run_phase("recovery drill");
+
+    if let Some(engine) = &engine {
+        let s = rt.stats();
+        let tenant = engine.tenant_counters("drill").expect("drill tenant");
+        println!(
+            "drill({mode}): {} completed, {} failed, {} retried; rejoins={} \
+             frames_replayed={} frames_deduped={} instances_retried={}",
+            tenant.completed,
+            tenant.failed,
+            tenant.retried,
+            s.rejoins,
+            s.frames_replayed,
+            s.frames_deduped,
+            s.instances_retried,
+        );
+        assert_eq!(unrecovered, 0, "client-visible instance failures");
+        assert_eq!(tenant.failed, 0, "tenant-visible instance failures");
+        assert!(s.rejoins >= 1, "no session rejoin observed");
+        match mode {
+            "bounce" => assert!(
+                s.frames_replayed >= 1,
+                "no frames replayed across the bounce"
+            ),
+            "restart" => assert!(
+                tenant.retried >= 1,
+                "no automatic re-execution after the restart"
+            ),
+            _ => {}
+        }
+        println!("drill({mode}): recovery contract held — done.");
+    }
+    engine
+}
+
+/// Common tail of a TCP rank: stats line, per-rank observability
+/// partials (the parent merges them), the serve-linger window, and the
+/// transport teardown. A drill rank passes its [`ServeEngine`] so the
+/// metrics partial carries the per-tenant serving counters
+/// (`ttg_serve_retried` above all) alongside the runtime's.
+fn finish_tcp_rank(
+    rank: usize,
+    net: &NetRuntime,
+    engine: Option<&Arc<ServeEngine>>,
+    obs: &ObsArgs,
+    live: Option<LiveTelemetry>,
+) {
+    let rt = net.runtime();
     let s = rt.stats();
     println!(
         "  rank {rank}: {} tasks executed, {} wave contributions, {} msgs sent, {} msgs recv, {} payload bytes on wire",
         s.tasks_executed, s.wave_contributions, s.messages_sent, s.messages_received, s.bytes_on_wire
     );
 
-    // ---- per-rank observability partials (parent merges) --------------
     if let Some(path) = &obs.trace {
         let epoch: u64 = std::env::var("TTG_NET_TRACE_EPOCH")
             .expect("TTG_NET_TRACE_EPOCH")
@@ -742,7 +1029,11 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         std::fs::write(path, json).expect("write stats partial");
     }
     if let Some(path) = &obs.metrics {
-        std::fs::write(path, rt.metrics().to_prometheus("ttg")).expect("write metrics partial");
+        let mut snap = rt.metrics();
+        if let Some(engine) = engine {
+            engine.metrics_into(&mut snap);
+        }
+        std::fs::write(path, snap.to_prometheus("ttg")).expect("write metrics partial");
     }
     // Success path: hold the endpoint up through the linger window so a
     // scraper can still read the final healthy state and time series.
@@ -750,12 +1041,9 @@ fn run_tcp_rank(rank: usize, nranks: usize, port: u16, obs: &ObsArgs) {
         live.sample_now();
         let linger = serve_linger_ms();
         if live.http_port().is_some() && linger > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(linger));
+            std::thread::sleep(Duration::from_millis(linger));
         }
     }
     drop(live);
     net.shutdown();
-    if rank == 0 {
-        println!("global termination detected twice by the 4-counter wave over TCP — done.");
-    }
 }
