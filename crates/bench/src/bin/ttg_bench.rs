@@ -36,6 +36,20 @@
 //! behind): the embedded trace is extracted automatically and the
 //! dump's rank/reason header is printed first, so the post-mortem
 //! workflow is identical to the healthy-trace one.
+//!
+//! `dash` is a standalone cluster aggregator: it scrapes each listed
+//! rank's live-telemetry endpoint, merges the snapshots and serves
+//! `/cluster.json`, `/alerts.json`, cluster-level `/metrics` and a
+//! mesh-wide `/healthz` — the same plane rank 0 of `distributed
+//! --serve` embeds, detached from any rank for jobs whose rank 0 is
+//! busy or short-lived.
+//!
+//! `imbalance` closes the detector loop: it hosts a deliberately
+//! skewed power-law scatter over a real 3-rank TCP loopback mesh
+//! (most tasks land on rank 0), runs per-rank live telemetry plus an
+//! in-process aggregator, and records `imbalance_us_per_task` with
+//! the observed skew/straggler alert counts — the regression seed for
+//! `results/BENCH_imbalance.json`.
 
 use ttg_bench::record::{diff, BenchRecord};
 
@@ -43,7 +57,10 @@ const USAGE: &str = "usage:
   ttg-bench analyze <trace.json|flight.json> [--top K]
   ttg-bench diff <old.json> <new.json> [--threshold 0.10]
   ttg-bench flame <trace.json|flight.json> [--out FILE]
-  ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T] [--bench-json FILE] [--attribute]";
+  ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T] [--bench-json FILE] [--attribute]
+  ttg-bench dash --ranks host:port[,host:port...] [--port 9190] [--secs 0] [--scrape-ms 1000]
+  ttg-bench imbalance [--ranks N] [--tasks T] [--spin-us U] [--threads N] [--port-base P]
+                      [--obs-port-base P] [--scrape-ms MS] [--window W] [--bench-json FILE]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -413,6 +430,311 @@ fn cmd_serve(argv: &[String]) {
     }
 }
 
+fn cmd_dash(argv: &[String]) {
+    use std::sync::Arc;
+    use ttg_obs::{cluster_routes, ClusterAggregator, ClusterConfig, HttpRoutes, ObsHttpServer};
+
+    let (pos, opts) = split_args(argv);
+    if !pos.is_empty() {
+        fail("dash takes no positional arguments");
+    }
+    for (n, _) in &opts {
+        if !["ranks", "port", "secs", "scrape-ms"].contains(n) {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let ranks: String = opt(&opts, "ranks", String::new());
+    let targets: Vec<String> = ranks
+        .split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect();
+    if targets.is_empty() {
+        fail("dash needs --ranks host:port[,host:port...]");
+    }
+    let port: u16 = opt(&opts, "port", 9190);
+    let secs: u64 = opt(&opts, "secs", 0);
+    let scrape_ms: u64 = opt(&opts, "scrape-ms", 1_000);
+
+    let agg = ClusterAggregator::new(ClusterConfig {
+        targets,
+        scrape_interval_ms: scrape_ms.max(1),
+        ..ClusterConfig::default()
+    });
+    let routes = HttpRoutes {
+        metrics_prometheus: {
+            let a = Arc::clone(&agg);
+            Box::new(move || a.prometheus())
+        },
+        metrics_json: {
+            let a = Arc::clone(&agg);
+            Box::new(move || {
+                serde_json::to_string_pretty(&a.merged_snapshot().to_value())
+                    .expect("snapshot serialization")
+            })
+        },
+        // The dash has no rank-local series or trace of its own; the
+        // per-rank ones stay on each rank's endpoint.
+        timeseries_json: Box::new(|| "{}".to_string()),
+        trace_json: Box::new(|| "[]".to_string()),
+        healthz: {
+            let a = Arc::clone(&agg);
+            Box::new(move || a.health())
+        },
+        dynamic: Some(cluster_routes(Arc::clone(&agg), true)),
+    };
+    let server = ObsHttpServer::serve(port, routes).unwrap_or_else(|e| {
+        eprintln!("cannot bind dash port {port}: {e}");
+        std::process::exit(2);
+    });
+    let mut sampler = agg.start_scraping();
+    println!(
+        "dash: aggregating {} ranks on http://{}/cluster.json (alerts at /alerts.json)",
+        agg.targets().len(),
+        server.addr()
+    );
+    if secs == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(secs));
+    sampler.stop();
+    let active = agg.active_alerts();
+    println!(
+        "dash: {} scrape rounds, skew CoV {:.2}, {} active alerts",
+        agg.rounds(),
+        agg.skew_cov(),
+        active.len()
+    );
+    drop(server);
+}
+
+fn cmd_imbalance(argv: &[String]) {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use ttg_net::NetRuntime;
+    use ttg_obs::{ClusterAggregator, ClusterConfig};
+    use ttg_runtime::{LiveConfig, LiveTelemetry, RuntimeConfig};
+
+    let (pos, opts) = split_args(argv);
+    if !pos.is_empty() {
+        fail("imbalance takes no positional arguments");
+    }
+    for (n, _) in &opts {
+        if ![
+            "ranks",
+            "tasks",
+            "spin-us",
+            "threads",
+            "port-base",
+            "obs-port-base",
+            "scrape-ms",
+            "window",
+            "bench-json",
+        ]
+        .contains(n)
+        {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let nranks: usize = opt(&opts, "ranks", 3).max(2);
+    let tasks: u64 = opt(&opts, "tasks", 8_000).max(nranks as u64);
+    let spin_us: u64 = opt(&opts, "spin-us", 150);
+    let threads: usize = opt(&opts, "threads", 1).max(1);
+    let port_base: u16 = opt(&opts, "port-base", 47_520);
+    let obs_port_base: u16 = opt(&opts, "obs-port-base", 48_400);
+    let scrape_ms: u64 = opt(&opts, "scrape-ms", 100).max(1);
+    let window: usize = opt(&opts, "window", 5).max(2);
+    let bench_json: String = opt(&opts, "bench-json", String::new());
+
+    // All ranks of a real TCP loopback mesh hosted in this process
+    // (the fig13 pattern), with per-task histograms on so the
+    // aggregator sees worker_busy_ns and ready_delay.
+    let members: Vec<NetRuntime> = (0..nranks)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let mut rc = RuntimeConfig::optimized(threads);
+                rc.histograms = true;
+                NetRuntime::connect_tcp(rc, rank, nranks, port_base).expect("loopback TCP mesh")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    // One live-telemetry endpoint per rank, exactly as N separate
+    // `distributed --serve` processes would expose.
+    let mut live: Vec<LiveTelemetry> = (0..nranks)
+        .map(|rank| {
+            let cfg = LiveConfig {
+                sample_ms: scrape_ms.min(100),
+                ..LiveConfig::disabled()
+            }
+            .with_http_port(obs_port_base);
+            let t = LiveTelemetry::start(rank, &cfg).unwrap_or_else(|e| {
+                eprintln!(
+                    "rank {rank}: cannot bind obs port {}: {e}",
+                    obs_port_base + rank as u16
+                );
+                std::process::exit(2);
+            });
+            t.observe(members[rank].runtime_arc());
+            t
+        })
+        .collect();
+
+    // The aggregator under test: scrapes the per-rank endpoints over
+    // real HTTP, exactly like `dash` or an embedded rank 0.
+    let agg = ClusterAggregator::new(ClusterConfig {
+        targets: (0..nranks)
+            .map(|r| format!("127.0.0.1:{}", obs_port_base + r as u16))
+            .collect(),
+        scrape_interval_ms: scrape_ms,
+        window,
+        ..ClusterConfig::default()
+    });
+    let mut scraper = agg.start_scraping();
+
+    // Each task spins for `spin_us` of wall clock wherever it lands.
+    for m in &members {
+        m.runtime().register_handler(move |ctx, payload| {
+            let spin = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            ctx.spawn(0, move |_ctx| {
+                let t0 = Instant::now();
+                while (t0.elapsed().as_micros() as u64) < spin {
+                    std::hint::spin_loop();
+                }
+            });
+        });
+    }
+    let wait_all = |members: &[NetRuntime]| {
+        for m in members {
+            m.fence();
+        }
+        for m in members {
+            m.wait();
+        }
+    };
+    // Power-law placement: rank r gets a share proportional to
+    // 1/(r+1)^2 — for 3 ranks roughly 73% / 18% / 9%, the deliberate
+    // hot-rank-0 skew the detectors must flag. A multiplicative hash
+    // interleaves the destinations so every rank is concurrently live.
+    let weights: Vec<f64> = (0..nranks)
+        .map(|r| 1.0 / ((r + 1) * (r + 1)) as f64)
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let thresholds: Vec<u64> = {
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total_weight;
+                (acc * 1_000.0) as u64
+            })
+            .collect()
+    };
+    let destination = |i: u64| {
+        let u = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % 1_000;
+        thresholds.iter().position(|&t| u < t).unwrap_or(nranks - 1)
+    };
+    let scatter = |n: u64| {
+        for i in 0..n {
+            members[0]
+                .runtime()
+                .send_msg(destination(i), 0, 0, spin_us.to_le_bytes().to_vec());
+        }
+    };
+
+    scatter(tasks / 20 + nranks as u64); // warm-up epoch
+    wait_all(&members);
+
+    // Track the peak CoV while the skewed epoch runs (it decays once
+    // the queues drain, so the final value understates the event).
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let monitor = {
+        let agg = Arc::clone(&agg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_cov = 0.0f64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                max_cov = max_cov.max(agg.skew_cov());
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            max_cov
+        })
+    };
+
+    let start = Instant::now();
+    scatter(tasks);
+    wait_all(&members);
+    let elapsed = start.elapsed();
+    // Let the aggregator observe the drained steady state so alert
+    // deactivation is exercised too.
+    std::thread::sleep(Duration::from_millis(3 * scrape_ms));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let max_cov = monitor.join().expect("monitor thread");
+    scraper.stop();
+
+    let alerts = agg.alerts();
+    let skew_alerts = alerts.iter().filter(|a| a.kind == "skew").count() as u64;
+    let straggler_alerts = alerts.iter().filter(|a| a.kind == "straggler").count() as u64;
+    let us_per_task = elapsed.as_micros() as f64 / tasks as f64;
+    println!(
+        "imbalance: {tasks} tasks x {spin_us}us over {nranks} ranks ({threads} threads each) \
+         -> {us_per_task:.1} us/task wall"
+    );
+    println!(
+        "detectors: {} scrape rounds, peak load CoV {max_cov:.2}, \
+         {skew_alerts} skew + {straggler_alerts} straggler alerts",
+        agg.rounds()
+    );
+    for a in &alerts {
+        println!(
+            "  [{}] {}{} value {:.2} threshold {:.2} — {}",
+            if a.active { "active" } else { "cleared" },
+            a.kind,
+            a.rank
+                .as_deref()
+                .map(|r| format!(" rank {r}"))
+                .unwrap_or_default(),
+            a.value,
+            a.threshold,
+            a.detail
+        );
+    }
+
+    for m in &members {
+        m.shutdown();
+    }
+    for t in &mut live {
+        t.shutdown();
+    }
+
+    if !bench_json.is_empty() {
+        let mut rec = BenchRecord::new("imbalance");
+        rec.metric("imbalance_us_per_task", us_per_task);
+        rec.counter("imbalance_tasks", tasks);
+        rec.counter("imbalance_ranks", nranks as u64);
+        rec.counter("skew_alerts", skew_alerts);
+        rec.counter("straggler_alerts", straggler_alerts);
+        rec.counter("skew_cov_pct_max", (max_cov * 100.0) as u64);
+        rec.attach_contention();
+        if let Err(e) = rec.write(&bench_json) {
+            eprintln!("cannot write {bench_json}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {bench_json}");
+    }
+    // The whole point of the drill is that the skew is detected; a run
+    // that never fired the alert is a failed run.
+    if skew_alerts == 0 {
+        eprintln!("error: skewed run fired no skew alert (peak CoV {max_cov:.2})");
+        std::process::exit(3);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -420,6 +742,8 @@ fn main() {
         Some("diff") => cmd_diff(&argv[1..]),
         Some("flame") => cmd_flame(&argv[1..]),
         Some("serve") => cmd_serve(&argv[1..]),
+        Some("dash") => cmd_dash(&argv[1..]),
+        Some("imbalance") => cmd_imbalance(&argv[1..]),
         Some(other) => fail(&format!("unknown subcommand {other}")),
         None => fail("missing subcommand"),
     }

@@ -28,6 +28,7 @@
 //! pointer load and branch per hook site, keeping overhead opt-in.
 
 pub mod analysis;
+pub mod cluster;
 pub mod flame;
 pub mod flight;
 pub mod hist;
@@ -39,6 +40,7 @@ pub mod timeseries;
 pub mod trace;
 
 pub use analysis::{analyze_chrome_trace, TaskContribution, TraceReport, WorkerUtil};
+pub use cluster::{cluster_routes, Alert, ClusterAggregator, ClusterConfig, RankObservation};
 pub use flame::collapse_chrome_trace;
 pub use flight::{extract_flight_trace, FlightRecorder};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};

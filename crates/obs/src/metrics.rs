@@ -25,6 +25,14 @@ pub struct MetricsSnapshot {
     pub labels: LabelSet,
     /// Monotonic counters, name → value.
     pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges (queue depths, running-task counts), name →
+    /// value. Unlike counters these describe "now", not "since start".
+    /// Absent gauges leave both exports byte-identical to the
+    /// pre-gauge format.
+    pub gauges: Vec<(String, u64)>,
+    /// Gauges carrying per-sample labels beyond the identity set (e.g.
+    /// per-worker queue depths): name, extra labels, value.
+    pub labeled_gauges: Vec<(String, LabelSet, u64)>,
     /// Latency histograms, name → snapshot (values in ns).
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Counters carrying per-sample labels beyond the identity set
@@ -47,6 +55,8 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             labels,
             counters: Vec::new(),
+            gauges: Vec::new(),
+            labeled_gauges: Vec::new(),
             histograms: Vec::new(),
             labeled_counters: Vec::new(),
             labeled_histograms: Vec::new(),
@@ -57,6 +67,17 @@ impl MetricsSnapshot {
     /// Appends a counter sample.
     pub fn counter(&mut self, name: &str, value: u64) {
         self.counters.push((name.to_string(), value));
+    }
+
+    /// Appends a gauge sample (instantaneous value).
+    pub fn gauge(&mut self, name: &str, value: u64) {
+        self.gauges.push((name.to_string(), value));
+    }
+
+    /// Appends a gauge sample with extra labels (e.g.
+    /// `("worker", "3")`) merged into the identity labels on export.
+    pub fn labeled_gauge(&mut self, name: &str, labels: Vec<(String, String)>, value: u64) {
+        self.labeled_gauges.push((name.to_string(), labels, value));
     }
 
     /// Appends a histogram sample.
@@ -106,6 +127,24 @@ impl MetricsSnapshot {
             match self.counters.iter_mut().find(|(n, _)| n == name) {
                 Some((_, mine)) => *mine += v,
                 None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        // Gauges sum like counters under merge: the cluster view of
+        // `queued_tasks` is the total currently queued across ranks.
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, ls, v) in &other.labeled_gauges {
+            match self
+                .labeled_gauges
+                .iter_mut()
+                .find(|(n, l, _)| n == name && l == ls)
+            {
+                Some((_, _, mine)) => *mine += v,
+                None => self.labeled_gauges.push((name.clone(), ls.clone(), *v)),
             }
         }
         for (name, h) in &other.histograms {
@@ -182,6 +221,7 @@ impl MetricsSnapshot {
                             ("p50_ns".to_string(), Value::UInt(h.p50())),
                             ("p95_ns".to_string(), Value::UInt(h.p95())),
                             ("p99_ns".to_string(), Value::UInt(h.p99())),
+                            ("buckets".to_string(), sparse_buckets(h)),
                         ]),
                     )
                 })
@@ -192,6 +232,41 @@ impl MetricsSnapshot {
             ("counters".to_string(), counters),
             ("histograms".to_string(), histograms),
         ];
+        if !self.gauges.is_empty() {
+            fields.push((
+                "gauges".to_string(),
+                Value::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.labeled_gauges.is_empty() {
+            fields.push((
+                "labeled_gauges".to_string(),
+                Value::Array(
+                    self.labeled_gauges
+                        .iter()
+                        .map(|(k, ls, v)| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::String(k.clone())),
+                                (
+                                    "labels".to_string(),
+                                    Value::Object(
+                                        ls.iter()
+                                            .map(|(lk, lv)| (lk.clone(), Value::String(lv.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("value".to_string(), Value::UInt(*v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if !self.labeled_counters.is_empty() {
             fields.push((
                 "labeled_counters".to_string(),
@@ -234,9 +309,12 @@ impl MetricsSnapshot {
                                     ),
                                 ),
                                 ("count".to_string(), Value::UInt(h.count())),
+                                ("sum_ns".to_string(), Value::UInt(h.sum)),
+                                ("max_ns".to_string(), Value::UInt(h.max)),
                                 ("mean_ns".to_string(), Value::Float(h.mean())),
                                 ("p50_ns".to_string(), Value::UInt(h.p50())),
                                 ("p99_ns".to_string(), Value::UInt(h.p99())),
+                                ("buckets".to_string(), sparse_buckets(h)),
                             ])
                         })
                         .collect(),
@@ -249,6 +327,103 @@ impl MetricsSnapshot {
     /// Renders as pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(&self.to_value()).expect("metrics serialization cannot fail")
+    }
+
+    /// Rebuilds a snapshot from its own [`MetricsSnapshot::to_value`]
+    /// tree — the shape served by `/metrics.json`. Histograms are
+    /// reconstructed exactly from the sparse `buckets` wire field (the
+    /// summary quantiles are recomputed, not trusted), which is what
+    /// lets the cluster aggregator re-merge scraped per-rank snapshots
+    /// with the same machinery used in-process. Returns `None` when the
+    /// tree is not a metrics snapshot at all; unknown fields are
+    /// ignored, missing optional sections parse as empty.
+    pub fn from_value(v: &Value) -> Option<MetricsSnapshot> {
+        let parse_labels = |v: &Value| -> LabelSet {
+            v.as_object()
+                .map(|fields| {
+                    fields
+                        .iter()
+                        .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let parse_u64_map = |v: Option<&Value>| -> Vec<(String, u64)> {
+            v.and_then(Value::as_object)
+                .map(|fields| {
+                    fields
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let parse_hist = |v: &Value| -> HistogramSnapshot {
+            let mut h = HistogramSnapshot::empty();
+            h.sum = v.get("sum_ns").and_then(Value::as_u64).unwrap_or(0);
+            h.max = v.get("max_ns").and_then(Value::as_u64).unwrap_or(0);
+            if let Some(pairs) = v.get("buckets").and_then(Value::as_array) {
+                for pair in pairs {
+                    if let Some(p) = pair.as_array() {
+                        if let (Some(i), Some(c)) = (
+                            p.first().and_then(Value::as_u64),
+                            p.get(1).and_then(Value::as_u64),
+                        ) {
+                            if (i as usize) < HIST_BUCKETS {
+                                h.buckets[i as usize] = c;
+                            }
+                        }
+                    }
+                }
+            }
+            h
+        };
+        let obj = v.as_object()?;
+        let mut m = MetricsSnapshot::with_labels(
+            obj.iter()
+                .find(|(k, _)| k == "labels")
+                .map(|(_, v)| parse_labels(v))
+                .unwrap_or_default(),
+        );
+        m.counters = parse_u64_map(v.get("counters"));
+        m.gauges = parse_u64_map(v.get("gauges"));
+        if let Some(fields) = v.get("histograms").and_then(Value::as_object) {
+            for (name, hv) in fields {
+                m.histograms.push((name.clone(), parse_hist(hv)));
+            }
+        }
+        if let Some(items) = v.get("labeled_counters").and_then(Value::as_array) {
+            for item in items {
+                if let (Some(name), Some(value)) = (
+                    item.get("name").and_then(Value::as_str),
+                    item.get("value").and_then(Value::as_u64),
+                ) {
+                    let ls = item.get("labels").map(parse_labels).unwrap_or_default();
+                    m.labeled_counters.push((name.to_string(), ls, value));
+                }
+            }
+        }
+        if let Some(items) = v.get("labeled_gauges").and_then(Value::as_array) {
+            for item in items {
+                if let (Some(name), Some(value)) = (
+                    item.get("name").and_then(Value::as_str),
+                    item.get("value").and_then(Value::as_u64),
+                ) {
+                    let ls = item.get("labels").map(parse_labels).unwrap_or_default();
+                    m.labeled_gauges.push((name.to_string(), ls, value));
+                }
+            }
+        }
+        if let Some(items) = v.get("labeled_histograms").and_then(Value::as_array) {
+            for item in items {
+                if let Some(name) = item.get("name").and_then(Value::as_str) {
+                    let ls = item.get("labels").map(parse_labels).unwrap_or_default();
+                    m.labeled_histograms
+                        .push((name.to_string(), ls, parse_hist(item)));
+                }
+            }
+        }
+        Some(m)
     }
 
     /// Renders in Prometheus text exposition format. Counters become
@@ -281,6 +456,13 @@ impl MetricsSnapshot {
                 out.push_str(&format!("# HELP {prefix}_{name} {help}\n"));
             }
             out.push_str(&format!("# TYPE {prefix}_{name} counter\n"));
+            out.push_str(&format!("{prefix}_{name}{} {v}\n", base_labels(None)));
+        }
+        for (name, v) in &self.gauges {
+            if let Some(help) = help_text(name) {
+                out.push_str(&format!("# HELP {prefix}_{name} {help}\n"));
+            }
+            out.push_str(&format!("# TYPE {prefix}_{name} gauge\n"));
             out.push_str(&format!("{prefix}_{name}{} {v}\n", base_labels(None)));
         }
         for (name, h) in &self.histograms {
@@ -349,6 +531,17 @@ impl MetricsSnapshot {
             out.push_str(&format!("{prefix}_{name}{} {v}\n", extra_labels(ls, None)));
         }
         let mut typed: Vec<&str> = Vec::new();
+        for (name, ls, v) in &self.labeled_gauges {
+            if !typed.contains(&name.as_str()) {
+                typed.push(name);
+                if let Some(help) = help_text(name) {
+                    out.push_str(&format!("# HELP {prefix}_{name} {help}\n"));
+                }
+                out.push_str(&format!("# TYPE {prefix}_{name} gauge\n"));
+            }
+            out.push_str(&format!("{prefix}_{name}{} {v}\n", extra_labels(ls, None)));
+        }
+        let mut typed: Vec<&str> = Vec::new();
         for (name, ls, h) in &self.labeled_histograms {
             let metric = format!("{prefix}_{name}_seconds");
             if !typed.contains(&name.as_str()) {
@@ -406,6 +599,21 @@ impl MetricsSnapshot {
     }
 }
 
+/// Renders a histogram's non-empty buckets as a sparse
+/// `[[index, count], ...]` array — the exact wire form
+/// [`MetricsSnapshot::from_value`] reads back. Sparse because a typical
+/// latency histogram occupies well under a dozen of its 64 buckets.
+fn sparse_buckets(h: &HistogramSnapshot) -> Value {
+    Value::Array(
+        h.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0)
+            .map(|(i, c)| Value::Array(vec![Value::UInt(i as u64), Value::UInt(*c)]))
+            .collect(),
+    )
+}
+
 /// Descriptions for the `# HELP` lines of every metric the runtime
 /// exports. Names not listed (application-defined counters) get no
 /// HELP line, which Prometheus permits.
@@ -460,6 +668,19 @@ fn help_text(name: &str) -> Option<&'static str> {
         "serve_slo_good" => "Instances that completed within their tenant's SLO target.",
         "serve_slo_breached" => "Instances that failed or exceeded their tenant's SLO target.",
         "serve_retried" => "Graph instances requeued after a peer-loss failure, per tenant.",
+        "workers" => "Worker threads configured on this rank.",
+        "queued_tasks" => "Tasks currently queued (scheduler estimate plus injection queue).",
+        "running_tasks" => "Worker threads currently executing a task (not parked idle).",
+        "overflow_fifo_depth" => "Tasks currently parked in the global overflow FIFO.",
+        "worker_queue_depth" => "Per-worker ready-queue depth estimate.",
+        "worker_busy_ns" => "Cumulative nanoseconds workers spent executing task bodies.",
+        "cluster_ranks" => "Ranks the cluster aggregator is scraping.",
+        "cluster_ranks_unreachable" => "Ranks whose last scrape failed.",
+        "cluster_skew_cov" => {
+            "Coefficient of variation (percent) of per-rank load over the sliding window."
+        }
+        "cluster_straggler" => "1 when this rank is currently flagged as a straggler, else 0.",
+        "cluster_alerts_active" => "Imbalance alerts currently active on the aggregator.",
         "task_duration" => "Task body execution time.",
         "ready_delay" => "Delay between a task becoming ready and starting to run.",
         "message_latency" => "Remote message inbox residence time (receiver clock).",
@@ -720,6 +941,77 @@ ttg_bravo_revocations{rank=\"1\"} 5\n";
         let v: Value = serde_json::from_str(&m.to_json()).unwrap();
         assert!(v.get("labeled_counters").is_none());
         assert!(v.get("labeled_histograms").is_none());
+        assert!(v.get("gauges").is_none());
+        assert!(v.get("labeled_gauges").is_none());
+        // And the exposition output carries no gauge families.
+        assert!(!m.to_prometheus("ttg").contains("gauge"));
+    }
+
+    #[test]
+    fn gauges_render_merge_and_roundtrip() {
+        let worker = |w: usize| vec![("worker".to_string(), w.to_string())];
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        m.gauge("queued_tasks", 12);
+        m.gauge("running_tasks", 3);
+        m.labeled_gauge("worker_queue_depth", worker(0), 7);
+        m.labeled_gauge("worker_queue_depth", worker(1), 5);
+
+        let text = m.to_prometheus("ttg");
+        assert!(text.contains("# TYPE ttg_queued_tasks gauge"));
+        assert!(text.contains("ttg_queued_tasks{rank=\"0\"} 12"));
+        assert!(text.contains("ttg_worker_queue_depth{rank=\"0\",worker=\"1\"} 5"));
+        assert_eq!(
+            text.matches("# TYPE ttg_worker_queue_depth gauge").count(),
+            1
+        );
+
+        // Gauges sum under merge: the cluster total of "queued now".
+        let mut other = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        other.gauge("queued_tasks", 8);
+        other.labeled_gauge("worker_queue_depth", worker(0), 2);
+        m.merge(&other);
+        assert_eq!(m.gauges[0].1, 20);
+        assert_eq!(m.labeled_gauges[0].2, 9);
+
+        let v: Value = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(
+            v.get("gauges")
+                .unwrap()
+                .get("queued_tasks")
+                .unwrap()
+                .as_u64(),
+            Some(20)
+        );
+        let lg = v.get("labeled_gauges").unwrap().as_array().unwrap();
+        assert_eq!(lg[0].get("value").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn from_value_reconstructs_wire_snapshot() {
+        let tenant = |t: &str| vec![("tenant".to_string(), t.to_string())];
+        let h = LatencyHistogram::new();
+        for v in [100, 2_000, 2_000, 1_000_000] {
+            h.record(v);
+        }
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "2".to_string())]);
+        m.counter("tasks_executed", 99);
+        m.gauge("queued_tasks", 4);
+        m.labeled_gauge("worker_queue_depth", tenant("x"), 1);
+        m.histogram("task_duration", h.snapshot());
+        m.labeled_counter("serve_submitted", tenant("acme"), 7);
+        m.labeled_histogram("serve_latency", tenant("acme"), h.snapshot());
+
+        let v: Value = serde_json::from_str(&m.to_json()).unwrap();
+        let back = MetricsSnapshot::from_value(&v).unwrap();
+        assert_eq!(back.labels, m.labels);
+        assert_eq!(back.counters, m.counters);
+        assert_eq!(back.gauges, m.gauges);
+        assert_eq!(back.labeled_gauges, m.labeled_gauges);
+        assert_eq!(back.labeled_counters, m.labeled_counters);
+        // Histograms reconstruct exactly (buckets, sum, max), so the
+        // recomputed quantiles agree with the source.
+        assert_eq!(back.histograms, m.histograms);
+        assert_eq!(back.labeled_histograms, m.labeled_histograms);
     }
 
     #[test]

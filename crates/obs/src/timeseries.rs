@@ -114,8 +114,16 @@ impl TimeSeriesRecorder {
                     prev
                 }
                 None => {
+                    // A series appearing on the very first sample is a true
+                    // baseline-0 counter. One appearing *mid-run* (e.g. the
+                    // only-when-nonzero resilience counters: `rejoins`,
+                    // `frames_replayed`) has been accumulating invisibly;
+                    // recording its absolute as a delta would plot a spike
+                    // that never happened, so baseline it at its current
+                    // value instead (first delta 0).
+                    let baseline = if inner.samples_total == 0 { 0 } else { *abs };
                     inner.last_abs.push((name.clone(), *abs));
-                    0
+                    baseline
                 }
             };
             // Counters are monotonic; a smaller value means the source
@@ -307,6 +315,42 @@ mod tests {
             .map(|p| p.get("t_unix_ms").unwrap().as_u64().unwrap())
             .collect();
         assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mid_run_counter_baselines_instead_of_spiking() {
+        // Only-when-nonzero counters (e.g. `rejoins`) first appear in a
+        // snapshot long after sampling started. Their first observation
+        // must establish a baseline, not report the whole absolute as a
+        // single-window delta.
+        let ts = TimeSeriesRecorder::new(16, 100);
+        ts.record_at(&snap(10, 0), 1000);
+        ts.record_at(&snap(20, 0), 1100);
+        let mut with_rejoins = snap(30, 0);
+        with_rejoins.counter("rejoins", 5);
+        ts.record_at(&with_rejoins, 1200);
+        let mut more = snap(40, 0);
+        more.counter("rejoins", 7);
+        ts.record_at(&more, 1300);
+        let v: Value = serde_json::from_str(&ts.to_json()).unwrap();
+        let points = v.get("points").unwrap().as_array().unwrap();
+        let d = |i: usize, name: &str| {
+            points[i]
+                .get("deltas")
+                .unwrap()
+                .get(name)
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        // First sighting mid-run: delta 0 (baseline), not 5.
+        assert_eq!(d(2, "rejoins"), 0);
+        // Subsequent samples delta normally.
+        assert_eq!(d(3, "rejoins"), 2);
+        // Counters present from the very first sample still report their
+        // absolute as the first delta (baseline 0 — nothing pre-dated
+        // sampling).
+        assert_eq!(d(0, "tasks_executed"), 10);
     }
 
     #[test]

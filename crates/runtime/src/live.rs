@@ -22,7 +22,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use ttg_obs::flight::FlightSources;
 use ttg_obs::{
-    FlightRecorder, HealthVerdict, HttpRoutes, ObsHttpServer, PeriodicSampler, TimeSeriesRecorder,
+    ClusterAggregator, ClusterConfig, FlightRecorder, HealthVerdict, HttpRoutes, ObsHttpServer,
+    PeriodicSampler, TimeSeriesRecorder,
 };
 
 /// Configuration for [`LiveTelemetry`], usually read from the
@@ -43,6 +44,11 @@ pub struct LiveConfig {
     /// Trailing event window embedded in a flight dump, milliseconds
     /// (`0` = everything still in the rings).
     pub flight_window_ms: u64,
+    /// Cluster-aggregator configuration (`TTG_OBS_CLUSTER`). When set,
+    /// this rank scrapes every listed target, merges the snapshots and
+    /// serves `/cluster.json`, `/alerts.json`, `/cluster/metrics` and a
+    /// mesh-wide `/healthz` alongside its own routes.
+    pub cluster: Option<ClusterConfig>,
 }
 
 /// Default sampling period (`TTG_OBS_SAMPLE_MS`).
@@ -56,6 +62,10 @@ fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
 impl LiveConfig {
     /// All surfaces off; [`LiveTelemetry::start`] with this config is a
     /// no-op shell.
@@ -66,19 +76,56 @@ impl LiveConfig {
             ts_capacity: DEFAULT_TS_CAPACITY,
             flight_dir: None,
             flight_window_ms: DEFAULT_FLIGHT_WINDOW_MS,
+            cluster: None,
         }
     }
 
     /// Reads the `TTG_OBS_*` environment knobs:
     ///
-    /// | variable                   | meaning                        |
-    /// |----------------------------|--------------------------------|
-    /// | `TTG_OBS_HTTP_PORT`        | base port (rank adds its id)   |
-    /// | `TTG_OBS_SAMPLE_MS`        | sampler period (default 100)   |
-    /// | `TTG_OBS_TS_CAPACITY`      | ring capacity (default 512)    |
-    /// | `TTG_OBS_FLIGHT_DIR`       | flight-dump directory          |
-    /// | `TTG_OBS_FLIGHT_WINDOW_MS` | dump event window (def. 10000) |
+    /// | variable                     | meaning                         |
+    /// |------------------------------|---------------------------------|
+    /// | `TTG_OBS_HTTP_PORT`          | base port (rank adds its id)    |
+    /// | `TTG_OBS_SAMPLE_MS`          | sampler period (default 100)    |
+    /// | `TTG_OBS_TS_CAPACITY`        | ring capacity (default 512)     |
+    /// | `TTG_OBS_FLIGHT_DIR`         | flight-dump directory           |
+    /// | `TTG_OBS_FLIGHT_WINDOW_MS`   | dump event window (def. 10000)  |
+    /// | `TTG_OBS_CLUSTER`            | comma-separated `host:port`     |
+    /// |                              | scrape targets (aggregator on)  |
+    /// | `TTG_OBS_CLUSTER_INTERVAL_MS`| scrape period (default 1000)    |
+    /// | `TTG_OBS_CLUSTER_WINDOW`     | skew window, rounds (default 10)|
+    /// | `TTG_OBS_SKEW_COV`           | skew CoV threshold (def. 0.5)   |
+    /// | `TTG_OBS_STRAGGLER_FACTOR`   | straggler deviation (def. 2.0)  |
+    /// | `TTG_OBS_STRAGGLER_K`        | consecutive rounds (default 3)  |
     pub fn from_env() -> Self {
+        let cluster = std::env::var("TTG_OBS_CLUSTER")
+            .ok()
+            .map(|targets| {
+                targets
+                    .split(',')
+                    .map(|t| t.trim().to_string())
+                    .filter(|t| !t.is_empty())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|targets: &Vec<String>| !targets.is_empty())
+            .map(|targets| {
+                let defaults = ClusterConfig::default();
+                ClusterConfig {
+                    targets,
+                    self_index: None, // filled from the rank at start
+                    scrape_interval_ms: env_u64("TTG_OBS_CLUSTER_INTERVAL_MS")
+                        .unwrap_or(defaults.scrape_interval_ms)
+                        .max(1),
+                    window: env_u64("TTG_OBS_CLUSTER_WINDOW").unwrap_or(defaults.window as u64)
+                        as usize,
+                    skew_cov_threshold: env_f64("TTG_OBS_SKEW_COV")
+                        .unwrap_or(defaults.skew_cov_threshold),
+                    straggler_factor: env_f64("TTG_OBS_STRAGGLER_FACTOR")
+                        .unwrap_or(defaults.straggler_factor),
+                    straggler_consecutive: env_u64("TTG_OBS_STRAGGLER_K")
+                        .unwrap_or(defaults.straggler_consecutive as u64)
+                        as u32,
+                }
+            });
         LiveConfig {
             http_port: env_u64("TTG_OBS_HTTP_PORT").map(|p| p as u16),
             sample_ms: env_u64("TTG_OBS_SAMPLE_MS")
@@ -91,6 +138,7 @@ impl LiveConfig {
                 .filter(|d| !d.is_empty()),
             flight_window_ms: env_u64("TTG_OBS_FLIGHT_WINDOW_MS")
                 .unwrap_or(DEFAULT_FLIGHT_WINDOW_MS),
+            cluster,
         }
     }
 
@@ -157,6 +205,8 @@ pub struct LiveTelemetry {
     sampler: Option<PeriodicSampler>,
     server: Option<ObsHttpServer>,
     flight: Option<Arc<FlightRecorder>>,
+    cluster: Option<Arc<ClusterAggregator>>,
+    cluster_sampler: Option<PeriodicSampler>,
 }
 
 impl LiveTelemetry {
@@ -214,14 +264,41 @@ impl LiveTelemetry {
             rec
         });
 
+        // The embedded cluster aggregator: scrapes every target over
+        // HTTP except itself, whose health comes straight from the slot
+        // (probing our own single-threaded server from inside a request
+        // handler would deadlock; deriving self-health from the cluster
+        // view would be circular).
+        let cluster = config.cluster.as_ref().map(|c| {
+            let mut c = c.clone();
+            if c.self_index.is_none() && rank < c.targets.len() {
+                c.self_index = Some(rank);
+            }
+            let agg = ClusterAggregator::new(c);
+            let health_slot = Arc::clone(&slot);
+            agg.set_local_health(Box::new(move || match health_slot.get() {
+                Some(rt) => {
+                    let h = rt.health();
+                    (h.healthy, h.degraded)
+                }
+                None => (true, false),
+            }));
+            agg
+        });
+
         let server = match config.http_port {
             Some(base) => {
                 let port = base.saturating_add(rank as u16);
-                let routes = Self::routes(rank, &slot, &timeseries);
+                let mut routes = Self::routes(rank, &slot, &timeseries);
+                if let Some(agg) = &cluster {
+                    routes.dynamic = Some(ttg_obs::cluster_routes(Arc::clone(agg), true));
+                }
                 Some(ObsHttpServer::serve(port, routes)?)
             }
             None => None,
         };
+
+        let cluster_sampler = cluster.as_ref().map(|agg| agg.start_scraping());
 
         Ok(LiveTelemetry {
             rank,
@@ -230,6 +307,8 @@ impl LiveTelemetry {
             sampler: Some(sampler),
             server,
             flight,
+            cluster,
+            cluster_sampler,
         })
     }
 
@@ -339,11 +418,19 @@ impl LiveTelemetry {
         }
     }
 
-    /// Stops the sampler deterministically and joins the HTTP server.
+    /// The embedded cluster aggregator, when configured.
+    pub fn cluster(&self) -> Option<&Arc<ClusterAggregator>> {
+        self.cluster.as_ref()
+    }
+
+    /// Stops the samplers deterministically and joins the HTTP server.
     /// Idempotent; also invoked by drop. The flight recorder stays
     /// armed (the panic hook holds its own reference).
     pub fn shutdown(&mut self) {
         if let Some(mut sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+        if let Some(mut sampler) = self.cluster_sampler.take() {
             sampler.stop();
         }
         self.server.take();
@@ -389,6 +476,7 @@ mod tests {
             ts_capacity: 64,
             flight_dir: None,
             flight_window_ms: 0,
+            cluster: None,
         };
         let live = LiveTelemetry::start(0, &config).expect("start");
         let port = live.http_port().expect("serving");
@@ -442,6 +530,7 @@ mod tests {
             ts_capacity: 16,
             flight_dir: None,
             flight_window_ms: 0,
+            cluster: None,
         };
         let live = LiveTelemetry::start(3, &config).expect("start");
         let port = live.http_port().unwrap();

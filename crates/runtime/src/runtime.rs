@@ -834,9 +834,34 @@ impl Runtime {
         m.counter("trace_events_dropped", s.trace_events_dropped);
         if let Some(obs) = self.inner.obs.as_deref() {
             if obs.histograms_enabled() {
-                m.histogram("task_duration", obs.task_duration());
+                let task_duration = obs.task_duration();
+                // Gauge basis for cluster-level utilization: busy-ns per
+                // sample window divided by workers × wall-ns.
+                m.counter("worker_busy_ns", task_duration.sum);
+                m.histogram("task_duration", task_duration);
                 m.histogram("ready_delay", obs.ready_delay());
                 m.histogram("message_latency", obs.message_latency());
+            }
+            // Scheduler-load gauges ride along only when observability
+            // is on, keeping bare-runtime snapshots byte-identical with
+            // pre-gauge versions (same contract as the histograms).
+            let threads = self.inner.config.threads.max(1);
+            let idle = self.inner.idle_count.load(Ordering::SeqCst).min(threads);
+            let queued = self.inner.sched.pending_estimate()
+                + self.inner.injection_len.load(Ordering::Acquire);
+            m.gauge("workers", threads as u64);
+            m.gauge("queued_tasks", queued as u64);
+            m.gauge("running_tasks", (threads - idle) as u64);
+            m.gauge(
+                "overflow_fifo_depth",
+                self.inner.sched.overflow_depth() as u64,
+            );
+            for w in 0..threads {
+                m.labeled_gauge(
+                    "worker_queue_depth",
+                    vec![("worker".to_string(), w.to_string())],
+                    self.inner.sched.worker_depth(w) as u64,
+                );
             }
         }
         m

@@ -311,6 +311,10 @@ unsafe impl TaskQueue for Lfq {
         self.fifo.try_lock().map(|f| f.len()).unwrap_or(0)
     }
 
+    fn worker_depth(&self, worker: usize) -> usize {
+        self.buffers.get(worker).map(|b| b.occupied()).unwrap_or(0)
+    }
+
     fn stats(&self) -> QueueStats {
         QueueStats {
             local_pops: self.local_pops.load(Ordering::Relaxed),

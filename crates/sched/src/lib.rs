@@ -189,6 +189,15 @@ pub unsafe trait TaskQueue: Send + Sync {
         0
     }
 
+    /// Racy per-worker ready-queue depth estimate, for the
+    /// `worker_queue_depth` gauge. LFQ reports the occupied slots of the
+    /// worker's bounded buffer; the LIFO schedulers report a 0/1
+    /// emptiness indicator because chain length is not observable
+    /// without detaching the chain.
+    fn worker_depth(&self, _worker: usize) -> usize {
+        0
+    }
+
     /// Behaviour counters aggregated across workers.
     fn stats(&self) -> QueueStats;
 }

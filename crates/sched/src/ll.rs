@@ -167,6 +167,15 @@ unsafe impl TaskQueue for Ll {
             .count()
     }
 
+    fn worker_depth(&self, worker: usize) -> usize {
+        // 0/1 emptiness indicator: walking the chain without detaching
+        // it races concurrent pops over freed nodes.
+        self.queues
+            .get(worker)
+            .map(|q| usize::from(!q.head.load(Ordering::Relaxed).is_null()))
+            .unwrap_or(0)
+    }
+
     fn stats(&self) -> QueueStats {
         let mut s = QueueStats::default();
         for q in self.queues.iter() {

@@ -269,6 +269,15 @@ unsafe impl TaskQueue for Llp {
             .count()
     }
 
+    fn worker_depth(&self, worker: usize) -> usize {
+        // 0/1 emptiness indicator, same rationale as LL: chain length
+        // is unobservable without detaching the chain.
+        self.queues
+            .get(worker)
+            .map(|q| usize::from(!q.head.load(Ordering::Relaxed).is_null()))
+            .unwrap_or(0)
+    }
+
     fn stats(&self) -> QueueStats {
         let mut s = QueueStats::default();
         for q in self.queues.iter() {

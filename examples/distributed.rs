@@ -528,8 +528,21 @@ fn spawn_tcp_job(
         if obs.serve {
             // Each child computes its own port as base + rank.
             cmd.env("TTG_OBS_SERVE", "1");
+            let base = std::env::var("TTG_OBS_HTTP_PORT")
+                .ok()
+                .and_then(|p| p.parse::<u16>().ok())
+                .unwrap_or(DEFAULT_OBS_PORT);
             if std::env::var("TTG_OBS_HTTP_PORT").is_err() {
-                cmd.env("TTG_OBS_HTTP_PORT", DEFAULT_OBS_PORT.to_string());
+                cmd.env("TTG_OBS_HTTP_PORT", base.to_string());
+            }
+            // Rank 0 doubles as the cluster aggregator: it scrapes every
+            // rank's endpoint (itself included) and serves the merged
+            // /cluster.json, /alerts.json and mesh-wide /healthz.
+            if rank == 0 && std::env::var("TTG_OBS_CLUSTER").is_err() {
+                let targets: Vec<String> = (0..ranks)
+                    .map(|r| format!("127.0.0.1:{}", base.saturating_add(r as u16)))
+                    .collect();
+                cmd.env("TTG_OBS_CLUSTER", targets.join(","));
             }
         }
         if let Some(p) = &obs.trace {
