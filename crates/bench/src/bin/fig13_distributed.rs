@@ -26,7 +26,7 @@ use ttg_net::{NetGroup, NetRuntime};
 use ttg_runtime::{Runtime, RuntimeConfig};
 
 const USAGE: &str = "fig13_distributed [--pingpongs 2000] [--tasks 20000] [--max-ranks 4] \
-                     [--port-base 47300] [--json] [--bench-json PATH]";
+                     [--port-base 47300] [--json] [--bench-json PATH] [--attribute]";
 
 /// A set of ranks living in this process, whatever the transport.
 trait Job {
@@ -105,6 +105,42 @@ impl Job for TcpJob {
             m.shutdown();
         }
     }
+}
+
+/// One `--attribute` block: the TCP mesh's wire-path stage histograms
+/// (merged across ranks) rendered as a per-stage µs breakdown next to
+/// the measured end-to-end figure. Empty stages (a build without
+/// `obs-wire`) render a one-line note instead of a table of zeros.
+fn wire_attribution(job: &TcpJob, payload_len: usize, us_per_msg: f64) -> String {
+    let mut merged = ttg_obs::WireSnapshot::default();
+    for m in &job.members {
+        let s = m.runtime().wire_snapshot();
+        merged.lock_wait.merge(&s.lock_wait);
+        merged.encode.merge(&s.encode);
+        merged.write.merge(&s.write);
+        merged.read_decode.merge(&s.read_decode);
+        merged.dispatch.merge(&s.dispatch);
+    }
+    if merged.is_empty() {
+        return format!(
+            "  {payload_len}B: wire stages unavailable (build with --features obs-wire)"
+        );
+    }
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let mut out = format!("  {payload_len}B payload, {us_per_msg:.1} us/msg end-to-end:");
+    let mut sum = 0.0;
+    for (name, h) in merged.stages() {
+        out.push_str(&format!(
+            "\n    {:<18} p50 {:>7.1} us  p95 {:>7.1} us  ({} samples)",
+            name,
+            us(h.p50()),
+            us(h.p95()),
+            h.count()
+        ));
+        sum += us(h.p50());
+    }
+    out.push_str(&format!("\n    stage p50 sum      {sum:>7.1} us"));
+    out
 }
 
 /// Collects per-rank [`RuntimeStats`](ttg_runtime::RuntimeStats) for a
@@ -188,6 +224,7 @@ fn main() {
     let max_ranks: usize = args.get("max-ranks", 4usize);
     let port_base: u16 = args.get("port-base", 47_300u16);
     let json = args.has("json");
+    let attribute = args.has("attribute");
     let mut next_port = port_base;
     let mut take_ports = |n: usize| {
         let p = next_port;
@@ -203,17 +240,28 @@ fn main() {
     );
     let mut local = Series::new("in-process transport");
     let mut tcp = Series::new("TCP loopback");
+    let mut attribution_lines: Vec<String> = Vec::new();
     for payload_len in [8usize, 256, 4096, 65536] {
         let group = NetGroup::local(2, |_| RuntimeConfig::optimized(1));
         local.push(payload_len as f64, pingpong(&group, pingpongs, payload_len));
         group.shutdown();
         let job = TcpJob::connect(2, take_ports(2));
-        tcp.push(payload_len as f64, pingpong(&job, pingpongs, payload_len));
+        let us_per_msg = pingpong(&job, pingpongs, payload_len);
+        tcp.push(payload_len as f64, us_per_msg);
+        if attribute {
+            attribution_lines.push(wire_attribution(&job, payload_len, us_per_msg));
+        }
         job.shutdown();
     }
     latency.add(local);
     latency.add(tcp);
     latency.emit(json);
+    if attribute {
+        println!("\nwire-path attribution (TCP ping-pong, stages merged across ranks):");
+        for line in &attribution_lines {
+            println!("{line}");
+        }
+    }
 
     // ---- Fig 13b: task throughput vs rank count ------------------------
     let mut scaling = Report::new(

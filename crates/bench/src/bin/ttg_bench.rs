@@ -50,6 +50,16 @@
 //! in-process aggregator, and records `imbalance_us_per_task` with
 //! the observed skew/straggler alert counts — the regression seed for
 //! `results/BENCH_imbalance.json`.
+//!
+//! `wire` attributes the TCP message path stage by stage: an all-to-all
+//! scatter over a real loopback mesh, then the `obs-wire` per-stage
+//! histograms (encode, writer-lock wait, `write_all`, read→decode,
+//! decode→dispatch) printed in µs next to the end-to-end wall cost per
+//! message — the regression seed for `results/BENCH_wire.json`.
+//! `--delay-ms D` manufactures a deterministic slow link (persistent
+//! write-path delay on `--delay-from`→`--delay-to`), runs per-rank
+//! live telemetry plus an in-process aggregator, and exits 3 unless
+//! the slow-link detector raised an alert for exactly that link.
 
 use ttg_bench::record::{diff, BenchRecord};
 
@@ -60,7 +70,10 @@ const USAGE: &str = "usage:
   ttg-bench serve [--threads N] [--clients C] [--graphs G] [--tasks T] [--bench-json FILE] [--attribute]
   ttg-bench dash --ranks host:port[,host:port...] [--port 9190] [--secs 0] [--scrape-ms 1000]
   ttg-bench imbalance [--ranks N] [--tasks T] [--spin-us U] [--threads N] [--port-base P]
-                      [--obs-port-base P] [--scrape-ms MS] [--window W] [--bench-json FILE]";
+                      [--obs-port-base P] [--scrape-ms MS] [--window W] [--bench-json FILE]
+  ttg-bench wire [--ranks N] [--msgs M] [--payload B] [--threads N] [--port-base P]
+                 [--obs-port-base P] [--scrape-ms MS] [--delay-ms D] [--delay-from R]
+                 [--delay-to R] [--linger-secs S] [--bench-json FILE]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -735,6 +748,320 @@ fn cmd_imbalance(argv: &[String]) {
     }
 }
 
+fn cmd_wire(argv: &[String]) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use ttg_net::NetRuntime;
+    use ttg_obs::ClusterConfig;
+    use ttg_runtime::{LiveConfig, LiveTelemetry, RuntimeConfig};
+
+    let (pos, opts) = split_args(argv);
+    if !pos.is_empty() {
+        fail("wire takes no positional arguments");
+    }
+    for (n, _) in &opts {
+        if ![
+            "ranks",
+            "msgs",
+            "payload",
+            "threads",
+            "port-base",
+            "obs-port-base",
+            "scrape-ms",
+            "delay-ms",
+            "delay-from",
+            "delay-to",
+            "linger-secs",
+            "bench-json",
+        ]
+        .contains(n)
+        {
+            fail(&format!("unknown option --{n}"));
+        }
+    }
+    let nranks: usize = opt(&opts, "ranks", 3).max(2);
+    let msgs: u64 = opt(&opts, "msgs", 4_000).max(1);
+    let payload: usize = opt(&opts, "payload", 256).max(8);
+    let threads: usize = opt(&opts, "threads", 1).max(1);
+    let port_base: u16 = opt(&opts, "port-base", 47_560);
+    let obs_port_base: u16 = opt(&opts, "obs-port-base", 48_500);
+    let scrape_ms: u64 = opt(&opts, "scrape-ms", 100).max(1);
+    let delay_ms: u64 = opt(&opts, "delay-ms", 0);
+    let delay_from: usize = opt(&opts, "delay-from", 0);
+    let delay_to: usize = opt(&opts, "delay-to", 1);
+    let linger_secs: u64 = opt(&opts, "linger-secs", 0);
+    let bench_json: String = opt(&opts, "bench-json", String::new());
+    if delay_ms > 0 && (delay_from >= nranks || delay_to >= nranks || delay_from == delay_to) {
+        fail("--delay-from/--delay-to must name two distinct ranks in the mesh");
+    }
+    if !ttg_obs::WIRE_ENABLED {
+        eprintln!("warning: built without the obs-wire feature — stage histograms will be empty");
+    }
+
+    // The mesh: every rank of a real TCP loopback job in this process,
+    // the fig13 pattern. A fast heartbeat keeps the cumulative-ack
+    // cadence (heartbeat/4) in single-digit milliseconds, so a healthy
+    // link's ack RTT reads as cadence, not staleness — the baseline the
+    // slow-link detector's median needs.
+    let members: Vec<NetRuntime> = (0..nranks)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let mut rc = RuntimeConfig::optimized(threads);
+                rc.histograms = true;
+                let nc = ttg_net::NetConfig {
+                    heartbeat_interval: Duration::from_millis(25),
+                    ..ttg_net::NetConfig::default()
+                };
+                NetRuntime::connect_tcp_with(rc, nc, rank, nranks, port_base)
+                    .expect("loopback TCP mesh")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    // Per-rank live telemetry; rank 0 embeds the cluster aggregator
+    // whose slow-link detector the delay drill must trip, scraping
+    // every rank over real HTTP like `dash` — and serving the merged
+    // /cluster.json and /alerts.json for external probers.
+    let mut live: Vec<LiveTelemetry> = (0..nranks)
+        .map(|rank| {
+            let mut cfg = LiveConfig {
+                sample_ms: scrape_ms.min(100),
+                ..LiveConfig::disabled()
+            }
+            .with_http_port(obs_port_base);
+            if rank == 0 {
+                cfg.cluster = Some(ClusterConfig {
+                    targets: (0..nranks)
+                        .map(|r| format!("127.0.0.1:{}", obs_port_base + r as u16))
+                        .collect(),
+                    scrape_interval_ms: scrape_ms,
+                    ..ClusterConfig::default()
+                });
+            }
+            let t = LiveTelemetry::start(rank, &cfg).unwrap_or_else(|e| {
+                eprintln!(
+                    "rank {rank}: cannot bind obs port {}: {e}",
+                    obs_port_base + rank as u16
+                );
+                std::process::exit(2);
+            });
+            t.observe(members[rank].runtime_arc());
+            t
+        })
+        .collect();
+    let agg = Arc::clone(live[0].cluster().expect("rank 0 embeds the aggregator"));
+    let slowlink_k = agg.config().slowlink_consecutive;
+
+    // Handler: count arrivals, no local work — the wire path is the
+    // entire cost under measurement.
+    let received = Arc::new(AtomicU64::new(0));
+    for m in &members {
+        let received = Arc::clone(&received);
+        m.runtime().register_handler(move |_ctx, _payload| {
+            received.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let wait_all = |members: &[NetRuntime]| {
+        for m in members {
+            m.fence();
+        }
+        for m in members {
+            m.wait();
+        }
+    };
+    // All-to-all scatter: every rank streams `n` messages round-robin
+    // over its peers, so every directed link carries traffic.
+    let scatter = |n: u64| {
+        for (r, m) in members.iter().enumerate() {
+            let peers: Vec<usize> = (0..nranks).filter(|&p| p != r).collect();
+            for i in 0..n {
+                let dst = peers[(i as usize) % peers.len()];
+                let mut p = vec![0u8; payload];
+                p[..8].copy_from_slice(&i.to_le_bytes());
+                m.runtime().send_msg(dst, 0, 0, p);
+            }
+        }
+    };
+
+    scatter(msgs / 10 + 1); // warm-up epoch
+    wait_all(&members);
+
+    let start = Instant::now();
+    scatter(msgs);
+    wait_all(&members);
+    let elapsed = start.elapsed();
+    let total_msgs = msgs * nranks as u64;
+    let us_per_msg = elapsed.as_micros() as f64 / total_msgs as f64;
+
+    // The delay drill: install a persistent write-path delay on one
+    // directed link, keep that link busy for enough scrape rounds to
+    // satisfy the detector's K-consecutive hysteresis, then demand the
+    // alert.
+    let mut slow_link_alerts = 0u64;
+    if delay_ms > 0 {
+        members[delay_from]
+            .transport()
+            .set_link_delay(delay_to, Duration::from_millis(delay_ms));
+        let rounds = u64::from(slowlink_k) + 3;
+        for _ in 0..rounds {
+            // A trickle is enough: each epoch re-arms the link's ack
+            // RTT while the scraper takes a round.
+            for i in 0..8u64 {
+                let mut p = vec![0u8; payload];
+                p[..8].copy_from_slice(&i.to_le_bytes());
+                members[delay_from].runtime().send_msg(delay_to, 0, 0, p);
+            }
+            wait_all(&members);
+            std::thread::sleep(Duration::from_millis(scrape_ms));
+        }
+        members[delay_from]
+            .transport()
+            .set_link_delay(delay_to, Duration::ZERO);
+        let link_label = format!("{delay_from}->{delay_to}");
+        slow_link_alerts = agg
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == "slow_link" && a.rank.as_deref() == Some(&link_label))
+            .count() as u64;
+    }
+    // Optional linger: keep the mesh, the per-rank telemetry servers,
+    // and the scraper alive with a traffic trickle so an external
+    // prober (the CI wire-smoke job) can curl /net.json and
+    // /cluster.json against live counters.
+    if linger_secs > 0 {
+        println!("lingering {linger_secs}s for external scrapes");
+        let until = Instant::now() + Duration::from_secs(linger_secs);
+        while Instant::now() < until {
+            scatter(8);
+            wait_all(&members);
+            std::thread::sleep(Duration::from_millis(scrape_ms));
+        }
+    }
+
+    // Let the final cumulative acks land so the link lines report
+    // settled lag/RTT rather than a mid-drain snapshot.
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Per-stage attribution, merged across every rank's runtime.
+    let mut snaps = Vec::new();
+    for m in &members {
+        snaps.push(m.runtime().wire_snapshot());
+    }
+    let mut merged = snaps.first().cloned().unwrap_or_default();
+    for s in snaps.iter().skip(1) {
+        merged.lock_wait.merge(&s.lock_wait);
+        merged.encode.merge(&s.encode);
+        merged.write.merge(&s.write);
+        merged.read_decode.merge(&s.read_decode);
+        merged.dispatch.merge(&s.dispatch);
+        merged.bytes_per_write.merge(&s.bytes_per_write);
+        merged.frames_per_write.merge(&s.frames_per_write);
+    }
+    println!(
+        "wire: {total_msgs} msgs x {payload}B all-to-all over {nranks} ranks \
+         -> {us_per_msg:.1} us/msg wall"
+    );
+    println!(
+        "{:<18} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "count", "p50_us", "p95_us", "p99_us", "mean_us"
+    );
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let mut stage_sum_p50_us = 0.0;
+    for (name, h) in merged.stages() {
+        println!(
+            "{:<18} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            name,
+            h.count(),
+            us(h.p50()),
+            us(h.p95()),
+            us(h.p99()),
+            h.mean() / 1_000.0
+        );
+        stage_sum_p50_us += us(h.p50());
+    }
+    println!(
+        "batching: {} writes, p50 {} bytes/write, p50 {} frames/write",
+        merged.bytes_per_write.count(),
+        merged.bytes_per_write.p50(),
+        merged.frames_per_write.p50()
+    );
+    println!(
+        "stage p50 sum {stage_sum_p50_us:.1} us <= {us_per_msg:.1} us/msg end-to-end \
+         (gap = socket flight + scheduler pickup)"
+    );
+    for l in &merged.links {
+        println!(
+            "  link rank0->{}: tx {}B/{}f rx {}B/{}f ack_lag {} ack_rtt {}us resend {}B",
+            l.peer,
+            l.bytes_tx,
+            l.frames_tx,
+            l.bytes_rx,
+            l.frames_rx,
+            l.ack_lag_seq,
+            l.ack_rtt_us,
+            l.resend_buffer_bytes
+        );
+    }
+    if delay_ms > 0 {
+        println!(
+            "delay drill: {delay_ms}ms on link {delay_from}->{delay_to}, \
+             {} scrape rounds, {slow_link_alerts} slow-link alert(s)",
+            agg.rounds()
+        );
+        for a in agg.alerts() {
+            println!(
+                "  [{}] {}{} value {:.2} threshold {:.2} — {}",
+                if a.active { "active" } else { "cleared" },
+                a.kind,
+                a.rank
+                    .as_deref()
+                    .map(|r| format!(" {r}"))
+                    .unwrap_or_default(),
+                a.value,
+                a.threshold,
+                a.detail
+            );
+        }
+    }
+
+    for m in &members {
+        m.shutdown();
+    }
+    for t in &mut live {
+        t.shutdown();
+    }
+
+    if !bench_json.is_empty() {
+        let mut rec = BenchRecord::new("wire");
+        rec.metric("wire_us_per_msg", us_per_msg);
+        rec.metric("wire_encode_p50_us", us(merged.encode.p50()));
+        rec.metric("wire_lock_wait_p50_us", us(merged.lock_wait.p50()));
+        rec.metric("wire_write_p50_us", us(merged.write.p50()));
+        rec.metric("wire_read_decode_p50_us", us(merged.read_decode.p50()));
+        rec.metric("wire_dispatch_p50_us", us(merged.dispatch.p50()));
+        rec.metric("wire_stage_sum_p50_us", stage_sum_p50_us);
+        rec.counter("wire_msgs", total_msgs);
+        rec.counter("wire_ranks", nranks as u64);
+        rec.counter("wire_writes", merged.bytes_per_write.count());
+        rec.counter("slow_link_alerts", slow_link_alerts);
+        rec.attach_contention();
+        if let Err(e) = rec.write(&bench_json) {
+            eprintln!("cannot write {bench_json}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {bench_json}");
+    }
+    // A delay drill that the detector slept through is a failed run.
+    if delay_ms > 0 && slow_link_alerts == 0 {
+        eprintln!("error: {delay_ms}ms delay on {delay_from}->{delay_to} fired no slow-link alert");
+        std::process::exit(3);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -744,6 +1071,7 @@ fn main() {
         Some("serve") => cmd_serve(&argv[1..]),
         Some("dash") => cmd_dash(&argv[1..]),
         Some("imbalance") => cmd_imbalance(&argv[1..]),
+        Some("wire") => cmd_wire(&argv[1..]),
         Some(other) => fail(&format!("unknown subcommand {other}")),
         None => fail("missing subcommand"),
     }

@@ -23,7 +23,12 @@
 //! ```
 //!
 //! Actions: `drop`, `dup`, `corrupt`, `delay:MS`, `sever`, `kill`,
-//! `bounce[:MS]` (default dwell 50ms). `bounce` cuts every live socket
+//! `bounce[:MS]` (default dwell 50ms). On transports with a real write
+//! path (TCP), `delay` installs a **persistent** per-link write-path
+//! delay from the matched frame onward — a manufactured slow link that
+//! the sender-side wire-stage timers, ack RTT, and the cluster
+//! slow-link detector all observe; in-process transports degrade it to
+//! the old single-frame caller-thread sleep. `bounce` cuts every live socket
 //! the way a network blip would and relies on the transport's session
 //! rejoin + replay to restore the link — unlike `sever` it is a
 //! *recoverable* fault, so a bounced run is expected to finish with
@@ -290,7 +295,15 @@ impl FaultyTransport {
                 self.inner.send(dst, frame)
             }
             Some(FaultAction::Delay(d)) => {
-                std::thread::sleep(d);
+                // A slow link, not a slow caller: transports with a
+                // write path install the delay there (persistently, from
+                // this frame on), so sender-side stage timers, ack RTT,
+                // and resend occupancy all observe it. Transports
+                // without one (in-process delivery) degrade to the old
+                // single-frame caller-thread sleep.
+                if !self.inner.set_link_delay(dst, d) {
+                    std::thread::sleep(d);
+                }
                 self.inner.send(dst, frame)
             }
             Some(FaultAction::Corrupt) => {
@@ -358,6 +371,14 @@ impl Transport for FaultyTransport {
 
     fn counters(&self) -> Option<&TransportCounters> {
         self.inner.counters()
+    }
+
+    fn wire_obs(&self) -> Option<Arc<ttg_obs::wire::WireObs>> {
+        self.inner.wire_obs()
+    }
+
+    fn set_link_delay(&self, dst: usize, delay: Duration) -> bool {
+        self.inner.set_link_delay(dst, delay)
     }
 }
 

@@ -276,6 +276,29 @@ impl Frame {
         if !read_exact_or_eof(r, &mut len_bytes)? {
             return Ok(Decoded::Eof);
         }
+        Self::finish_read(r, len_bytes)
+    }
+
+    /// [`Frame::read_from`] plus the busy time (ns) spent reading and
+    /// decoding the frame *after* its length prefix arrived — i.e. the
+    /// receiver-side read→decode stage, excluding the idle block waiting
+    /// for a frame to start. The clock is only consulted when the
+    /// `obs-wire` feature is compiled in (the reported time is 0
+    /// otherwise), so the off build pays nothing.
+    pub fn read_from_timed<R: Read>(r: &mut R) -> io::Result<(Decoded, u64)> {
+        let mut len_bytes = [0u8; 4];
+        if !read_exact_or_eof(r, &mut len_bytes)? {
+            return Ok((Decoded::Eof, 0));
+        }
+        let t0 = ttg_obs::wire::WireObs::now_ns();
+        let decoded = Self::finish_read(r, len_bytes)?;
+        let busy_ns = ttg_obs::wire::WireObs::now_ns().saturating_sub(t0);
+        Ok((decoded, busy_ns))
+    }
+
+    /// Shared tail of [`Frame::read_from`]: the length prefix is in
+    /// hand, read and validate the rest.
+    fn finish_read<R: Read>(r: &mut R, len_bytes: [u8; 4]) -> io::Result<Decoded> {
         let body_len = u32::from_le_bytes(len_bytes) as usize;
         if body_len < HEADER_LEN {
             return Ok(Decoded::Corrupt {

@@ -161,6 +161,9 @@ impl NetRuntime {
                 None => NetStats::default(),
             }));
         }
+        if let Some(wire) = transport.wire_obs() {
+            rt.set_wire_stats_source(Arc::new(move || wire.snapshot()));
+        }
         Ok(NetRuntime {
             rt,
             wave,

@@ -77,6 +77,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use ttg_obs::wire::{WireObs, WIRE_ENABLED};
 
 /// First retry delay; doubles up to [`CONNECT_RETRY_MAX`].
 const CONNECT_RETRY_START: Duration = Duration::from_millis(5);
@@ -109,8 +110,11 @@ struct OutboundState {
     /// Data-kind frames sequenced so far (what the runtime counted
     /// toward its termination wave for this peer).
     data_sent: u64,
-    /// Unacked `(seq, encoded bytes)` in seq order.
-    buffer: VecDeque<(u64, Vec<u8>)>,
+    /// Unacked `(seq, encoded bytes, first-send ns)` in seq order. The
+    /// timestamp ([`WireObs::now_ns`]; 0 with `obs-wire` off) dates the
+    /// frame's entry to the wire path, so the cumulative ack that trims
+    /// it yields the ack RTT — the replay-buffer residence time.
+    buffer: VecDeque<(u64, Vec<u8>, u64)>,
     /// Total encoded bytes held in `buffer`.
     buffered_bytes: u64,
 }
@@ -137,6 +141,13 @@ struct RecvState {
     last_acked_sent: u64,
     /// Data-kind frames delivered from this peer this session.
     data_received: u64,
+    /// Encoded bytes of sequenced frames delivered since the last
+    /// cumulative ack went out. Crossing `resend_buffer_limit / 4`
+    /// triggers an eager ack from the reader — without it, a fast
+    /// large-frame stream delivers a resend-buffer's worth of frames
+    /// inside one monitor tick and the sender dies on
+    /// [`NetError::ResendOverflow`] with a perfectly healthy link.
+    bytes_since_ack: u64,
 }
 
 impl RecvState {
@@ -146,6 +157,7 @@ impl RecvState {
             last_seq: 0,
             last_acked_sent: 0,
             data_received: 0,
+            bytes_since_ack: 0,
         }
     }
 }
@@ -167,6 +179,11 @@ struct PeerSlot {
     /// generation they were spawned for so a stale reader's loss report
     /// cannot tear down its successor connection.
     generation: AtomicU64,
+    /// Artificial per-link write delay in ns (0 = none), installed by
+    /// [`Transport::set_link_delay`] and applied inside the writer
+    /// critical section of frame sends — a fault-injected slow link.
+    /// Heartbeats and acks bypass it so liveness stays truthful.
+    delay_ns: AtomicU64,
 }
 
 impl PeerSlot {
@@ -182,6 +199,17 @@ impl PeerSlot {
             last_recv_ms: AtomicU64::new(0),
             last_send_ms: AtomicU64::new(0),
             generation: AtomicU64::new(0),
+            delay_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Sleeps out any fault-injected link delay. Called while holding
+    /// the writer lock, so the stall backs up concurrent senders
+    /// (visible as `wire_lock_wait`) exactly like a slow socket would.
+    fn apply_link_delay(&self) {
+        let ns = self.delay_ns.load(Ordering::Relaxed);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
         }
     }
 }
@@ -235,6 +263,9 @@ struct Shared {
     /// `None` at our own index.
     peers: Vec<Option<PeerSlot>>,
     counters: TransportCounters,
+    /// Wire-path stage timers + per-link telemetry (`obs-wire`; every
+    /// recording call is an inlined no-op when the feature is off).
+    wire: Arc<WireObs>,
     sink: Arc<dyn FrameSink>,
     down: AtomicBool,
     start: Instant,
@@ -260,10 +291,15 @@ impl Shared {
         }
     }
 
-    /// Drops acked entries from the front of an outbound buffer,
-    /// keeping the global resend gauge in step.
-    fn trim_acked(&self, out: &mut OutboundState, acked: u64) {
-        while let Some((seq, bytes)) = out.buffer.front() {
+    /// Drops acked entries from the front of `peer`'s outbound buffer,
+    /// keeping the global and per-link resend gauges in step, and —
+    /// with `obs-wire` on — derives the link's ack RTT from the newest
+    /// trimmed frame's first-send timestamp and refreshes its ack-lag
+    /// gauge (unacked frames remaining in the buffer).
+    fn trim_acked(&self, peer: usize, out: &mut OutboundState, acked: u64) {
+        let mut trimmed: u64 = 0;
+        let mut newest_sent_ns: u64 = 0;
+        while let Some((seq, bytes, sent_ns)) = out.buffer.front() {
             if *seq > acked {
                 break;
             }
@@ -272,7 +308,57 @@ impl Shared {
             self.counters
                 .resend_buffer_bytes
                 .fetch_sub(len, Ordering::Relaxed);
+            trimmed += len;
+            newest_sent_ns = *sent_ns;
             out.buffer.pop_front();
+        }
+        if WIRE_ENABLED && trimmed > 0 {
+            self.wire.resend_delta(peer, -(trimmed as i64));
+            self.wire.set_ack_lag(peer, out.buffer.len() as u64);
+            if newest_sent_ns > 0 {
+                let rtt_ns = WireObs::now_ns().saturating_sub(newest_sent_ns);
+                self.wire.record_ack_rtt_us(peer, rtt_ns / 1_000);
+            }
+        }
+    }
+
+    /// Sends a cumulative ack for everything delivered from `peer` so
+    /// far, if anything is unacknowledged and the link is writable.
+    /// Shared by the monitor tick and the reader's eager-ack path.
+    /// Uses try_lock on the writer: the monitor must never stall
+    /// behind one slow link while other peers wait for liveness
+    /// traffic, and a skipped ack simply goes out on the next tick
+    /// (or the next received frame, on the eager path).
+    fn send_cumulative_ack(&self, slot: &PeerSlot) {
+        let ack_due = {
+            let recv = slot.recv.lock();
+            (recv.last_seq > recv.last_acked_sent).then_some(recv.last_seq)
+        };
+        let Some(seq) = ack_due else {
+            return;
+        };
+        if !matches!(*slot.state.lock(), PeerState::Connected) {
+            return;
+        }
+        let mut ack = Frame::control(FrameKind::Ack, self.rank as u32);
+        ack.payload = seq.to_le_bytes().to_vec();
+        let mut bytes = Vec::with_capacity(ack.encoded_len());
+        ack.encode_into(&mut bytes);
+        let ok = match slot.writer.try_lock() {
+            Some(mut writer) => match writer.as_mut() {
+                Some(stream) => io::Write::write_all(stream, &bytes).is_ok(),
+                None => false,
+            },
+            None => false,
+        };
+        if ok {
+            slot.last_send_ms.store(self.now_ms(), Ordering::Relaxed);
+            let mut recv = slot.recv.lock();
+            // Guard against a session reset racing the ack.
+            if recv.last_seq >= seq {
+                recv.last_acked_sent = recv.last_acked_sent.max(seq);
+                recv.bytes_since_ack = 0;
+            }
         }
     }
 
@@ -313,7 +399,7 @@ impl Shared {
             let mut recv = slot.recv.lock();
             if recv.peer_incarnation == 0 || recv.peer_incarnation == peer_incarnation {
                 recv.peer_incarnation = peer_incarnation;
-                self.trim_acked(&mut out, their_last_acked);
+                self.trim_acked(peer, &mut out, their_last_acked);
                 true
             } else {
                 let lost_sent = out.data_sent;
@@ -321,6 +407,10 @@ impl Shared {
                 self.counters
                     .resend_buffer_bytes
                     .fetch_sub(out.buffered_bytes, Ordering::Relaxed);
+                if WIRE_ENABLED {
+                    self.wire.resend_delta(peer, -(out.buffered_bytes as i64));
+                    self.wire.set_ack_lag(peer, 0);
+                }
                 *out = OutboundState::new();
                 *recv = RecvState::new();
                 recv.peer_incarnation = peer_incarnation;
@@ -359,7 +449,7 @@ impl Shared {
         if reconnect && !out.buffer.is_empty() {
             let mut writer = slot.writer.lock();
             if let Some(stream) = writer.as_mut() {
-                for (_, bytes) in out.buffer.iter() {
+                for (_, bytes, _) in out.buffer.iter() {
                     if io::Write::write_all(stream, bytes).is_err() {
                         replay_failed = true;
                         break;
@@ -542,7 +632,12 @@ impl Shared {
                     PeerState::Connected => slot.generation.load(Ordering::Relaxed),
                 }
             };
+            let lw0 = WireObs::now_ns();
             let mut writer = slot.writer.lock();
+            if WIRE_ENABLED {
+                self.wire
+                    .record_lock_wait(WireObs::now_ns().saturating_sub(lw0));
+            }
             match writer.as_mut() {
                 None => {
                     // Transient: a state transition is mid-flight.
@@ -550,25 +645,38 @@ impl Shared {
                     std::thread::sleep(Duration::from_millis(1));
                     continue;
                 }
-                Some(stream) => match io::Write::write_all(stream, bytes) {
-                    Ok(()) => {
-                        drop(writer);
-                        slot.last_send_ms.store(self.now_ms(), Ordering::Relaxed);
-                        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-                        self.counters
-                            .bytes_sent
-                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                        return Ok(());
+                Some(stream) => {
+                    slot.apply_link_delay();
+                    let w0 = WireObs::now_ns();
+                    let wrote = io::Write::write_all(stream, bytes);
+                    if WIRE_ENABLED {
+                        self.wire.record_write(
+                            WireObs::now_ns().saturating_sub(w0),
+                            bytes.len() as u64,
+                            1,
+                        );
                     }
-                    Err(_) => {
-                        drop(writer);
-                        // The peer's reader discards the partial frame
-                        // together with the dead socket, so resending
-                        // on the fresh one is exactly-once.
-                        self.connection_lost(dst, generation);
-                        continue;
+                    match wrote {
+                        Ok(()) => {
+                            drop(writer);
+                            slot.last_send_ms.store(self.now_ms(), Ordering::Relaxed);
+                            self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                            self.counters
+                                .bytes_sent
+                                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                            return Ok(());
+                        }
+                        Err(_) => {
+                            drop(writer);
+                            // The peer's reader discards the partial
+                            // frame together with the dead socket, so
+                            // resending on the fresh one is
+                            // exactly-once.
+                            self.connection_lost(dst, generation);
+                            continue;
+                        }
                     }
-                },
+                }
             }
         }
     }
@@ -589,8 +697,13 @@ impl Shared {
         };
         let mut out = slot.out.lock();
         frame.seq = out.next_seq;
+        let e0 = WireObs::now_ns();
         let mut bytes = Vec::with_capacity(frame.encoded_len());
         frame.encode_into(&mut bytes);
+        let e1 = WireObs::now_ns();
+        if WIRE_ENABLED {
+            self.wire.record_encode(e1.saturating_sub(e0));
+        }
         let len = bytes.len() as u64;
         if out.buffered_bytes + len > self.cfg.resend_buffer_limit {
             return Err(NetError::ResendOverflow {
@@ -623,17 +736,37 @@ impl Shared {
         self.counters
             .resend_buffer_bytes
             .fetch_add(len, Ordering::Relaxed);
-        out.buffer.push_back((frame.seq, bytes));
+        out.buffer.push_back((frame.seq, bytes, e1));
+        if WIRE_ENABLED {
+            // Unique sequenced frame committed: count it on the link
+            // exactly once (replays never re-count), track the per-link
+            // resend occupancy and the unacked backlog.
+            self.wire.link_tx(dst, len);
+            self.wire.resend_delta(dst, len as i64);
+            self.wire.set_ack_lag(dst, out.buffer.len() as u64);
+        }
         // The frame is durable from here: count it once, now, whether
         // it goes out on this socket or a replay.
         self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
         let mut lost_generation = None;
         if let Some(generation) = write_now {
+            let lw0 = WireObs::now_ns();
             let mut writer = slot.writer.lock();
+            if WIRE_ENABLED {
+                self.wire
+                    .record_lock_wait(WireObs::now_ns().saturating_sub(lw0));
+            }
             if let Some(stream) = writer.as_mut() {
-                let (_, bytes) = out.buffer.back().expect("frame just buffered");
-                if io::Write::write_all(stream, bytes).is_err() {
+                slot.apply_link_delay();
+                let (_, bytes, _) = out.buffer.back().expect("frame just buffered");
+                let w0 = WireObs::now_ns();
+                let wrote = io::Write::write_all(stream, bytes);
+                if WIRE_ENABLED {
+                    self.wire
+                        .record_write(WireObs::now_ns().saturating_sub(w0), len, 1);
+                }
+                if wrote.is_err() {
                     // Stays buffered; the rejoin replay re-sends it.
                     lost_generation = Some(generation);
                 } else {
@@ -734,6 +867,7 @@ impl TcpTransport {
                 .map(|p| (p != rank).then(PeerSlot::new))
                 .collect(),
             counters: TransportCounters::default(),
+            wire: Arc::new(WireObs::new(nranks)),
             sink,
             down: AtomicBool::new(false),
             start: Instant::now(),
@@ -1067,8 +1201,11 @@ fn handle_incoming(shared: &Arc<Shared>, mut stream: TcpStream) {
 fn reader_loop(shared: &Arc<Shared>, peer: usize, mut stream: TcpStream, generation: u64) {
     let touch = |slot: &PeerSlot| slot.last_recv_ms.store(shared.now_ms(), Ordering::Relaxed);
     loop {
-        match Frame::read_from(&mut stream) {
-            Ok(Decoded::Frame(frame)) => {
+        match Frame::read_from_timed(&mut stream) {
+            Ok((Decoded::Frame(frame), busy_ns)) => {
+                if WIRE_ENABLED {
+                    shared.wire.record_read_decode(busy_ns);
+                }
                 let Some(slot) = shared.slot(peer) else {
                     return;
                 };
@@ -1090,25 +1227,39 @@ fn reader_loop(shared: &Arc<Shared>, peer: usize, mut stream: TcpStream, generat
                         if let Ok(acked) = frame.payload.as_slice().try_into() {
                             let acked = u64::from_le_bytes(acked);
                             let mut out = slot.out.lock();
-                            shared.trim_acked(&mut out, acked);
+                            shared.trim_acked(peer, &mut out, acked);
                         }
                     }
                     FrameKind::Hello => {} // stray handshake frame
                     _ => {
                         if frame.seq != 0 {
-                            let mut recv = slot.recv.lock();
-                            if frame.seq <= recv.last_seq {
-                                // Replayed frame we already delivered
-                                // before the bounce: suppress.
-                                shared
-                                    .counters
-                                    .frames_deduped
-                                    .fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            recv.last_seq = frame.seq;
-                            if frame.kind == FrameKind::Data {
-                                recv.data_received += 1;
+                            let eager_ack = {
+                                let mut recv = slot.recv.lock();
+                                if frame.seq <= recv.last_seq {
+                                    // Replayed frame we already delivered
+                                    // before the bounce: suppress.
+                                    shared
+                                        .counters
+                                        .frames_deduped
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                recv.last_seq = frame.seq;
+                                if frame.kind == FrameKind::Data {
+                                    recv.data_received += 1;
+                                }
+                                recv.bytes_since_ack += frame.encoded_len() as u64;
+                                // A quarter of the sender's resend budget
+                                // delivered since the last ack: ack now
+                                // rather than on the monitor tick, or a
+                                // fast large-frame stream fills the
+                                // sender's buffer to ResendOverflow
+                                // between ticks. (recv is a leaf lock —
+                                // release before touching the writer.)
+                                recv.bytes_since_ack > shared.cfg.resend_buffer_limit / 4
+                            };
+                            if eager_ack {
+                                shared.send_cumulative_ack(slot);
                             }
                         }
                         shared
@@ -1119,17 +1270,29 @@ fn reader_loop(shared: &Arc<Shared>, peer: usize, mut stream: TcpStream, generat
                             .counters
                             .bytes_received
                             .fetch_add(frame.encoded_len() as u64, Ordering::Relaxed);
+                        if WIRE_ENABLED && frame.seq != 0 {
+                            // First delivery of a unique sequenced frame
+                            // (dups were suppressed above): the rx half
+                            // of the symmetric link traffic ledger.
+                            shared.wire.link_rx(peer, frame.encoded_len() as u64);
+                        }
+                        let d0 = WireObs::now_ns();
                         shared.sink.deliver(peer, frame);
+                        if WIRE_ENABLED {
+                            shared
+                                .wire
+                                .record_dispatch(WireObs::now_ns().saturating_sub(d0));
+                        }
                     }
                 }
             }
-            Ok(Decoded::Eof) => {
+            Ok((Decoded::Eof, _)) => {
                 // Clean EOF but no Goodbye: the peer process vanished or
                 // the connection dropped. Transient until proven fatal.
                 shared.connection_lost(peer, generation);
                 return;
             }
-            Ok(Decoded::Corrupt { detail }) => {
+            Ok((Decoded::Corrupt { detail }, _)) => {
                 shared
                     .counters
                     .frames_corrupt
@@ -1198,54 +1361,34 @@ fn monitor_loop(shared: &Arc<Shared>) {
             match verdict {
                 Some(Err(err)) => shared.declare_dead(peer, err),
                 Some(Ok(generation)) => {
-                    let failed = {
-                        let mut writer = slot.writer.lock();
-                        match writer.as_mut() {
-                            Some(stream) => io::Write::write_all(stream, &heartbeat).is_err(),
-                            None => false,
+                    // try_lock: a stalled or slow writer on this link must not
+                    // block the monitor thread, which also serves every other
+                    // peer. A busy writer means the link is actively sending,
+                    // so the heartbeat is redundant; retry next tick.
+                    let outcome = slot
+                        .writer
+                        .try_lock()
+                        .map(|mut writer| match writer.as_mut() {
+                            Some(stream) => io::Write::write_all(stream, &heartbeat).is_ok(),
+                            None => true,
+                        });
+                    match outcome {
+                        Some(false) => shared.connection_lost(peer, generation),
+                        Some(true) => {
+                            slot.last_send_ms.store(shared.now_ms(), Ordering::Relaxed);
+                            shared
+                                .counters
+                                .heartbeats_sent
+                                .fetch_add(1, Ordering::Relaxed);
                         }
-                    };
-                    if failed {
-                        shared.connection_lost(peer, generation);
-                    } else {
-                        slot.last_send_ms.store(shared.now_ms(), Ordering::Relaxed);
-                        shared
-                            .counters
-                            .heartbeats_sent
-                            .fetch_add(1, Ordering::Relaxed);
+                        None => {}
                     }
                 }
                 None => {}
             }
             // Cumulative ack for sequenced frames delivered since the
             // last one, so the peer can trim its resend buffer.
-            let ack_due = {
-                let recv = slot.recv.lock();
-                (recv.last_seq > recv.last_acked_sent).then_some(recv.last_seq)
-            };
-            if let Some(seq) = ack_due {
-                if matches!(*slot.state.lock(), PeerState::Connected) {
-                    let mut ack = Frame::control(FrameKind::Ack, shared.rank as u32);
-                    ack.payload = seq.to_le_bytes().to_vec();
-                    let mut bytes = Vec::with_capacity(ack.encoded_len());
-                    ack.encode_into(&mut bytes);
-                    let ok = {
-                        let mut writer = slot.writer.lock();
-                        match writer.as_mut() {
-                            Some(stream) => io::Write::write_all(stream, &bytes).is_ok(),
-                            None => false,
-                        }
-                    };
-                    if ok {
-                        slot.last_send_ms.store(shared.now_ms(), Ordering::Relaxed);
-                        let mut recv = slot.recv.lock();
-                        // Guard against a session reset racing the ack.
-                        if recv.last_seq >= seq {
-                            recv.last_acked_sent = recv.last_acked_sent.max(seq);
-                        }
-                    }
-                }
-            }
+            shared.send_cumulative_ack(slot);
         }
         std::thread::sleep(tick);
     }
@@ -1307,6 +1450,21 @@ impl Transport for TcpTransport {
 
     fn counters(&self) -> Option<&TransportCounters> {
         Some(&self.shared.counters)
+    }
+
+    fn wire_obs(&self) -> Option<Arc<WireObs>> {
+        Some(Arc::clone(&self.shared.wire))
+    }
+
+    fn set_link_delay(&self, dst: usize, delay: Duration) -> bool {
+        match self.shared.slot(dst) {
+            Some(slot) => {
+                slot.delay_ns
+                    .store(delay.as_nanos() as u64, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -105,6 +105,24 @@ pub trait Transport: Send + Sync {
     fn counters(&self) -> Option<&TransportCounters> {
         None
     }
+
+    /// The endpoint's wire-path recording state (`obs-wire` stage
+    /// histograms + per-link telemetry), when it keeps one. Default:
+    /// none (in-process transports have no wire path to attribute).
+    fn wire_obs(&self) -> Option<Arc<ttg_obs::wire::WireObs>> {
+        None
+    }
+
+    /// Installs a persistent artificial delay on every subsequent frame
+    /// write to `dst`, applied on the *write path* (inside the writer
+    /// critical section) so sender-side stage timers, ack RTT, and
+    /// resend-buffer occupancy all see it — a manufactured slow link.
+    /// Returns false when the transport has no write path to slow down
+    /// (fault injection then falls back to a caller-thread sleep).
+    fn set_link_delay(&self, dst: usize, delay: std::time::Duration) -> bool {
+        let _ = (dst, delay);
+        false
+    }
 }
 
 /// Per-rank counters a transport keeps for the stats report.

@@ -16,7 +16,7 @@
 //! | `/healthz`         | worst-rank mesh health (one curl answers    |
 //! |                    | "is the mesh healthy")                      |
 //!
-//! On top of the merged stream two detectors run per scrape round:
+//! On top of the merged stream three detectors run per scrape round:
 //!
 //! * **Skew** — the coefficient of variation (stddev / mean) of each
 //!   rank's queued+running task load, window-averaged over the last
@@ -28,6 +28,19 @@
 //!   cluster median times `straggler_factor`, for
 //!   `straggler_consecutive` rounds in a row, raises a per-rank
 //!   `straggler` alert.
+//! * **Slow link** — a directed peer link (from the `net_link_*`
+//!   labeled series ranks export with the `obs-wire` feature) whose
+//!   ack RTT or unacked backlog exceeds the cluster-median link times
+//!   `slowlink_factor` (with absolute floors, so quiet meshes don't
+//!   flag noise) for `slowlink_consecutive` rounds raises a
+//!   `slow_link` alert keyed by the `src->dst` link label. Ranks
+//!   built without `obs-wire` export no link series and are simply
+//!   invisible to this detector.
+//!
+//! Link telemetry also feeds a rank×rank traffic/latency matrix in
+//! `/cluster.json` (`links` per rank + a top-level `traffic_matrix`),
+//! present only when at least one rank exports link series — the
+//! no-wire output is unchanged.
 //!
 //! Alerts carry first-seen / last-seen timestamps and deactivate (but
 //! are retained) when the condition clears. Active alerts do not flip
@@ -85,6 +98,12 @@ pub struct ClusterConfig {
     pub straggler_factor: f64,
     /// Consecutive deviant rounds before a straggler alert fires.
     pub straggler_consecutive: u32,
+    /// Slow-link deviation factor vs the cluster-median link ack RTT /
+    /// ack lag (`TTG_OBS_SLOWLINK_FACTOR`).
+    pub slowlink_factor: f64,
+    /// Consecutive deviant rounds before a slow-link alert fires
+    /// (`TTG_OBS_SLOWLINK_K`).
+    pub slowlink_consecutive: u32,
 }
 
 impl Default for ClusterConfig {
@@ -97,8 +116,115 @@ impl Default for ClusterConfig {
             skew_cov_threshold: 0.5,
             straggler_factor: 2.0,
             straggler_consecutive: 3,
+            slowlink_factor: 4.0,
+            slowlink_consecutive: 3,
         }
     }
+}
+
+/// Absolute ack-RTT floor (µs) a link must clear before the slow-link
+/// detector will consider it deviant — local-loopback meshes ack in
+/// tens of microseconds and a 4× spread there is noise, not a slow NIC.
+const SLOWLINK_MIN_RTT_US: f64 = 1_000.0;
+
+/// Absolute unacked-backlog floor (frames) for the lag-based arm of the
+/// slow-link detector.
+const SLOWLINK_MIN_LAG: f64 = 4.0;
+
+/// One directed link's telemetry as scraped from a rank's `net_link_*`
+/// labeled series. All zeros for series the rank did not export.
+#[derive(Clone, Debug, Default)]
+struct LinkStat {
+    /// Destination rank label (the `peer` label value).
+    peer: String,
+    tx_bytes: u64,
+    tx_frames: u64,
+    rx_bytes: u64,
+    rx_frames: u64,
+    ack_lag_seq: u64,
+    ack_rtt_us: u64,
+    resend_buffer_bytes: u64,
+}
+
+/// Extracts the per-peer link stats from a scraped snapshot's
+/// `net_link_*` labeled counters and gauges. Empty when the rank was
+/// built without `obs-wire` (the series are simply absent).
+fn extract_links(m: &MetricsSnapshot) -> Vec<LinkStat> {
+    fn label<'a>(ls: &'a [(String, String)], key: &str) -> Option<&'a str> {
+        ls.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+    fn slot<'a>(links: &'a mut Vec<LinkStat>, peer: &str) -> &'a mut LinkStat {
+        if let Some(i) = links.iter().position(|l| l.peer == peer) {
+            return &mut links[i];
+        }
+        links.push(LinkStat {
+            peer: peer.to_string(),
+            ..LinkStat::default()
+        });
+        links.last_mut().expect("just pushed")
+    }
+    let mut links: Vec<LinkStat> = Vec::new();
+    for (name, ls, v) in &m.labeled_counters {
+        let Some(peer) = label(ls, "peer") else {
+            continue;
+        };
+        let tx = label(ls, "dir") == Some("tx");
+        match name.as_str() {
+            "net_link_bytes" => {
+                let l = slot(&mut links, peer);
+                if tx {
+                    l.tx_bytes += v;
+                } else {
+                    l.rx_bytes += v;
+                }
+            }
+            "net_link_frames" => {
+                let l = slot(&mut links, peer);
+                if tx {
+                    l.tx_frames += v;
+                } else {
+                    l.rx_frames += v;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (name, ls, v) in &m.labeled_gauges {
+        let Some(peer) = label(ls, "peer") else {
+            continue;
+        };
+        match name.as_str() {
+            "net_link_ack_lag_seq" => slot(&mut links, peer).ack_lag_seq = *v,
+            "net_link_ack_rtt_us" => slot(&mut links, peer).ack_rtt_us = *v,
+            "net_link_resend_buffer_bytes" => slot(&mut links, peer).resend_buffer_bytes = *v,
+            _ => {}
+        }
+    }
+    // Stable peer order (numeric when the labels are rank ids).
+    links.sort_by(
+        |a, b| match (a.peer.parse::<u64>(), b.peer.parse::<u64>()) {
+            (Ok(x), Ok(y)) => x.cmp(&y),
+            _ => a.peer.cmp(&b.peer),
+        },
+    );
+    links
+}
+
+/// JSON shape of one link for the per-rank `links` array.
+fn link_value(l: &LinkStat) -> Value {
+    Value::Object(vec![
+        ("peer".to_string(), Value::String(l.peer.clone())),
+        ("tx_bytes".to_string(), Value::UInt(l.tx_bytes)),
+        ("tx_frames".to_string(), Value::UInt(l.tx_frames)),
+        ("rx_bytes".to_string(), Value::UInt(l.rx_bytes)),
+        ("rx_frames".to_string(), Value::UInt(l.rx_frames)),
+        ("ack_lag_seq".to_string(), Value::UInt(l.ack_lag_seq)),
+        ("ack_rtt_us".to_string(), Value::UInt(l.ack_rtt_us)),
+        (
+            "resend_buffer_bytes".to_string(),
+            Value::UInt(l.resend_buffer_bytes),
+        ),
+    ])
 }
 
 /// One rank's scrape outcome for one round — the testable ingest unit.
@@ -160,6 +286,11 @@ struct RankState {
     /// queued+running load per round, sliding window.
     loads: VecDeque<f64>,
     straggler_streak: u32,
+    /// Per-peer link telemetry from the latest scrape (`net_link_*`
+    /// series); empty for ranks built without `obs-wire`.
+    links: Vec<LinkStat>,
+    /// Consecutive deviant rounds per outgoing link, `(peer, streak)`.
+    slowlink_streaks: Vec<(String, u32)>,
 }
 
 impl RankState {
@@ -179,6 +310,8 @@ impl RankState {
             utilization: None,
             loads: VecDeque::new(),
             straggler_streak: 0,
+            links: Vec::new(),
+            slowlink_streaks: Vec::new(),
         }
     }
 
@@ -263,6 +396,11 @@ impl ClusterAggregator {
     /// Scrape targets, in order.
     pub fn targets(&self) -> &[String] {
         &self.config.targets
+    }
+
+    /// The configuration the detectors run with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
     }
 
     /// Completed ingest rounds.
@@ -375,6 +513,8 @@ impl ClusterAggregator {
                 rank.loads.clear();
                 rank.utilization = None;
                 rank.prev_busy = None;
+                rank.links.clear();
+                rank.slowlink_streaks.clear();
                 continue;
             }
             rank.rounds_seen += 1;
@@ -389,6 +529,7 @@ impl ClusterAggregator {
                     rank.rank_label = label.clone();
                 }
                 rank.metrics = Some(m.clone());
+                rank.links = extract_links(m);
                 // Load sample for the skew window.
                 let queued = rank.gauge("queued_tasks").unwrap_or(0);
                 let running = rank.gauge("running_tasks").unwrap_or(0);
@@ -528,6 +669,127 @@ impl ClusterAggregator {
             );
         }
 
+        // --- Slow links: ack RTT (or unacked backlog) far above the
+        // cluster-median link, K rounds in a row. Medians need at least
+        // two links with data so a lone link can't be its own baseline,
+        // and the absolute floors keep sub-millisecond loopback jitter
+        // from flagging.
+        let rtts: Vec<f64> = inner
+            .ranks
+            .iter()
+            .filter(|r| r.reachable)
+            .flat_map(|r| r.links.iter())
+            .filter(|l| l.ack_rtt_us > 0)
+            .map(|l| l.ack_rtt_us as f64)
+            .collect();
+        let median_rtt = median(&rtts).filter(|_| rtts.len() >= 2);
+        let lags: Vec<f64> = inner
+            .ranks
+            .iter()
+            .filter(|r| r.reachable)
+            .flat_map(|r| r.links.iter())
+            .map(|l| l.ack_lag_seq as f64)
+            .collect();
+        let median_lag = median(&lags).filter(|_| lags.len() >= 2);
+        for i in 0..inner.ranks.len() {
+            if !inner.ranks[i].reachable {
+                // Evicted rank: its links were cleared above; retire any
+                // alerts it owned so a dead rank can't pin a stale
+                // slow-link record active forever.
+                let prefix = format!("{}->", inner.ranks[i].rank_label);
+                for a in inner.alerts.iter_mut() {
+                    if a.kind == "slow_link"
+                        && a.rank.as_deref().is_some_and(|l| l.starts_with(&prefix))
+                    {
+                        a.active = false;
+                    }
+                }
+                continue;
+            }
+            let label = inner.ranks[i].rank_label.clone();
+            let links: Vec<(String, u64, u64)> = inner.ranks[i]
+                .links
+                .iter()
+                .map(|l| (l.peer.clone(), l.ack_rtt_us, l.ack_lag_seq))
+                .collect();
+            for (peer, rtt, lag) in &links {
+                let mut deviant: Option<(f64, String)> = None;
+                if let Some(mrtt) = median_rtt {
+                    let bar = (mrtt * config.slowlink_factor).max(SLOWLINK_MIN_RTT_US);
+                    if *rtt > 0 && mrtt > 0.0 && (*rtt as f64) > bar {
+                        deviant = Some((
+                            *rtt as f64 / mrtt,
+                            format!("ack RTT {rtt}us vs cluster median {mrtt:.0}us"),
+                        ));
+                    }
+                }
+                if deviant.is_none() {
+                    if let Some(mlag) = median_lag {
+                        let bar = (mlag * config.slowlink_factor).max(SLOWLINK_MIN_LAG);
+                        if (*lag as f64) > bar {
+                            let ratio = if mlag > 0.0 {
+                                *lag as f64 / mlag
+                            } else {
+                                *lag as f64
+                            };
+                            deviant = Some((
+                                ratio,
+                                format!("ack lag {lag} frames vs cluster median {mlag:.0}"),
+                            ));
+                        }
+                    }
+                }
+                let rank = &mut inner.ranks[i];
+                let streak = match rank.slowlink_streaks.iter_mut().find(|(p, _)| p == peer) {
+                    Some((_, s)) => {
+                        *s = if deviant.is_some() { *s + 1 } else { 0 };
+                        *s
+                    }
+                    None => {
+                        let s = u32::from(deviant.is_some());
+                        rank.slowlink_streaks.push((peer.clone(), s));
+                        s
+                    }
+                };
+                let firing = streak >= config.slowlink_consecutive;
+                let link_label = format!("{label}->{peer}");
+                let (value, detail) = deviant.unwrap_or((0.0, String::new()));
+                Self::upsert_alert(
+                    &mut inner.alerts,
+                    "slow_link",
+                    Some(link_label.clone()),
+                    firing,
+                    value,
+                    config.slowlink_factor,
+                    format!("link {link_label}: {detail}"),
+                    now_unix_ms,
+                );
+            }
+            // Links that stopped being exported (gone idle) lose their
+            // streaks and deactivate, same as a cleared condition.
+            let rank = &mut inner.ranks[i];
+            let stale: Vec<String> = rank
+                .slowlink_streaks
+                .iter()
+                .filter(|(p, _)| !links.iter().any(|(lp, _, _)| lp == p))
+                .map(|(p, _)| p.clone())
+                .collect();
+            rank.slowlink_streaks
+                .retain(|(p, _)| links.iter().any(|(lp, _, _)| lp == p));
+            for peer in stale {
+                Self::upsert_alert(
+                    &mut inner.alerts,
+                    "slow_link",
+                    Some(format!("{label}->{peer}")),
+                    false,
+                    0.0,
+                    config.slowlink_factor,
+                    String::new(),
+                    now_unix_ms,
+                );
+            }
+        }
+
         // Bound retained history, never dropping active alerts.
         if inner.alerts.len() > MAX_ALERTS {
             let excess = inner.alerts.len() - MAX_ALERTS;
@@ -616,6 +878,19 @@ impl ClusterAggregator {
                 );
             }
         }
+        // Firing slow links only — idle meshes (and builds without
+        // `obs-wire`) add nothing, keeping the no-wire output identical.
+        for a in inner.alerts.iter() {
+            if a.active && a.kind == "slow_link" {
+                if let Some(link) = &a.rank {
+                    m.labeled_gauge(
+                        "cluster_slow_link",
+                        vec![("link".to_string(), link.clone())],
+                        1,
+                    );
+                }
+            }
+        }
         m
     }
 
@@ -672,7 +947,7 @@ impl ClusterAggregator {
                         ])
                     })
                     .unwrap_or(Value::Null);
-                Value::Object(vec![
+                let mut fields = vec![
                     ("target".to_string(), Value::String(r.target.clone())),
                     ("rank".to_string(), Value::String(r.rank_label.clone())),
                     ("status".to_string(), Value::String(status.to_string())),
@@ -704,21 +979,65 @@ impl ClusterAggregator {
                         "ready_delay_p99_ns".to_string(),
                         Value::UInt(r.histogram("ready_delay").map(|h| h.p99()).unwrap_or(0)),
                     ),
-                    ("counters".to_string(), counters),
-                    ("timeseries".to_string(), ts),
-                ])
+                ];
+                // Link telemetry only when the rank exports it — ranks
+                // built without `obs-wire` keep the pre-wire shape.
+                if !r.links.is_empty() {
+                    fields.push((
+                        "links".to_string(),
+                        Value::Array(r.links.iter().map(link_value).collect()),
+                    ));
+                }
+                fields.push(("counters".to_string(), counters));
+                fields.push(("timeseries".to_string(), ts));
+                Value::Object(fields)
             })
             .collect();
         let active = inner.alerts.iter().filter(|a| a.active).count();
-        let v = Value::Object(vec![
+        let mut fields = vec![
             ("schema".to_string(), Value::UInt(1)),
             ("generated_unix_ms".to_string(), Value::UInt(now_unix_ms)),
             ("rounds".to_string(), Value::UInt(inner.rounds)),
             ("skew_cov".to_string(), Value::Float(inner.skew_cov)),
             ("alerts_active".to_string(), Value::UInt(active as u64)),
             ("ranks".to_string(), Value::Array(ranks)),
-            ("totals".to_string(), totals),
-        ]);
+        ];
+        // The rank×rank traffic/latency matrix: one directed entry per
+        // exported link, with the destination's receive-side byte count
+        // alongside the source's transmit count so symmetry ("what 0
+        // sent to 1 is what 1 received from 0") is directly checkable.
+        if inner.ranks.iter().any(|r| !r.links.is_empty()) {
+            let mut matrix = Vec::new();
+            for r in &inner.ranks {
+                for l in &r.links {
+                    let peer_rx = inner
+                        .ranks
+                        .iter()
+                        .find(|p| p.rank_label == l.peer)
+                        .and_then(|p| p.links.iter().find(|pl| pl.peer == r.rank_label))
+                        .map(|pl| pl.rx_bytes);
+                    matrix.push(Value::Object(vec![
+                        ("from".to_string(), Value::String(r.rank_label.clone())),
+                        ("to".to_string(), Value::String(l.peer.clone())),
+                        ("tx_bytes".to_string(), Value::UInt(l.tx_bytes)),
+                        ("tx_frames".to_string(), Value::UInt(l.tx_frames)),
+                        (
+                            "peer_rx_bytes".to_string(),
+                            peer_rx.map(Value::UInt).unwrap_or(Value::Null),
+                        ),
+                        ("ack_rtt_us".to_string(), Value::UInt(l.ack_rtt_us)),
+                        ("ack_lag_seq".to_string(), Value::UInt(l.ack_lag_seq)),
+                        (
+                            "resend_buffer_bytes".to_string(),
+                            Value::UInt(l.resend_buffer_bytes),
+                        ),
+                    ]));
+                }
+            }
+            fields.push(("traffic_matrix".to_string(), Value::Array(matrix)));
+        }
+        fields.push(("totals".to_string(), totals));
+        let v = Value::Object(fields);
         serde_json::to_string_pretty(&v).expect("cluster serialization")
     }
 
@@ -1213,6 +1532,194 @@ mod tests {
         assert!(h.healthy);
         assert!(h.body.contains("\"degraded\": true"));
         assert!(h.body.contains("straggler:2"));
+    }
+
+    /// A healthy_ob whose snapshot carries `net_link_*` series:
+    /// `(peer, tx_bytes, rx_bytes, ack_rtt_us, ack_lag_seq)` per link.
+    fn link_ob(rank: &str, links: &[(&str, u64, u64, u64, u64)]) -> RankObservation {
+        let mut m = rank_snapshot(rank, 10, 2, 1);
+        for (peer, tx_bytes, rx_bytes, rtt, lag) in links {
+            let ls = vec![("peer".to_string(), peer.to_string())];
+            let mut tx = ls.clone();
+            tx.push(("dir".to_string(), "tx".to_string()));
+            let mut rx = ls.clone();
+            rx.push(("dir".to_string(), "rx".to_string()));
+            m.labeled_counter("net_link_bytes", tx.clone(), *tx_bytes);
+            m.labeled_counter("net_link_frames", tx, tx_bytes / 100);
+            m.labeled_counter("net_link_bytes", rx.clone(), *rx_bytes);
+            m.labeled_counter("net_link_frames", rx, rx_bytes / 100);
+            m.labeled_gauge("net_link_ack_rtt_us", ls.clone(), *rtt);
+            m.labeled_gauge("net_link_ack_lag_seq", ls, *lag);
+        }
+        healthy_ob(m)
+    }
+
+    #[test]
+    fn slow_link_alert_needs_consecutive_rounds_and_clears() {
+        let mut cfg = config(3);
+        cfg.slowlink_factor = 4.0;
+        cfg.slowlink_consecutive = 3;
+        let agg = ClusterAggregator::new(cfg);
+        // Full mesh; the 0->1 link acks 250× slower than everyone else.
+        let slow_round = || {
+            vec![
+                link_ob(
+                    "0",
+                    &[
+                        ("1", 10_000, 10_000, 50_000, 0),
+                        ("2", 10_000, 10_000, 200, 0),
+                    ],
+                ),
+                link_ob(
+                    "1",
+                    &[("0", 10_000, 10_000, 200, 0), ("2", 10_000, 10_000, 200, 0)],
+                ),
+                link_ob(
+                    "2",
+                    &[("0", 10_000, 10_000, 200, 0), ("1", 10_000, 10_000, 200, 0)],
+                ),
+            ]
+        };
+        for round in 0..3u64 {
+            agg.ingest_round(slow_round(), 1_000 + round * 1_000);
+            let firing = agg
+                .active_alerts()
+                .iter()
+                .any(|a| a.kind == "slow_link" && a.rank.as_deref() == Some("0->1"));
+            // K-1 deviant rounds must stay quiet; the Kth fires.
+            if round < 2 {
+                assert!(!firing, "fired too early at round {round}");
+            } else {
+                assert!(firing, "not firing at round {round}");
+            }
+        }
+        // No other link ever flagged.
+        assert_eq!(
+            agg.active_alerts()
+                .iter()
+                .filter(|a| a.kind == "slow_link")
+                .count(),
+            1
+        );
+        // Alert annotates the merged snapshot and health, never flips it.
+        let m = agg.merged_snapshot();
+        assert!(m
+            .labeled_gauges
+            .iter()
+            .any(|(n, ls, v)| n == "cluster_slow_link"
+                && ls.iter().any(|(k, p)| k == "link" && p == "0->1")
+                && *v == 1));
+        let h = agg.health();
+        assert!(h.healthy, "slow link is degraded, not down: {}", h.body);
+        assert!(h.body.contains("slow_link:0->1"));
+
+        // Healthy RTTs again: the alert deactivates but stays in history.
+        let fast_round = || {
+            vec![
+                link_ob(
+                    "0",
+                    &[("1", 10_000, 10_000, 200, 0), ("2", 10_000, 10_000, 200, 0)],
+                ),
+                link_ob(
+                    "1",
+                    &[("0", 10_000, 10_000, 200, 0), ("2", 10_000, 10_000, 200, 0)],
+                ),
+                link_ob(
+                    "2",
+                    &[("0", 10_000, 10_000, 200, 0), ("1", 10_000, 10_000, 200, 0)],
+                ),
+            ]
+        };
+        agg.ingest_round(fast_round(), 10_000);
+        assert!(agg.active_alerts().iter().all(|a| a.kind != "slow_link"));
+        assert!(agg.alerts().iter().any(|a| a.kind == "slow_link"));
+    }
+
+    #[test]
+    fn slow_link_alert_retires_when_owner_rank_evicted() {
+        let mut cfg = config(3);
+        cfg.slowlink_consecutive = 2;
+        let agg = ClusterAggregator::new(cfg);
+        let rounds = |rtt01: u64| {
+            vec![
+                link_ob(
+                    "0",
+                    &[("1", 5_000, 5_000, rtt01, 0), ("2", 5_000, 5_000, 100, 0)],
+                ),
+                link_ob(
+                    "1",
+                    &[("0", 5_000, 5_000, 100, 0), ("2", 5_000, 5_000, 100, 0)],
+                ),
+                link_ob(
+                    "2",
+                    &[("0", 5_000, 5_000, 100, 0), ("1", 5_000, 5_000, 100, 0)],
+                ),
+            ]
+        };
+        for round in 0..3u64 {
+            agg.ingest_round(rounds(40_000), 1_000 + round * 1_000);
+        }
+        assert!(agg
+            .active_alerts()
+            .iter()
+            .any(|a| a.kind == "slow_link" && a.rank.as_deref() == Some("0->1")));
+        // Rank 0 dies: its slow-link record must not stay active.
+        agg.ingest_round(
+            vec![
+                RankObservation::default(),
+                link_ob(
+                    "1",
+                    &[("0", 5_000, 5_000, 100, 0), ("2", 5_000, 5_000, 100, 0)],
+                ),
+                link_ob(
+                    "2",
+                    &[("0", 5_000, 5_000, 100, 0), ("1", 5_000, 5_000, 100, 0)],
+                ),
+            ],
+            10_000,
+        );
+        assert!(agg.active_alerts().iter().all(|a| a.kind != "slow_link"));
+    }
+
+    #[test]
+    fn cluster_json_carries_links_and_symmetric_traffic_matrix() {
+        let agg = ClusterAggregator::new(config(2));
+        // What 0 sent to 1 (1234 bytes) is what 1 received from 0.
+        agg.ingest_round(
+            vec![
+                link_ob("0", &[("1", 1_234, 777, 150, 2)]),
+                link_ob("1", &[("0", 777, 1_234, 140, 0)]),
+            ],
+            1_000,
+        );
+        let v: Value = serde_json::from_str(&agg.cluster_json_at(2_000)).unwrap();
+        let ranks = v.get("ranks").unwrap().as_array().unwrap();
+        let links0 = ranks[0].get("links").unwrap().as_array().unwrap();
+        assert_eq!(links0[0].get("peer").unwrap().as_str(), Some("1"));
+        assert_eq!(links0[0].get("tx_bytes").unwrap().as_u64(), Some(1_234));
+        assert_eq!(links0[0].get("ack_lag_seq").unwrap().as_u64(), Some(2));
+        let matrix = v.get("traffic_matrix").unwrap().as_array().unwrap();
+        assert_eq!(matrix.len(), 2);
+        for entry in matrix {
+            assert_eq!(
+                entry.get("tx_bytes").unwrap().as_u64(),
+                entry.get("peer_rx_bytes").unwrap().as_u64(),
+                "tx at source == rx at destination: {entry:?}"
+            );
+        }
+        // A wire-less round drops the links back out of the document.
+        let agg2 = ClusterAggregator::new(config(2));
+        agg2.ingest_round(
+            vec![
+                healthy_ob(rank_snapshot("0", 1, 0, 0)),
+                healthy_ob(rank_snapshot("1", 1, 0, 0)),
+            ],
+            1_000,
+        );
+        let v: Value = serde_json::from_str(&agg2.cluster_json_at(2_000)).unwrap();
+        assert!(v.get("traffic_matrix").is_none());
+        let ranks = v.get("ranks").unwrap().as_array().unwrap();
+        assert!(ranks[0].get("links").is_none());
     }
 
     #[test]

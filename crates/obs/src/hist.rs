@@ -89,6 +89,59 @@ impl LatencyHistogram {
     }
 }
 
+/// Multi-writer sibling of [`LatencyHistogram`]: relaxed atomics
+/// instead of `Cell`s, for recording sites shared between threads —
+/// e.g. the wire-path stage timers, which are hit by application
+/// sender threads and transport reader threads alike. A record is
+/// three relaxed RMWs; costlier than the single-writer variant but
+/// still far below a syscall, which is the company it keeps.
+pub struct SharedHistogram {
+    buckets: [std::sync::atomic::AtomicU64; HIST_BUCKETS],
+    sum: std::sync::atomic::AtomicU64,
+    max: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        use std::sync::atomic::AtomicU64;
+        SharedHistogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Copies the current counts into a mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, c) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = c.load(Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
 /// Frozen histogram counts; mergeable across workers and ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {

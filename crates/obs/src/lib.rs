@@ -38,12 +38,13 @@ pub mod ring;
 pub mod spans;
 pub mod timeseries;
 pub mod trace;
+pub mod wire;
 
 pub use analysis::{analyze_chrome_trace, TaskContribution, TraceReport, WorkerUtil};
 pub use cluster::{cluster_routes, Alert, ClusterAggregator, ClusterConfig, RankObservation};
 pub use flame::collapse_chrome_trace;
 pub use flight::{extract_flight_trace, FlightRecorder};
-pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
+pub use hist::{HistogramSnapshot, LatencyHistogram, SharedHistogram, HIST_BUCKETS};
 pub use http::{DynamicRoute, HealthVerdict, HttpRequest, HttpResponse, HttpRoutes, ObsHttpServer};
 pub use metrics::{LabelSet, MetricsSnapshot, PeriodicSampler};
 pub use ring::{Event, EventKind, EventRing};
@@ -53,6 +54,7 @@ pub use spans::{
 };
 pub use timeseries::TimeSeriesRecorder;
 pub use trace::{chrome_trace, flow_id, merge_chrome_traces};
+pub use wire::{LinkSnapshot, WireObs, WireSnapshot, WIRE_ENABLED};
 
 use parking_lot::Mutex;
 use std::cell::Cell;

@@ -684,6 +684,20 @@ fn help_text(name: &str) -> Option<&'static str> {
         "task_duration" => "Task body execution time.",
         "ready_delay" => "Delay between a task becoming ready and starting to run.",
         "message_latency" => "Remote message inbox residence time (receiver clock).",
+        "wire_encode" => "Frame encode + CRC time on the send path.",
+        "wire_lock_wait" => "Time senders waited for a peer's writer lock.",
+        "wire_write" => "Socket write_all syscall time per frame write.",
+        "wire_read_decode" => "Receiver read->decode time per frame (idle wait excluded).",
+        "wire_dispatch" => "Receiver decode->handler-scheduled time per frame.",
+        "wire_writes" => "Socket write_all calls issued by frame senders.",
+        "wire_write_bytes" => "Encoded bytes carried by frame write_all calls.",
+        "wire_write_frames" => "Frames carried by write_all calls (batching occupancy).",
+        "net_link_bytes" => "Unique sequenced frame bytes per peer link and direction.",
+        "net_link_frames" => "Unique sequenced frames per peer link and direction.",
+        "net_link_ack_lag_seq" => "Sequenced frames sent but not yet cumulatively acked, per peer.",
+        "net_link_ack_rtt_us" => "Latest send-to-cumulative-ack round trip per peer link.",
+        "net_link_resend_buffer_bytes" => "Bytes buffered for replay per peer link.",
+        "cluster_slow_link" => "1 when this rank currently owns a slow-link alert, else 0.",
         _ => return None,
     })
 }

@@ -1,0 +1,617 @@
+//! Wire-path observability (`obs-wire`): per-stage frame attribution
+//! and per-peer link telemetry.
+//!
+//! Between `send_msg` and handler dispatch a frame crosses five
+//! software stages, each with its own failure mode:
+//!
+//! ```text
+//!   sender                                      receiver
+//!   ------                                      --------
+//!   encode/CRC          (wire_encode)
+//!   writer-lock wait    (wire_lock_wait)
+//!   write_all syscall   (wire_write)
+//!        |------------- kernel + network -------------|
+//!                                read -> decode  (wire_read_decode)
+//!                                decode -> sched (wire_dispatch)
+//! ```
+//!
+//! [`WireObs`] owns one [`SharedHistogram`] per stage plus a per-peer
+//! cell set (bytes/frames in both directions, ack lag, ack RTT, resend
+//! buffer occupancy) fed by the transport. The transport also records
+//! bytes-per-write and frames-per-write distributions — the batching
+//! occupancy numbers the zero-copy batched wire path (ROADMAP item 1)
+//! is specified against.
+//!
+//! Feature contract, mirroring `obs-contention`/`obs-spans`: with the
+//! `obs-wire` cargo feature off every recording method is an inlined
+//! no-op, [`WireObs`] is a ZST, [`WireObs::snapshot`] returns an empty
+//! [`WireSnapshot`], and [`WireSnapshot::export_into`] appends nothing
+//! — so JSON and Prometheus output stay byte-identical to the
+//! pre-wire format. [`WIRE_ENABLED`] is the compile-time switch the
+//! transport uses to skip clock reads entirely in the off build.
+//!
+//! Exported metric names (identity prefix added at render time):
+//!
+//! | name                           | kind            | labels        |
+//! |--------------------------------|-----------------|---------------|
+//! | `wire_lock_wait` … `wire_dispatch` | histogram (ns) | —         |
+//! | `wire_writes`                  | counter         | —             |
+//! | `wire_write_bytes`             | counter         | —             |
+//! | `wire_write_frames`            | counter         | —             |
+//! | `net_link_bytes`               | counter         | `peer`, `dir` |
+//! | `net_link_frames`              | counter         | `peer`, `dir` |
+//! | `net_link_ack_lag_seq`         | gauge           | `peer`        |
+//! | `net_link_ack_rtt_us`          | gauge           | `peer`        |
+//! | `net_link_resend_buffer_bytes` | gauge           | `peer`        |
+//!
+//! Link byte/frame counts cover *sequenced* frames only (the ones a
+//! peer acks and delivers), counted once per unique frame: replays and
+//! receiver-side duplicates are excluded, as are heartbeats and acks.
+//! That is what makes the cluster traffic matrix symmetric — bytes
+//! rank 0 sent to rank 1 equal bytes rank 1 received from rank 0 once
+//! the mesh is quiet.
+
+use crate::hist::HistogramSnapshot;
+use crate::metrics::MetricsSnapshot;
+use serde::Value;
+
+#[cfg(feature = "obs-wire")]
+use crate::hist::SharedHistogram;
+#[cfg(feature = "obs-wire")]
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Compile-time switch for the wire-path instrumentation. The
+/// transport checks this before reading the clock, so the off build
+/// carries no timing overhead at all, not even a branch that the
+/// optimizer could miss.
+pub const WIRE_ENABLED: bool = cfg!(feature = "obs-wire");
+
+/// Per-stage and per-link recording state, owned by a transport.
+///
+/// All methods are callable from any thread; recording is relaxed
+/// atomics. With `obs-wire` off this is a ZST and every method is an
+/// empty inline function.
+#[derive(Debug, Default)]
+pub struct WireObs {
+    #[cfg(feature = "obs-wire")]
+    inner: WireInner,
+}
+
+#[cfg(feature = "obs-wire")]
+#[derive(Debug, Default)]
+struct LinkCells {
+    bytes_tx: AtomicU64,
+    frames_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    frames_rx: AtomicU64,
+    ack_lag_seq: AtomicU64,
+    ack_rtt_us: AtomicU64,
+    resend_buffer_bytes: AtomicU64,
+}
+
+#[cfg(feature = "obs-wire")]
+#[derive(Default)]
+struct WireInner {
+    lock_wait: SharedHistogram,
+    encode: SharedHistogram,
+    write: SharedHistogram,
+    read_decode: SharedHistogram,
+    dispatch: SharedHistogram,
+    bytes_per_write: SharedHistogram,
+    frames_per_write: SharedHistogram,
+    links: Box<[LinkCells]>,
+}
+
+#[cfg(feature = "obs-wire")]
+impl std::fmt::Debug for WireInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireInner")
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+impl WireObs {
+    /// Creates recording state sized for `nranks` peers (peer index =
+    /// rank; the self slot stays zero).
+    pub fn new(nranks: usize) -> Self {
+        #[cfg(feature = "obs-wire")]
+        {
+            WireObs {
+                inner: WireInner {
+                    links: (0..nranks.max(1)).map(|_| LinkCells::default()).collect(),
+                    ..Default::default()
+                },
+            }
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        {
+            let _ = nranks;
+            WireObs {}
+        }
+    }
+
+    /// Whether recording is compiled in.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        WIRE_ENABLED
+    }
+
+    /// Monotonic nanoseconds for stage timing — 0 (no clock read) when
+    /// the feature is off, so `now_ns()` deltas are free to compute
+    /// unconditionally.
+    #[inline]
+    pub fn now_ns() -> u64 {
+        if WIRE_ENABLED {
+            ttg_sync::clock::now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Records time spent waiting for a peer's writer lock (ns).
+    #[inline]
+    pub fn record_lock_wait(&self, ns: u64) {
+        #[cfg(feature = "obs-wire")]
+        self.inner.lock_wait.record(ns);
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = ns;
+    }
+
+    /// Records frame encode + CRC time (ns).
+    #[inline]
+    pub fn record_encode(&self, ns: u64) {
+        #[cfg(feature = "obs-wire")]
+        self.inner.encode.record(ns);
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = ns;
+    }
+
+    /// Records one `write_all` to a peer socket: syscall time plus the
+    /// bytes and frames it carried (the batching-occupancy stats).
+    #[inline]
+    pub fn record_write(&self, ns: u64, bytes: u64, frames: u64) {
+        #[cfg(feature = "obs-wire")]
+        {
+            self.inner.write.record(ns);
+            self.inner.bytes_per_write.record(bytes);
+            self.inner.frames_per_write.record(frames);
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = (ns, bytes, frames);
+    }
+
+    /// Records first-header-byte → decoded-frame time on the receiver
+    /// (ns). Excludes idle time blocked waiting for a frame to start.
+    #[inline]
+    pub fn record_read_decode(&self, ns: u64) {
+        #[cfg(feature = "obs-wire")]
+        self.inner.read_decode.record(ns);
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = ns;
+    }
+
+    /// Records decoded-frame → handler-scheduled time (ns): dedup,
+    /// sink delivery, inbox enqueue.
+    #[inline]
+    pub fn record_dispatch(&self, ns: u64) {
+        #[cfg(feature = "obs-wire")]
+        self.inner.dispatch.record(ns);
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = ns;
+    }
+
+    /// Counts one unique sequenced frame sent to `peer`.
+    #[inline]
+    pub fn link_tx(&self, peer: usize, bytes: u64) {
+        #[cfg(feature = "obs-wire")]
+        if let Some(l) = self.inner.links.get(peer) {
+            l.bytes_tx.fetch_add(bytes, Relaxed);
+            l.frames_tx.fetch_add(1, Relaxed);
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = (peer, bytes);
+    }
+
+    /// Counts one unique sequenced frame received from `peer`
+    /// (duplicates suppressed by the dedup window are not counted).
+    #[inline]
+    pub fn link_rx(&self, peer: usize, bytes: u64) {
+        #[cfg(feature = "obs-wire")]
+        if let Some(l) = self.inner.links.get(peer) {
+            l.bytes_rx.fetch_add(bytes, Relaxed);
+            l.frames_rx.fetch_add(1, Relaxed);
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = (peer, bytes);
+    }
+
+    /// Sets the unacked-sequence gauge for `peer`: highest sequence
+    /// sent minus highest sequence the peer has cumulatively acked.
+    #[inline]
+    pub fn set_ack_lag(&self, peer: usize, lag: u64) {
+        #[cfg(feature = "obs-wire")]
+        if let Some(l) = self.inner.links.get(peer) {
+            l.ack_lag_seq.store(lag, Relaxed);
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = (peer, lag);
+    }
+
+    /// Records the latest ack round-trip for `peer` (µs): time from
+    /// first wire write of a sequenced frame to the cumulative ack
+    /// covering it. Includes the receiver's ack cadence by design —
+    /// it is the replay-buffer residence time, not a network RTT.
+    #[inline]
+    pub fn record_ack_rtt_us(&self, peer: usize, us: u64) {
+        #[cfg(feature = "obs-wire")]
+        if let Some(l) = self.inner.links.get(peer) {
+            l.ack_rtt_us.store(us, Relaxed);
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = (peer, us);
+    }
+
+    /// Adjusts the per-peer resend-buffer occupancy gauge (bytes
+    /// buffered awaiting ack; positive on buffer push, negative on
+    /// trim/drop).
+    #[inline]
+    pub fn resend_delta(&self, peer: usize, delta: i64) {
+        #[cfg(feature = "obs-wire")]
+        if let Some(l) = self.inner.links.get(peer) {
+            if delta >= 0 {
+                l.resend_buffer_bytes.fetch_add(delta as u64, Relaxed);
+            } else {
+                let sub = (-delta) as u64;
+                // Saturate rather than wrap if a trim races a reset.
+                let mut cur = l.resend_buffer_bytes.load(Relaxed);
+                loop {
+                    let next = cur.saturating_sub(sub);
+                    match l
+                        .resend_buffer_bytes
+                        .compare_exchange_weak(cur, next, Relaxed, Relaxed)
+                    {
+                        Ok(_) => break,
+                        Err(v) => cur = v,
+                    }
+                }
+            }
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        let _ = (peer, delta);
+    }
+
+    /// Freezes the current state into a mergeable, exportable snapshot.
+    pub fn snapshot(&self) -> WireSnapshot {
+        #[cfg(feature = "obs-wire")]
+        {
+            let i = &self.inner;
+            let links = i
+                .links
+                .iter()
+                .enumerate()
+                .map(|(peer, l)| LinkSnapshot {
+                    peer,
+                    bytes_tx: l.bytes_tx.load(Relaxed),
+                    frames_tx: l.frames_tx.load(Relaxed),
+                    bytes_rx: l.bytes_rx.load(Relaxed),
+                    frames_rx: l.frames_rx.load(Relaxed),
+                    ack_lag_seq: l.ack_lag_seq.load(Relaxed),
+                    ack_rtt_us: l.ack_rtt_us.load(Relaxed),
+                    resend_buffer_bytes: l.resend_buffer_bytes.load(Relaxed),
+                })
+                .filter(|l| !l.is_idle())
+                .collect();
+            WireSnapshot {
+                lock_wait: i.lock_wait.snapshot(),
+                encode: i.encode.snapshot(),
+                write: i.write.snapshot(),
+                read_decode: i.read_decode.snapshot(),
+                dispatch: i.dispatch.snapshot(),
+                bytes_per_write: i.bytes_per_write.snapshot(),
+                frames_per_write: i.frames_per_write.snapshot(),
+                links,
+            }
+        }
+        #[cfg(not(feature = "obs-wire"))]
+        WireSnapshot::default()
+    }
+}
+
+/// Per-peer link telemetry at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Peer rank.
+    pub peer: usize,
+    /// Payload+header bytes of unique sequenced frames sent.
+    pub bytes_tx: u64,
+    /// Unique sequenced frames sent.
+    pub frames_tx: u64,
+    /// Bytes of unique sequenced frames received.
+    pub bytes_rx: u64,
+    /// Unique sequenced frames received.
+    pub frames_rx: u64,
+    /// Sequences sent but not yet cumulatively acked (gauge).
+    pub ack_lag_seq: u64,
+    /// Latest send→ack round trip in µs (gauge; 0 until the first ack).
+    pub ack_rtt_us: u64,
+    /// Bytes currently buffered for replay to this peer (gauge).
+    pub resend_buffer_bytes: u64,
+}
+
+impl LinkSnapshot {
+    /// Whether this link has seen no traffic and holds no state —
+    /// idle links are filtered out of snapshots and exports.
+    pub fn is_idle(&self) -> bool {
+        self.bytes_tx == 0
+            && self.frames_tx == 0
+            && self.bytes_rx == 0
+            && self.frames_rx == 0
+            && self.ack_lag_seq == 0
+            && self.ack_rtt_us == 0
+            && self.resend_buffer_bytes == 0
+    }
+}
+
+/// Frozen wire-path state: stage histograms, batching-occupancy
+/// distributions, and per-peer link telemetry. Always a real struct
+/// (empty with `obs-wire` off) so the plumbing above the transport
+/// needs no feature gates.
+#[derive(Debug, Clone, Default)]
+pub struct WireSnapshot {
+    /// Writer-lock wait (ns).
+    pub lock_wait: HistogramSnapshot,
+    /// Encode + CRC (ns).
+    pub encode: HistogramSnapshot,
+    /// `write_all` syscall (ns).
+    pub write: HistogramSnapshot,
+    /// First header byte → decoded frame (ns).
+    pub read_decode: HistogramSnapshot,
+    /// Decoded frame → handler scheduled (ns).
+    pub dispatch: HistogramSnapshot,
+    /// Bytes carried per `write_all` (batching occupancy).
+    pub bytes_per_write: HistogramSnapshot,
+    /// Frames carried per `write_all` (batching occupancy).
+    pub frames_per_write: HistogramSnapshot,
+    /// Per-peer link telemetry, peers with any activity only.
+    pub links: Vec<LinkSnapshot>,
+}
+
+impl WireSnapshot {
+    /// The five latency stages in lifecycle order, with their export
+    /// names.
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); 5] {
+        [
+            ("wire_encode", &self.encode),
+            ("wire_lock_wait", &self.lock_wait),
+            ("wire_write", &self.write),
+            ("wire_read_decode", &self.read_decode),
+            ("wire_dispatch", &self.dispatch),
+        ]
+    }
+
+    /// Whether nothing was recorded (the off-build constant, and the
+    /// on-build state before any traffic).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+            && self.write.count() == 0
+            && self.stages().iter().all(|(_, h)| h.count() == 0)
+    }
+
+    /// Appends the wire metrics to a [`MetricsSnapshot`] — stage
+    /// histograms, write/batching counters, and `{peer}`-labeled link
+    /// series. Everything is emitted only-when-nonzero, so a snapshot
+    /// without wire activity (and every off-build snapshot) renders
+    /// byte-identically to the pre-wire format.
+    pub fn export_into(&self, m: &mut MetricsSnapshot) {
+        for (name, h) in self.stages() {
+            if h.count() > 0 {
+                m.histogram(name, *h);
+            }
+        }
+        if self.bytes_per_write.count() > 0 {
+            m.counter("wire_writes", self.bytes_per_write.count());
+            m.counter("wire_write_bytes", self.bytes_per_write.sum);
+            m.counter("wire_write_frames", self.frames_per_write.sum);
+        }
+        for l in &self.links {
+            let labels = |dir: Option<&str>| {
+                let mut ls = vec![("peer".to_string(), l.peer.to_string())];
+                if let Some(d) = dir {
+                    ls.push(("dir".to_string(), d.to_string()));
+                }
+                ls
+            };
+            if l.bytes_tx > 0 {
+                m.labeled_counter("net_link_bytes", labels(Some("tx")), l.bytes_tx);
+            }
+            if l.bytes_rx > 0 {
+                m.labeled_counter("net_link_bytes", labels(Some("rx")), l.bytes_rx);
+            }
+            if l.frames_tx > 0 {
+                m.labeled_counter("net_link_frames", labels(Some("tx")), l.frames_tx);
+            }
+            if l.frames_rx > 0 {
+                m.labeled_counter("net_link_frames", labels(Some("rx")), l.frames_rx);
+            }
+            if l.ack_lag_seq > 0 {
+                m.labeled_gauge("net_link_ack_lag_seq", labels(None), l.ack_lag_seq);
+            }
+            if l.ack_rtt_us > 0 {
+                m.labeled_gauge("net_link_ack_rtt_us", labels(None), l.ack_rtt_us);
+            }
+            if l.resend_buffer_bytes > 0 {
+                m.labeled_gauge(
+                    "net_link_resend_buffer_bytes",
+                    labels(None),
+                    l.resend_buffer_bytes,
+                );
+            }
+        }
+    }
+
+    /// Renders the `/net.json` body for one rank.
+    pub fn net_json(&self, rank: usize) -> String {
+        let stage_value = |h: &HistogramSnapshot, us: bool| {
+            let scale = if us { 1e3 } else { 1.0 };
+            let unit = if us { "_us" } else { "" };
+            Value::Object(vec![
+                ("count".to_string(), Value::UInt(h.count())),
+                (format!("mean{unit}"), Value::Float(h.mean() / scale)),
+                (format!("p50{unit}"), Value::Float(h.p50() as f64 / scale)),
+                (format!("p95{unit}"), Value::Float(h.p95() as f64 / scale)),
+                (format!("p99{unit}"), Value::Float(h.p99() as f64 / scale)),
+                (format!("max{unit}"), Value::Float(h.max as f64 / scale)),
+            ])
+        };
+        let stages = Value::Object(
+            self.stages()
+                .iter()
+                .map(|(name, h)| {
+                    let short = name.strip_prefix("wire_").unwrap_or(name).to_string();
+                    (short, stage_value(h, true))
+                })
+                .collect(),
+        );
+        let batching = Value::Object(vec![
+            (
+                "bytes_per_write".to_string(),
+                stage_value(&self.bytes_per_write, false),
+            ),
+            (
+                "frames_per_write".to_string(),
+                stage_value(&self.frames_per_write, false),
+            ),
+        ]);
+        let links = Value::Array(
+            self.links
+                .iter()
+                .map(|l| {
+                    Value::Object(vec![
+                        ("peer".to_string(), Value::UInt(l.peer as u64)),
+                        ("bytes_tx".to_string(), Value::UInt(l.bytes_tx)),
+                        ("frames_tx".to_string(), Value::UInt(l.frames_tx)),
+                        ("bytes_rx".to_string(), Value::UInt(l.bytes_rx)),
+                        ("frames_rx".to_string(), Value::UInt(l.frames_rx)),
+                        ("ack_lag_seq".to_string(), Value::UInt(l.ack_lag_seq)),
+                        ("ack_rtt_us".to_string(), Value::UInt(l.ack_rtt_us)),
+                        (
+                            "resend_buffer_bytes".to_string(),
+                            Value::UInt(l.resend_buffer_bytes),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let v = Value::Object(vec![
+            ("schema".to_string(), Value::UInt(1)),
+            ("rank".to_string(), Value::UInt(rank as u64)),
+            ("wire_enabled".to_string(), Value::Bool(WIRE_ENABLED)),
+            ("stages".to_string(), stages),
+            ("batching".to_string(), batching),
+            ("links".to_string(), links),
+        ]);
+        serde_json::to_string_pretty(&v).expect("net.json serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_exports_nothing() {
+        // The byte-identical contract: a snapshot with no wire
+        // activity must not change the rendered metrics at all —
+        // this is trivially what every off-build snapshot looks like.
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        m.counter("tasks_executed", 1);
+        let before_json = m.to_json();
+        let before_prom = m.to_prometheus("ttg");
+        WireObs::new(4).snapshot().export_into(&mut m);
+        assert_eq!(m.to_json(), before_json);
+        assert_eq!(m.to_prometheus("ttg"), before_prom);
+    }
+
+    #[test]
+    fn net_json_shape_when_empty() {
+        let s = WireSnapshot::default();
+        let v: Value = serde_json::from_str(&s.net_json(3)).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("rank").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("links").and_then(Value::as_array).map(|a| a.len()),
+            Some(0)
+        );
+        assert!(v.get("stages").and_then(|s| s.get("encode")).is_some());
+    }
+
+    #[cfg(feature = "obs-wire")]
+    #[test]
+    fn recording_surfaces_in_snapshot_and_export() {
+        let w = WireObs::new(3);
+        assert!(w.enabled());
+        w.record_encode(500);
+        w.record_lock_wait(100);
+        w.record_write(2_000, 64, 1);
+        w.record_read_decode(1_500);
+        w.record_dispatch(700);
+        w.link_tx(1, 64);
+        w.link_rx(1, 32);
+        w.set_ack_lag(1, 5);
+        w.record_ack_rtt_us(1, 250);
+        w.resend_delta(1, 64);
+        w.resend_delta(1, -64);
+        w.resend_delta(2, 128);
+
+        let s = w.snapshot();
+        assert!(!s.is_empty());
+        assert_eq!(s.encode.count(), 1);
+        assert_eq!(s.bytes_per_write.sum, 64);
+        assert_eq!(s.frames_per_write.sum, 1);
+        // Peer 0 never moved: filtered out. Peer 1 and 2 present.
+        assert_eq!(s.links.len(), 2);
+        let l1 = s.links.iter().find(|l| l.peer == 1).unwrap();
+        assert_eq!(l1.bytes_tx, 64);
+        assert_eq!(l1.frames_tx, 1);
+        assert_eq!(l1.bytes_rx, 32);
+        assert_eq!(l1.ack_lag_seq, 5);
+        assert_eq!(l1.ack_rtt_us, 250);
+        assert_eq!(l1.resend_buffer_bytes, 0);
+        let l2 = s.links.iter().find(|l| l.peer == 2).unwrap();
+        assert_eq!(l2.resend_buffer_bytes, 128);
+
+        let mut m = MetricsSnapshot::with_labels(vec![("rank".to_string(), "0".to_string())]);
+        s.export_into(&mut m);
+        let prom = m.to_prometheus("ttg");
+        assert!(prom.contains("ttg_wire_encode_seconds_count{rank=\"0\"} 1"));
+        assert!(prom.contains("ttg_net_link_bytes{rank=\"0\",peer=\"1\",dir=\"tx\"} 64"));
+        assert!(prom.contains("ttg_net_link_ack_rtt_us{rank=\"0\",peer=\"1\"} 250"));
+        assert!(prom.contains("ttg_net_link_resend_buffer_bytes{rank=\"0\",peer=\"2\"} 128"));
+        // Only-when-nonzero: peer 1's resend gauge (back to 0) absent.
+        assert!(!prom.contains("ttg_net_link_resend_buffer_bytes{rank=\"0\",peer=\"1\"}"));
+        // Round-trips through the scrape parser (the cluster path).
+        let v: Value = serde_json::from_str(&m.to_json()).unwrap();
+        let back = MetricsSnapshot::from_value(&v).unwrap();
+        assert_eq!(back.labeled_counters, m.labeled_counters);
+        assert_eq!(back.labeled_gauges, m.labeled_gauges);
+    }
+
+    #[cfg(feature = "obs-wire")]
+    #[test]
+    fn net_json_reports_links_and_stage_quantiles() {
+        let w = WireObs::new(2);
+        for _ in 0..100 {
+            w.record_write(1_000, 32, 1);
+        }
+        w.link_tx(1, 3_200);
+        let v: Value = serde_json::from_str(&w.snapshot().net_json(0)).unwrap();
+        assert_eq!(v.get("wire_enabled"), Some(&Value::Bool(true)));
+        let write = v.get("stages").unwrap().get("write").unwrap();
+        assert_eq!(write.get("count").and_then(Value::as_u64), Some(100));
+        assert!(write.get("p50_us").and_then(Value::as_f64).unwrap() > 0.0);
+        let links = v.get("links").unwrap().as_array().unwrap();
+        assert_eq!(links[0].get("peer").and_then(Value::as_u64), Some(1));
+        assert_eq!(links[0].get("bytes_tx").and_then(Value::as_u64), Some(3200));
+    }
+}

@@ -96,6 +96,8 @@ impl LiveConfig {
     /// | `TTG_OBS_SKEW_COV`           | skew CoV threshold (def. 0.5)   |
     /// | `TTG_OBS_STRAGGLER_FACTOR`   | straggler deviation (def. 2.0)  |
     /// | `TTG_OBS_STRAGGLER_K`        | consecutive rounds (default 3)  |
+    /// | `TTG_OBS_SLOWLINK_FACTOR`    | slow-link deviation (def. 4.0)  |
+    /// | `TTG_OBS_SLOWLINK_K`         | consecutive rounds (default 3)  |
     pub fn from_env() -> Self {
         let cluster = std::env::var("TTG_OBS_CLUSTER")
             .ok()
@@ -123,6 +125,11 @@ impl LiveConfig {
                         .unwrap_or(defaults.straggler_factor),
                     straggler_consecutive: env_u64("TTG_OBS_STRAGGLER_K")
                         .unwrap_or(defaults.straggler_consecutive as u64)
+                        as u32,
+                    slowlink_factor: env_f64("TTG_OBS_SLOWLINK_FACTOR")
+                        .unwrap_or(defaults.slowlink_factor),
+                    slowlink_consecutive: env_u64("TTG_OBS_SLOWLINK_K")
+                        .unwrap_or(defaults.slowlink_consecutive as u64)
                         as u32,
                 }
             });
@@ -290,9 +297,28 @@ impl LiveTelemetry {
             Some(base) => {
                 let port = base.saturating_add(rank as u16);
                 let mut routes = Self::routes(rank, &slot, &timeseries);
-                if let Some(agg) = &cluster {
-                    routes.dynamic = Some(ttg_obs::cluster_routes(Arc::clone(agg), true));
-                }
+                // `/net.json` answers first, then the cluster routes
+                // (when this rank embeds the aggregator). An empty slot
+                // — or a build without `obs-wire` — serves the empty
+                // per-stage document rather than a 404, so dashboards
+                // can always probe the same path.
+                let net_slot = Arc::clone(&slot);
+                let net_route: ttg_obs::DynamicRoute = Box::new(move |req| {
+                    if req.method != "GET" || req.path != "/net.json" {
+                        return None;
+                    }
+                    let body = match net_slot.get() {
+                        Some(rt) => rt.wire_snapshot().net_json(rank),
+                        None => ttg_obs::WireSnapshot::default().net_json(rank),
+                    };
+                    Some(ttg_obs::HttpResponse::json(200, body))
+                });
+                let cluster_route = cluster
+                    .as_ref()
+                    .map(|agg| ttg_obs::cluster_routes(Arc::clone(agg), true));
+                routes.dynamic = Some(Box::new(move |req| {
+                    net_route(req).or_else(|| cluster_route.as_ref().and_then(|cr| cr(req)))
+                }));
                 Some(ObsHttpServer::serve(port, routes)?)
             }
             None => None,
@@ -500,6 +526,13 @@ mod tests {
             metrics.contains("ttg_tasks_executed"),
             "prometheus export through the slot: {metrics}"
         );
+        // /net.json serves the wire-path document even when the runtime
+        // has no transport (empty stages, schema intact).
+        let (status, net) = http_get(port, "/net.json");
+        assert_eq!(status, 200);
+        let nv: serde::Value = serde_json::from_str(&net).expect("net json");
+        assert_eq!(nv.get("schema").and_then(serde::Value::as_u64), Some(1));
+        assert!(nv.get("wire_enabled").is_some(), "net.json shape: {net}");
         let (_, ts_json) = http_get(port, "/timeseries.json");
         let v: serde::Value = serde_json::from_str(&ts_json).expect("timeseries json");
         assert!(

@@ -184,6 +184,11 @@ pub(crate) struct Inner {
     /// Resilience-counter source installed by the bound transport, so
     /// `stats()` can fold transport counters into [`crate::RuntimeStats`].
     pub(crate) net_stats: OnceLock<Arc<dyn Fn() -> NetStats + Send + Sync>>,
+    /// Wire-path telemetry source installed by the bound transport
+    /// (`obs-wire`); `metrics()` folds its snapshot into the export.
+    /// Always present as a field — the snapshot is empty when the
+    /// feature is off, so no cfg-gating is needed above the transport.
+    pub(crate) wire_stats: OnceLock<Arc<dyn Fn() -> ttg_obs::wire::WireSnapshot + Send + Sync>>,
     /// Peers currently inside their recovery window (connection lost,
     /// rejoin pending). Drives the `/healthz` degraded verdict.
     pub(crate) recovering: Mutex<BTreeSet<usize>>,
@@ -449,6 +454,7 @@ impl Runtime {
             frame_out: OnceLock::new(),
             run_error: Mutex::new(None),
             net_stats: OnceLock::new(),
+            wire_stats: OnceLock::new(),
             recovering: Mutex::new(BTreeSet::new()),
             recovery_observers: RwLock::new(Vec::new()),
             instances_quarantined: AtomicU64::new(0),
@@ -864,6 +870,11 @@ impl Runtime {
                 );
             }
         }
+        // Wire-path stage histograms and per-link series; everything in
+        // the snapshot is emitted only-when-nonzero, so without wire
+        // activity (and in every `obs-wire`-off build) this appends
+        // nothing and the output stays byte-identical.
+        self.wire_snapshot().export_into(&mut m);
         m
     }
 
@@ -985,6 +996,26 @@ impl Runtime {
     /// ignored (the transport is bound once).
     pub fn set_net_stats_source(&self, source: Arc<dyn Fn() -> NetStats + Send + Sync>) {
         let _ = self.inner.net_stats.set(source);
+    }
+
+    /// Installs the transport's wire-path telemetry source (`obs-wire`
+    /// stage histograms + per-link counters); [`Runtime::metrics`] folds
+    /// its snapshot into the export and [`Runtime::wire_snapshot`]
+    /// serves it to `/net.json`. Later calls are ignored.
+    pub fn set_wire_stats_source(
+        &self,
+        source: Arc<dyn Fn() -> ttg_obs::wire::WireSnapshot + Send + Sync>,
+    ) {
+        let _ = self.inner.wire_stats.set(source);
+    }
+
+    /// The current wire-path telemetry snapshot — empty when no
+    /// transport installed a source or the `obs-wire` feature is off.
+    pub fn wire_snapshot(&self) -> ttg_obs::wire::WireSnapshot {
+        match self.inner.wire_stats.get() {
+            Some(source) => source(),
+            None => ttg_obs::wire::WireSnapshot::default(),
+        }
     }
 
     /// Registers an observer for peer-liveness transitions
